@@ -1,0 +1,182 @@
+// Command rpolbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rpolbench -exp all
+//	rpolbench -exp fig5 -epochs 6
+//	rpolbench -exp table2
+//
+// Experiment ids: fig1, fig3, table1, fig4, fig5, fig6, table2, table3,
+// soundness, ablation-commitment, ablation-doublecheck, ablation-interval,
+// ablation-optimizer, ablation-sampling, all. Output is the textual table
+// for each experiment (optionally also CSV via -csv); EXPERIMENTS.md maps
+// every id to the corresponding paper artifact.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rpol/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (fig1|fig3|table1|fig4|fig5|fig6|table2|table3|soundness|ablation-commitment|ablation-doublecheck|ablation-interval|ablation-optimizer|ablation-sampling|all)")
+		epochs  = flag.Int("epochs", 0, "override epochs for training-based experiments (0 = default)")
+		workers = flag.Int("workers", 0, "override pool size for fig6 (0 = default)")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		csvDir  = flag.String("csv", "", "also write each experiment's rows to <dir>/<id>.csv")
+	)
+	flag.Parse()
+	if err := run(*exp, *epochs, *workers, *seed, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "rpolbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, epochs, workers int, seed int64, csvDir string) error {
+	ids := []string{exp}
+	if exp == "all" {
+		ids = []string{
+			"fig1", "fig3", "table1", "fig4", "fig5", "fig6",
+			"table2", "table3", "soundness",
+			"ablation-commitment", "ablation-doublecheck", "ablation-interval",
+			"ablation-optimizer", "ablation-sampling",
+		}
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return fmt.Errorf("csv dir: %w", err)
+		}
+	}
+	for _, id := range ids {
+		table, err := runOne(id, epochs, workers, seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(table.Render())
+		if csvDir != "" {
+			if err := writeCSV(filepath.Join(csvDir, id+".csv"), table); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+		}
+	}
+	return nil
+}
+
+// writeCSV exports a rendered experiment table for downstream plotting.
+func writeCSV(path string, table *experiments.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	w := csv.NewWriter(f)
+	if err := w.Write(table.Headers); err != nil {
+		return err
+	}
+	if err := w.WriteAll(table.Rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func runOne(id string, epochs, workers int, seed int64) (*experiments.Table, error) {
+	switch strings.ToLower(id) {
+	case "fig1":
+		res, err := experiments.Fig1(experiments.Fig1Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &res.Table, nil
+	case "fig3":
+		res, err := experiments.Fig3(experiments.Fig3Options{Epochs: epochs, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return &res.Table, nil
+	case "table1":
+		res, err := experiments.Table1(experiments.Table1Options{Epochs: epochs, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return &res.Table, nil
+	case "fig4":
+		res, err := experiments.Fig4(experiments.Fig4Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return &res.Table, nil
+	case "fig5":
+		res, err := experiments.Fig5(experiments.Fig5Options{Epochs: epochs, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return &res.Table, nil
+	case "fig6":
+		res, err := experiments.Fig6(experiments.Fig6Options{
+			Epochs: epochs, NumWorkers: workers, Seed: seed,
+			AdversaryFractions: []float64{0.1, 0.3, 0.5, 0.7, 0.9},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &res.Table, nil
+	case "table2":
+		res, err := experiments.Table2(experiments.Table2Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &res.Table, nil
+	case "table3":
+		res, err := experiments.Table3(experiments.Table3Options{})
+		if err != nil {
+			return nil, err
+		}
+		return &res.Table, nil
+	case "soundness":
+		res, err := experiments.Soundness(experiments.SoundnessOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return &res.Table, nil
+	case "ablation-commitment":
+		res, err := experiments.CommitmentAblation(nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		return &res.Table, nil
+	case "ablation-doublecheck":
+		res, err := experiments.DoubleCheckAblation("", epochs, seed)
+		if err != nil {
+			return nil, err
+		}
+		return &res.Table, nil
+	case "ablation-interval":
+		res, err := experiments.IntervalSweep("", nil, seed, 0)
+		if err != nil {
+			return nil, err
+		}
+		return &res.Table, nil
+	case "ablation-optimizer":
+		res, err := experiments.OptimizerSweep(experiments.OptimizerSweepOptions{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return &res.Table, nil
+	case "ablation-sampling":
+		res, err := experiments.SamplingSweep(experiments.SamplingSweepOptions{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return &res.Table, nil
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", id)
+	}
+}

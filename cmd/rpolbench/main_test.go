@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunOneKnownIds(t *testing.T) {
+	// The fast experiments run end-to-end; training-heavy ones are covered
+	// by internal/experiments tests and the bench suite.
+	for _, id := range []string{"fig1", "table2", "table3", "soundness", "ablation-commitment"} {
+		table, err := runOne(id, 0, 0, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out := table.Render()
+		if len(out) == 0 || !strings.Contains(out, "-") {
+			t.Errorf("%s produced no table", id)
+		}
+	}
+}
+
+func TestRunOneUnknownId(t *testing.T) {
+	if _, err := runOne("fig99", 0, 0, 1); err == nil {
+		t.Error("want error for unknown experiment")
+	}
+}
+
+func TestRunOneCaseInsensitive(t *testing.T) {
+	if _, err := runOne("FIG1", 0, 0, 1); err != nil {
+		t.Errorf("upper-case id rejected: %v", err)
+	}
+}
+
+func TestRunSingleTrainingExperiment(t *testing.T) {
+	table, err := runOne("ablation-doublecheck", 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.Render(), "double-check") {
+		t.Error("unexpected table content")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("soundness", 0, 0, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "soundness.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("csv has %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "h_A") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+}

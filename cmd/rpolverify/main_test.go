@@ -1,0 +1,55 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordAndVerifyHonest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "honest.json")
+	if err := recordTrace(path, "resnet18-cifar10", "honest", 10, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{"v1", "v2"} {
+		if err := verifyTrace(path, scheme); err != nil {
+			t.Errorf("verify %s: %v", scheme, err)
+		}
+	}
+}
+
+func TestRecordAdversarialModes(t *testing.T) {
+	for _, mode := range []string{"adv1", "adv2"} {
+		path := filepath.Join(t.TempDir(), mode+".json")
+		if err := recordTrace(path, "resnet18-cifar10", mode, 10, 3); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		// The verifier prints its verdict and returns nil for a clean
+		// protocol run regardless of accept/reject.
+		if err := verifyTrace(path, "v2"); err != nil {
+			t.Errorf("verify %s: %v", mode, err)
+		}
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.json")
+	if err := recordTrace(path, "resnet18-cifar10", "evil-mode", 10, 3); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := recordTrace(path, "unknown-task", "honest", 10, 3); err == nil {
+		t.Error("unknown task accepted")
+	}
+}
+
+func TestVerifyValidation(t *testing.T) {
+	if err := verifyTrace(filepath.Join(t.TempDir(), "missing.json"), "v1"); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "h.json")
+	if err := recordTrace(path, "resnet18-cifar10", "honest", 10, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := verifyTrace(path, "v7"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}

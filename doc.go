@@ -1,0 +1,31 @@
+// Package rpol is a from-scratch Go implementation of RPoL — the robust and
+// efficient proof-of-learning scheme for secure pooled mining from "Secure
+// Collaborative Learning in Mining Pool via Robust and Efficient
+// Verification" (ICDCS 2023).
+//
+// In a proof-of-useful-work blockchain, a mining pool's manager farms a DNN
+// training task out to untrusted workers. RPoL lets the manager verify that
+// each worker really trained its shard:
+//
+//   - Workers train with a stochastic-yet-deterministic batch schedule
+//     (PRF-driven, nonce-seeded), snapshotting model weights at fixed
+//     checkpoint intervals.
+//   - Before the manager reveals which checkpoints it will audit, each
+//     worker publishes a binding commitment over all of them
+//     (commit-and-prove).
+//   - The manager re-executes a few sampled intervals on its own hardware
+//     and accepts only results within the calibrated reproduction-error
+//     tolerance. Under RPoLv2 the committed values are locality-sensitive
+//     hashes, halving verification traffic while tolerating the inherent
+//     nondeterminism of GPU training; a raw-weight double-check guarantees
+//     rewards for honest workers.
+//   - An address-encoded mapping layer (AMLayer) ties the trained model to
+//     the pool's blockchain address so that stolen models lose the mining
+//     competition.
+//
+// This root package is the public façade: it re-exports the high-level
+// simulation API (pools, schemes, epoch statistics) and the experiment
+// runners that regenerate every table and figure of the paper. The
+// implementation lives under internal/ — see DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-versus-measured results.
+package rpol

@@ -1,0 +1,52 @@
+package rpol_test
+
+import (
+	"fmt"
+	"log"
+
+	rpol "rpol"
+)
+
+// ExampleNewPool runs one verified epoch of a small mining pool with a
+// replay attacker and shows that verification separates honest workers from
+// the cheater.
+func ExampleNewPool() {
+	p, err := rpol.NewPool(rpol.PoolConfig{
+		TaskName:      "resnet18-cifar10",
+		Scheme:        rpol.SchemeV2,
+		NumWorkers:    4,
+		Adv1Fraction:  0.25, // one replay attacker
+		StepsPerEpoch: 10,
+		Seed:          1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := p.RunEpoch()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accepted %d, detected %d adversaries, %d honest rejected\n",
+		stats.Accepted, stats.DetectedAdversaries, stats.FalseRejections)
+	// Output:
+	// accepted 3, detected 1 adversaries, 0 honest rejected
+}
+
+// ExampleSamplesForSoundness reproduces the paper's Sec. VI sample counts.
+func ExampleSamplesForSoundness() {
+	for _, h := range []float64{0.10, 0.90} {
+		q, err := rpol.SamplesForSoundness(0.01, h, 0.05)
+		if err != nil {
+			log.Fatal(err)
+		}
+		econ, err := rpol.SamplesForNegativeGain(h, 0.88, 0, 0.05)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("h=%.0f%%: q=%d for 1%% soundness, q=%d to unprofit the attacker\n",
+			h*100, q, econ)
+	}
+	// Output:
+	// h=10%: q=3 for 1% soundness, q=2 to unprofit the attacker
+	// h=90%: q=47 for 1% soundness, q=3 to unprofit the attacker
+}

@@ -1,0 +1,96 @@
+// Calibration: a walk-through of RPoL's adaptive LSH calibration
+// (Sec. V-C). For each epoch of a task, the manager trains its probe
+// sub-task twice on the pool's top-2 GPUs, measures the reproduction
+// errors, derives α (error tolerance) and β = 5α (spoof threshold), solves
+// the Eq. (6) optimization for the LSH parameters under the k·l ≤ 16
+// budget, and prints the resulting matching probabilities.
+//
+// Run with:
+//
+//	go run ./examples/calibration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rpol/internal/gpu"
+	"rpol/internal/lsh"
+	"rpol/internal/modelzoo"
+	"rpol/internal/prf"
+	"rpol/internal/rpol"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	spec, err := modelzoo.Get("resnet18-cifar10")
+	if err != nil {
+		return err
+	}
+	_, train, _, err := spec.BuildProxy(5)
+	if err != nil {
+		return err
+	}
+	halves, err := train.Partition(2)
+	if err != nil {
+		return err
+	}
+	net, err := spec.BuildProxyNet(6)
+	if err != nil {
+		return err
+	}
+
+	top1, top2, err := gpu.TopTwo(gpu.Profiles())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("adaptive LSH calibration for %s (probe on %s + %s, K_lsh = 16)\n\n",
+		spec.Name, top1.Name, top2.Name)
+
+	calibrator := &rpol.Calibrator{Net: net, Shard: halves[0], XFactor: 5, KLsh: 16}
+	global := net.ParamVector()
+	for epoch := 0; epoch < 4; epoch++ {
+		p := rpol.TaskParams{
+			Epoch:           epoch,
+			Global:          global.Clone(),
+			Hyper:           rpol.Hyper{Optimizer: "sgdm", LR: 0.02, BatchSize: spec.ProxyBatchSize},
+			Nonce:           prf.DeriveNonce([]byte("calibration-example"), spec.Name, epoch),
+			Steps:           15,
+			CheckpointEvery: 5,
+		}
+		cal, fam, err := calibrator.Calibrate(p, top1, top2,
+			[2]int64{int64(epoch)*10 + 1, int64(epoch)*10 + 2}, int64(epoch)*10+3)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("epoch %d:\n", epoch)
+		fmt.Printf("  measured max reproduction error: %.4g (over %d checkpoints)\n",
+			cal.MaxError, cal.NumProbes)
+		fmt.Printf("  α = mean+std = %.4g, β = 5α = %.4g\n", cal.Alpha, cal.Beta)
+		fmt.Printf("  optimized LSH: r=%.4g k=%d l=%d (budget k·l=%d ≤ 16)\n",
+			cal.Params.R, cal.Params.K, cal.Params.L, cal.Params.K*cal.Params.L)
+		fmt.Printf("  Pr_lsh(α) = %.3f (honest match), Pr_lsh(β) = %.3f (spoof match)\n",
+			lsh.MatchProb(cal.Alpha, cal.Params), lsh.MatchProb(cal.Beta, cal.Params))
+		fmt.Printf("  worst-case FNR %.3f / FPR %.3f; family dim %d\n\n",
+			cal.WorstFNR, cal.WorstFPR, fam.Dim())
+
+		// Advance the global model one honest epoch so the next calibration
+		// sees the error profile of a later training stage.
+		device, err := gpu.NewDevice(top2, int64(epoch)*10+7)
+		if err != nil {
+			return err
+		}
+		trainer := &rpol.Trainer{Net: net, Shard: halves[1], Device: device}
+		trace, err := trainer.RunEpoch(p)
+		if err != nil {
+			return err
+		}
+		global = trace.Final()
+	}
+	return nil
+}

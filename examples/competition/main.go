@@ -1,0 +1,170 @@
+// Competition: two mining pools race on the PoUW blockchain. Both pools
+// contain 30% replay attackers, but pool A verifies its workers with RPoLv2
+// while pool B runs the insecure baseline. After training, both propose
+// their models; the consensus round releases the test set and elects the
+// best generalizer — the verified pool's cleaner model wins the block and
+// the reward. A thief then tries to claim the winning model and is rejected
+// by the AMLayer ownership check.
+//
+// Run with:
+//
+//	go run ./examples/competition
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"rpol/internal/amlayer"
+	"rpol/internal/blockchain"
+	"rpol/internal/dataset"
+	"rpol/internal/pool"
+	"rpol/internal/rpol"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+const poolStackDepth = 3 // matches internal/pool's AMLayer depth
+
+func buildPool(wallet *blockchain.Wallet, scheme rpol.Scheme, seed int64) (*pool.Pool, error) {
+	return pool.New(pool.Config{
+		TaskName:       "resnet18-cifar10",
+		Scheme:         scheme,
+		NumWorkers:     6,
+		Adv1Fraction:   0.34, // two replay attackers in each pool
+		UseAMLayer:     true,
+		ManagerAddress: wallet.Address(),
+		Seed:           seed,
+	})
+}
+
+func run() error {
+	walletA, err := blockchain.NewWallet(rand.Reader)
+	if err != nil {
+		return err
+	}
+	walletB, err := blockchain.NewWallet(rand.Reader)
+	if err != nil {
+		return err
+	}
+
+	poolA, err := buildPool(walletA, rpol.SchemeV2, 11) // verified
+	if err != nil {
+		return err
+	}
+	poolB, err := buildPool(walletB, rpol.SchemeBaseline, 11) // insecure
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("two pools, both 30% replay attackers:")
+	fmt.Printf("  pool A (%s…): RPoLv2 verification\n", walletA.Address()[:8])
+	fmt.Printf("  pool B (%s…): no verification\n", walletB.Address()[:8])
+	fmt.Println()
+
+	const epochs = 5
+	for e := 0; e < epochs; e++ {
+		sa, err := poolA.RunEpoch()
+		if err != nil {
+			return err
+		}
+		sb, err := poolB.RunEpoch()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("epoch %d: pool A accuracy %.3f (detected %d cheaters) | pool B accuracy %.3f\n",
+			e, sa.TestAccuracy, sa.DetectedAdversaries, sb.TestAccuracy)
+	}
+
+	// Both pools propose their trained models for the published task.
+	task := blockchain.Task{
+		ID: "block-42", ModelSpec: "resnet18-cifar10",
+		MinProposals: 2, Reward: 1000, TargetAccuracy: 0.99,
+	}
+	round, err := blockchain.NewRound(task, amlayer.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	round.AMLDepth = poolStackDepth
+	chain := blockchain.NewChain()
+
+	netA, err := poolA.CandidateNet()
+	if err != nil {
+		return err
+	}
+	if err := round.Propose(blockchain.Candidate{
+		Proposer: walletA.Address(), Net: netA,
+		PubKey: walletA.PublicKey(), Sig: blockchain.SignCandidate(walletA, netA),
+	}); err != nil {
+		return err
+	}
+	netB, err := poolB.CandidateNet()
+	if err != nil {
+		return err
+	}
+	if err := round.Propose(blockchain.Candidate{
+		Proposer: walletB.Address(), Net: netB,
+		PubKey: walletB.PublicKey(), Sig: blockchain.SignCandidate(walletB, netB),
+	}); err != nil {
+		return err
+	}
+
+	// Enough proposals arrived: the test set is released and the round
+	// decides. Both pools trained the same public task, so pool A's test
+	// split is the canonical test set.
+	xs, ys := poolA.TestSet()
+	test := &dataset.Dataset{NumClasses: poolA.Spec().ProxyClasses, Dim: poolA.Spec().ProxyDim}
+	for i := range xs {
+		test.Examples = append(test.Examples, dataset.Example{Features: xs[i], Label: ys[i]})
+	}
+	outcome, err := round.Decide(test, chain)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println()
+	winner := "pool B (insecure)"
+	if outcome.Winner.Proposer == walletA.Address() {
+		winner = "pool A (RPoLv2)"
+	}
+	fmt.Printf("consensus: %s wins the block at %.3f test accuracy (height %d)\n",
+		winner, outcome.Accuracy, outcome.Block.Height)
+
+	// A thief re-signs the winning model with its own wallet. The model's
+	// AMLayer still encodes the winner's address, so ownership verification
+	// fails and the candidate is discarded.
+	thief, err := blockchain.NewWallet(rand.Reader)
+	if err != nil {
+		return err
+	}
+	theftRound, err := blockchain.NewRound(blockchain.Task{
+		ID: "block-43", ModelSpec: task.ModelSpec, MinProposals: 1, Reward: 1000, TargetAccuracy: 0.99,
+	}, amlayer.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	theftRound.AMLDepth = poolStackDepth
+	if err := theftRound.Propose(blockchain.Candidate{
+		Proposer: thief.Address(), Net: outcome.Winner.Net,
+		PubKey: thief.PublicKey(), Sig: blockchain.SignCandidate(thief, outcome.Winner.Net),
+	}); err != nil {
+		return err
+	}
+	_, err = theftRound.Decide(test, chain)
+	fmt.Println()
+	if err != nil {
+		fmt.Printf("theft attempt by %s…: rejected (%v)\n", thief.Address()[:8], err)
+	} else {
+		fmt.Println("theft attempt unexpectedly succeeded!")
+	}
+	if err := chain.Verify(); err != nil {
+		return err
+	}
+	fmt.Printf("chain verified at height %d\n", chain.Height())
+	return nil
+}

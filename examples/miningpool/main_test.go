@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+// TestRun executes the example end to end; examples are part of the public
+// surface and must keep working.
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example run skipped in -short mode")
+	}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: the smallest end-to-end RPoL flow. A pool manager coordinates
+// three honest workers for a few verified epochs of a proxy DNN task, and
+// the program prints per-epoch accuracy and verification outcomes.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rpol/internal/pool"
+	"rpol/internal/rpol"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Build a pool of 3 honest workers training the ResNet18/CIFAR-10 proxy
+	// task under RPoLv2 (LSH-optimized verification).
+	p, err := pool.New(pool.Config{
+		TaskName:   "resnet18-cifar10",
+		Scheme:     rpol.SchemeV2,
+		NumWorkers: 3,
+		Seed:       42,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("RPoL quickstart: 3 honest workers, RPoLv2 verification")
+	fmt.Println()
+	for epoch := 0; epoch < 4; epoch++ {
+		stats, err := p.RunEpoch()
+		if err != nil {
+			return err
+		}
+		cal := stats.Calibration
+		fmt.Printf("epoch %d: accuracy %.3f, accepted %d/%d, α=%.2g β=%.2g lsh={r=%.2g,k=%d,l=%d}\n",
+			stats.Epoch, stats.TestAccuracy, stats.Accepted,
+			stats.Accepted+stats.Rejected,
+			cal.Alpha, cal.Beta, cal.Params.R, cal.Params.K, cal.Params.L)
+	}
+
+	fmt.Println()
+	fmt.Println("rewards:")
+	for id, r := range p.Rewards() {
+		fmt.Printf("  %s: %.0f accepted epochs\n", id, r)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package rpol_test
+
+import (
+	"testing"
+
+	rpolapi "rpol"
+)
+
+// TestFacadeWrappers exercises the cheap public wrappers end to end so the
+// façade stays wired to the internals.
+func TestFacadeWrappers(t *testing.T) {
+	if len(rpolapi.Tasks()) < 6 {
+		t.Errorf("task registry too small: %d", len(rpolapi.Tasks()))
+	}
+	if _, err := rpolapi.Task("resnet18-cifar10"); err != nil {
+		t.Errorf("Task: %v", err)
+	}
+	if _, err := rpolapi.Task("nope"); err == nil {
+		t.Error("unknown task accepted")
+	}
+
+	if _, err := rpolapi.Fig1(rpolapi.Fig1Options{}); err != nil {
+		t.Errorf("Fig1: %v", err)
+	}
+	if _, err := rpolapi.Table2(rpolapi.Table2Options{}); err != nil {
+		t.Errorf("Table2: %v", err)
+	}
+	if _, err := rpolapi.Table3(rpolapi.Table3Options{}); err != nil {
+		t.Errorf("Table3: %v", err)
+	}
+
+	errProb, err := rpolapi.SoundnessError(0.5, 0.05, 3)
+	if err != nil || errProb <= 0 || errProb >= 1 {
+		t.Errorf("SoundnessError = %v, %v", errProb, err)
+	}
+
+	chain := rpolapi.NewChain()
+	if chain.Height() != 0 {
+		t.Errorf("genesis height = %d", chain.Height())
+	}
+}
+
+// TestFacadeTrainingWrappers covers the training-backed wrappers with tiny
+// configurations.
+func TestFacadeTrainingWrappers(t *testing.T) {
+	if _, err := rpolapi.Fig3(rpolapi.Fig3Options{
+		Tasks: []string{"resnet18-cifar10"}, Epochs: 1, StepsPerEpoch: 5,
+	}); err != nil {
+		t.Errorf("Fig3: %v", err)
+	}
+	if _, err := rpolapi.Table1(rpolapi.Table1Options{
+		Tasks: []string{"resnet18-cifar10"}, Epochs: 1, StepsPerEpoch: 5, AttackAddresses: 1,
+	}); err != nil {
+		t.Errorf("Table1: %v", err)
+	}
+	if _, err := rpolapi.Fig4(rpolapi.Fig4Options{Shards: 2, StepsPerEpoch: 10}); err != nil {
+		t.Errorf("Fig4: %v", err)
+	}
+	if _, err := rpolapi.Fig5(rpolapi.Fig5Options{
+		Tasks: []string{"resnet18-cifar10"}, Epochs: 1,
+	}); err != nil {
+		t.Errorf("Fig5: %v", err)
+	}
+	if _, err := rpolapi.Fig6(rpolapi.Fig6Options{
+		Tasks: []string{"resnet18-cifar10"}, AdversaryFractions: []float64{0.5},
+		Epochs: 1, NumWorkers: 3, StepsPerEpoch: 5,
+	}); err != nil {
+		t.Errorf("Fig6: %v", err)
+	}
+}

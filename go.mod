@@ -1,0 +1,3 @@
+module rpol
+
+go 1.22

@@ -1,0 +1,225 @@
+package adversary
+
+import (
+	"testing"
+
+	"rpol/internal/gpu"
+	"rpol/internal/rpol"
+	"rpol/internal/tensor"
+)
+
+// buildVerifier calibrates β (and the LSH family for v2) from the real task
+// and returns a ready verifier, mirroring the manager's per-epoch setup.
+func buildVerifier(t *testing.T, scheme rpol.Scheme, p *rpol.TaskParams) *rpol.Verifier {
+	t.Helper()
+	netC, ds := advTask(t, 40)
+	cal := &rpol.Calibrator{Net: netC, Shard: ds, XFactor: 5, KLsh: 16}
+	calOut, fam, err := cal.Calibrate(*p, gpu.G3090, gpu.GA10, [2]int64{51, 52}, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netV, _ := advTask(t, 40)
+	device, err := gpu.NewDevice(gpu.G3090, 54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &rpol.Verifier{
+		Scheme:  scheme,
+		Net:     netV,
+		Device:  device,
+		Beta:    calOut.Beta,
+		Samples: 3,
+		Sampler: tensor.NewRNG(55),
+	}
+	if scheme == rpol.SchemeV2 {
+		v.LSH = fam
+		p.LSH = fam
+	}
+	return v
+}
+
+func TestVerifierCatchesAdv1(t *testing.T) {
+	for _, scheme := range []rpol.Scheme{rpol.SchemeV1, rpol.SchemeV2} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			net, ds := advTask(t, 40)
+			p := advParams(net.ParamVector())
+			verifier := buildVerifier(t, scheme, &p)
+			adv := NewAdv1("adv1", gpu.GT4, ds.Len())
+			res, err := adv.RunEpoch(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := verifier.VerifySubmission(adv, ds, res, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Accepted {
+				t.Error("replay attacker passed verification")
+			}
+		})
+	}
+}
+
+func TestVerifierCatchesAdv2(t *testing.T) {
+	// With 3 intervals sampled out of 3 and only 1 honestly trained, at
+	// least one spoofed interval is always checked; the spoof distance
+	// exceeds β, so the attacker is rejected.
+	for _, scheme := range []rpol.Scheme{rpol.SchemeV1, rpol.SchemeV2} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			net, ds := advTask(t, 40)
+			p := advParams(net.ParamVector())
+			verifier := buildVerifier(t, scheme, &p)
+			advNet, _ := advTask(t, 40)
+			adv, err := NewAdv2("adv2", gpu.GA10, 61, advNet, ds, 0.1, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := adv.RunEpoch(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := verifier.VerifySubmission(adv, ds, res, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Accepted {
+				t.Error("spoofing attacker passed verification")
+			}
+		})
+	}
+}
+
+func TestVerifierCatchesFabricator(t *testing.T) {
+	net, ds := advTask(t, 40)
+	p := advParams(net.ParamVector())
+	verifier := buildVerifier(t, rpol.SchemeV2, &p)
+	fab := NewFabricator("fab", gpu.GT4, 62, 0.5, ds.Len())
+	res, err := fab.RunEpoch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := verifier.VerifySubmission(fab, ds, res, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted {
+		t.Error("fabricator passed verification")
+	}
+}
+
+func TestHonestWorkerStillPassesSameSetup(t *testing.T) {
+	// Sanity companion to the rejection tests: the exact same calibrated
+	// verifier accepts an honest worker (0 false negatives, Sec. VII-D).
+	for _, scheme := range []rpol.Scheme{rpol.SchemeV1, rpol.SchemeV2} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			net, ds := advTask(t, 40)
+			p := advParams(net.ParamVector())
+			verifier := buildVerifier(t, scheme, &p)
+			hNet, _ := advTask(t, 40)
+			honest, err := rpol.NewHonestWorker("h", gpu.GA10, 63, hNet, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := honest.RunEpoch(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := verifier.VerifySubmission(honest, ds, res, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.Accepted {
+				t.Errorf("honest worker rejected: %s", out.FailReason)
+			}
+		})
+	}
+}
+
+func TestVerifierCatchesWrongInit(t *testing.T) {
+	// The attacker trains fully honestly but from a shifted initialization.
+	// Sampled intervals re-execute perfectly; only the trace-origin binding
+	// (first committed checkpoint must equal the distributed θ_t) catches
+	// it.
+	for _, scheme := range []rpol.Scheme{rpol.SchemeV1, rpol.SchemeV2} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			net, ds := advTask(t, 40)
+			p := advParams(net.ParamVector())
+			verifier := buildVerifier(t, scheme, &p)
+			advNet, _ := advTask(t, 40)
+			shift := tensor.NewRNG(77).NormalVector(len(p.Global), 0, 0.5)
+			adv, err := NewWrongInit("wronginit", gpu.GA10, 71, advNet, ds, shift)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := adv.RunEpoch(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := verifier.VerifySubmission(adv, ds, res, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Accepted {
+				t.Error("wrong-initialization attacker passed verification")
+			}
+			if len(out.SampledCheckpoints) != 0 {
+				t.Error("origin binding should reject before any sampling")
+			}
+		})
+	}
+}
+
+func TestVerifierCatchesUpdateScaler(t *testing.T) {
+	// The attacker's proofs are all genuine; only the update-to-trace
+	// binding rejects the scaled submission.
+	for _, scheme := range []rpol.Scheme{rpol.SchemeV1, rpol.SchemeV2} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			net, ds := advTask(t, 40)
+			p := advParams(net.ParamVector())
+			verifier := buildVerifier(t, scheme, &p)
+			advNet, _ := advTask(t, 40)
+			adv, err := NewUpdateScaler("scaler", gpu.GA10, 81, advNet, ds, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := adv.RunEpoch(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := verifier.VerifySubmission(adv, ds, res, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Accepted {
+				t.Error("update-scaling attacker passed verification")
+			}
+			if len(out.SampledCheckpoints) != 0 {
+				t.Error("update binding should reject before any sampling")
+			}
+		})
+	}
+}
+
+func TestUpdateScalerWithFactorOnePasses(t *testing.T) {
+	// Sanity: with Factor 1 the "attacker" is an honest worker and must be
+	// accepted — the binding check cannot cause false rejections.
+	net, ds := advTask(t, 40)
+	p := advParams(net.ParamVector())
+	verifier := buildVerifier(t, rpol.SchemeV2, &p)
+	advNet, _ := advTask(t, 40)
+	adv, err := NewUpdateScaler("unit", gpu.GA10, 82, advNet, ds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := adv.RunEpoch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := verifier.VerifySubmission(adv, ds, res, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Errorf("factor-1 scaler rejected: %s", out.FailReason)
+	}
+}

@@ -1,0 +1,254 @@
+package blockchain
+
+import (
+	"errors"
+	"testing"
+
+	"rpol/internal/amlayer"
+	"rpol/internal/dataset"
+	"rpol/internal/nn"
+	"rpol/internal/tensor"
+)
+
+// buildCandidate trains nothing; it just assembles a model whose AMLayer
+// encodes the wallet's address, optionally tuned to predict a constant
+// class so candidates have different accuracies.
+func buildCandidate(t *testing.T, w *Wallet, biasClass int) Candidate {
+	t.Helper()
+	cfg := amlayer.DefaultConfig()
+	layer, err := amlayer.NewDense(w.Address(), 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(1)
+	head := nn.NewDense(8, 4, rng)
+	head.W.Data.Zero()
+	head.B.Zero()
+	if biasClass >= 0 {
+		head.B[biasClass] = 10 // always predict biasClass
+	}
+	base, err := nn.NewNetwork(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := amlayer.Prepend(layer, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Candidate{
+		Proposer: w.Address(),
+		Net:      net,
+		PubKey:   w.PublicKey(),
+		Sig:      SignCandidate(w, net),
+	}
+}
+
+// skewedTest builds a test set where class 0 dominates, so a candidate that
+// always predicts class 0 scores ≈ 70%.
+func skewedTest(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	rng := tensor.NewRNG(9)
+	ds := &dataset.Dataset{NumClasses: 4, Dim: 8}
+	for i := 0; i < 100; i++ {
+		label := 0
+		if i%10 >= 7 {
+			label = 1 + i%3
+		}
+		ds.Examples = append(ds.Examples, dataset.Example{
+			Features: rng.NormalVector(8, 0, 1),
+			Label:    label,
+		})
+	}
+	return ds
+}
+
+func testTask() Task {
+	return Task{ID: "t1", ModelSpec: "resnet18-cifar10", MinProposals: 2, Reward: 10, TargetAccuracy: 0.99}
+}
+
+func TestRoundSealedUntilEnoughProposals(t *testing.T) {
+	round, err := NewRound(testTask(), amlayer.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain()
+	if round.TestSetReleased() {
+		t.Error("test set must start sealed")
+	}
+	if _, err := round.Decide(skewedTest(t), chain); !errors.Is(err, ErrSealed) {
+		t.Errorf("decide while sealed: err = %v", err)
+	}
+	w1 := testWallet(t, 10)
+	if err := round.Propose(buildCandidate(t, w1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if round.TestSetReleased() {
+		t.Error("one proposal must not release the test set")
+	}
+	w2 := testWallet(t, 11)
+	if err := round.Propose(buildCandidate(t, w2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if !round.TestSetReleased() {
+		t.Error("test set must be released after MinProposals")
+	}
+}
+
+func TestRoundElectsBestAccuracy(t *testing.T) {
+	round, err := NewRound(testTask(), amlayer.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain()
+	wGood := testWallet(t, 20)
+	wBad := testWallet(t, 21)
+	// wGood always predicts the dominant class 0 (≈70 %); wBad predicts
+	// class 1 (≈10 %).
+	if err := round.Propose(buildCandidate(t, wGood, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := round.Propose(buildCandidate(t, wBad, 1)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := round.Decide(skewedTest(t), chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner.Proposer != wGood.Address() {
+		t.Errorf("winner = %s, want %s", out.Winner.Proposer, wGood.Address())
+	}
+	if out.Accuracy < 0.5 {
+		t.Errorf("winning accuracy = %v", out.Accuracy)
+	}
+	if chain.Height() != 1 || chain.Tip().Proposer != wGood.Address() {
+		t.Error("winning block not appended")
+	}
+	if err := chain.Verify(); err != nil {
+		t.Errorf("chain invalid after round: %v", err)
+	}
+}
+
+func TestRoundRejectsStolenModel(t *testing.T) {
+	// A thief re-signs the victim's model with its own wallet but cannot
+	// make the embedded AMLayer encode its address without destroying the
+	// model — consensus rejects the candidate outright.
+	round, err := NewRound(testTask(), amlayer.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain()
+	victim := testWallet(t, 30)
+	thief := testWallet(t, 31)
+	stolen := buildCandidate(t, victim, 0)
+	// The thief claims the victim's model as its own: same net, own
+	// signature.
+	theft := Candidate{
+		Proposer: thief.Address(),
+		Net:      stolen.Net,
+		PubKey:   thief.PublicKey(),
+		Sig:      SignCandidate(thief, stolen.Net),
+	}
+	if err := round.Propose(theft); err != nil {
+		t.Fatalf("structural checks should pass (signature is valid): %v", err)
+	}
+	honest := buildCandidate(t, testWallet(t, 32), 1)
+	if err := round.Propose(honest); err != nil {
+		t.Fatal(err)
+	}
+	out, err := round.Decide(skewedTest(t), chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner.Proposer == thief.Address() {
+		t.Error("stolen model won the round")
+	}
+	foundRejected := false
+	for _, r := range out.Rejected {
+		if r == thief.Address() {
+			foundRejected = true
+		}
+	}
+	if !foundRejected {
+		t.Error("thief's candidate not rejected by AMLayer verification")
+	}
+}
+
+func TestRoundRejectsForgedSignature(t *testing.T) {
+	round, err := NewRound(testTask(), amlayer.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := testWallet(t, 40)
+	c := buildCandidate(t, w, 0)
+	c.Sig = append([]byte(nil), c.Sig...)
+	c.Sig[0] ^= 0xFF
+	if err := round.Propose(c); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("forged signature: err = %v", err)
+	}
+	if err := round.Propose(Candidate{Proposer: "x"}); err == nil {
+		t.Error("candidate without model accepted")
+	}
+}
+
+func TestRoundAllRejected(t *testing.T) {
+	task := testTask()
+	task.MinProposals = 1
+	round, err := NewRound(task, amlayer.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain()
+	victim := testWallet(t, 50)
+	thief := testWallet(t, 51)
+	stolen := buildCandidate(t, victim, 0)
+	theft := Candidate{
+		Proposer: thief.Address(),
+		Net:      stolen.Net,
+		PubKey:   thief.PublicKey(),
+		Sig:      SignCandidate(thief, stolen.Net),
+	}
+	if err := round.Propose(theft); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := round.Decide(skewedTest(t), chain); !errors.Is(err, ErrNoCandidate) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRoundEmptyTestSet(t *testing.T) {
+	task := testTask()
+	task.MinProposals = 1
+	round, err := NewRound(task, amlayer.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := round.Propose(buildCandidate(t, testWallet(t, 60), 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := round.Decide(&dataset.Dataset{}, NewChain()); err == nil {
+		t.Error("empty test set accepted")
+	}
+}
+
+func TestNewRoundValidatesTask(t *testing.T) {
+	if _, err := NewRound(Task{}, amlayer.DefaultConfig()); err == nil {
+		t.Error("invalid task accepted")
+	}
+}
+
+func TestModelDigestChangesWithWeights(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	net, err := nn.NewNetwork(nn.NewDense(4, 2, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := ModelDigest(net)
+	v := net.ParamVector()
+	v[0] += 1
+	if err := net.SetParamVector(v); err != nil {
+		t.Fatal(err)
+	}
+	if ModelDigest(net) == d1 {
+		t.Error("digest must change with weights")
+	}
+}

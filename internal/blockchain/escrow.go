@@ -1,0 +1,102 @@
+package blockchain
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Escrow is the smart-contract-style fair-exchange ledger the paper lists
+// as future work (Sec. IX): the pool manager deposits a round's mining
+// reward, records each worker's verified contribution, and the contract
+// releases proportional payouts — the manager cannot withhold rewards from
+// verified workers, and workers whose submissions were rejected receive
+// nothing.
+type Escrow struct {
+	deposited     float64
+	managerCut    float64
+	contributions map[string]float64
+	settled       bool
+}
+
+// Errors returned by escrow operations.
+var (
+	ErrEscrowSettled = errors.New("blockchain: escrow already settled")
+	ErrNoDeposit     = errors.New("blockchain: nothing deposited")
+	ErrBadCut        = errors.New("blockchain: manager cut outside [0, 1)")
+)
+
+// NewEscrow opens an escrow with the manager's fee fraction.
+func NewEscrow(managerCut float64) (*Escrow, error) {
+	if managerCut < 0 || managerCut >= 1 {
+		return nil, fmt.Errorf("cut %v: %w", managerCut, ErrBadCut)
+	}
+	return &Escrow{managerCut: managerCut, contributions: make(map[string]float64)}, nil
+}
+
+// Deposit adds reward funds (called when the pool's block wins).
+func (e *Escrow) Deposit(amount float64) error {
+	if e.settled {
+		return ErrEscrowSettled
+	}
+	if amount <= 0 {
+		return errors.New("blockchain: deposit must be positive")
+	}
+	e.deposited += amount
+	return nil
+}
+
+// Credit records a worker's verified contribution weight (e.g. accepted
+// epochs × shard size). Rejected submissions are simply never credited.
+func (e *Escrow) Credit(workerID string, weight float64) error {
+	if e.settled {
+		return ErrEscrowSettled
+	}
+	if weight <= 0 {
+		return errors.New("blockchain: contribution weight must be positive")
+	}
+	e.contributions[workerID] += weight
+	return nil
+}
+
+// Payout is one settled transfer.
+type Payout struct {
+	WorkerID string
+	Amount   float64
+}
+
+// Settle distributes the deposit: the manager keeps its cut, workers split
+// the remainder proportionally to credited contributions. Settling is
+// one-shot.
+func (e *Escrow) Settle() (managerAmount float64, payouts []Payout, err error) {
+	if e.settled {
+		return 0, nil, ErrEscrowSettled
+	}
+	if e.deposited <= 0 {
+		return 0, nil, ErrNoDeposit
+	}
+	e.settled = true
+	managerAmount = e.deposited * e.managerCut
+	pool := e.deposited - managerAmount
+	var total float64
+	for _, w := range e.contributions {
+		total += w
+	}
+	if total == 0 {
+		// No verified work: the manager keeps everything (nobody earned).
+		return e.deposited, nil, nil
+	}
+	ids := make([]string, 0, len(e.contributions))
+	for id := range e.contributions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	payouts = make([]Payout, 0, len(ids))
+	for _, id := range ids {
+		payouts = append(payouts, Payout{
+			WorkerID: id,
+			Amount:   pool * e.contributions[id] / total,
+		})
+	}
+	return managerAmount, payouts, nil
+}

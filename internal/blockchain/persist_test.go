@@ -1,0 +1,109 @@
+package blockchain
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func savedChain(t *testing.T) (*Chain, string) {
+	t.Helper()
+	c := NewChain()
+	for i := 1; i <= 3; i++ {
+		b := Block{
+			Height: i, Prev: c.Tip().HashBlock(),
+			TaskID: "t", Proposer: "p", Accuracy: float64(i) / 10,
+		}
+		b.ModelDigest[0] = byte(i)
+		if err := c.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "chain.json")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return c, path
+}
+
+func TestChainSaveLoadRoundTrip(t *testing.T) {
+	orig, path := savedChain(t)
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Height() != orig.Height() {
+		t.Fatalf("height = %d, want %d", loaded.Height(), orig.Height())
+	}
+	if loaded.Tip().HashBlock() != orig.Tip().HashBlock() {
+		t.Error("tip hash changed across persistence")
+	}
+	// The loaded chain keeps extending correctly.
+	b := Block{Height: 4, Prev: loaded.Tip().HashBlock(), TaskID: "t"}
+	if err := loaded.Append(b); err != nil {
+		t.Errorf("append after load: %v", err)
+	}
+}
+
+func TestLoadDetectsTampering(t *testing.T) {
+	_, path := savedChain(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip an accuracy value in the JSON.
+	tampered := []byte(string(data))
+	idx := -1
+	for i := range tampered {
+		if tampered[i] == '0' && i+2 < len(tampered) && tampered[i+1] == '.' && tampered[i+2] == '1' {
+			idx = i + 2
+			break
+		}
+	}
+	if idx < 0 {
+		t.Skip("accuracy literal not found")
+	}
+	tampered[idx] = '9'
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorruptChain) {
+		t.Errorf("tampered chain loaded: %v", err)
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("bad JSON loaded")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"version":1,"blocks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(empty); !errors.Is(err, ErrCorruptChain) {
+		t.Errorf("empty chain loaded: %v", err)
+	}
+	badVersion := filepath.Join(dir, "v.json")
+	if err := os.WriteFile(badVersion, []byte(`{"version":9,"blocks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(badVersion); !errors.Is(err, ErrCorruptChain) {
+		t.Errorf("bad version loaded: %v", err)
+	}
+	badHash := filepath.Join(dir, "h.json")
+	if err := os.WriteFile(badHash, []byte(`{"version":1,"blocks":[{"height":0,"prev":"AA==","taskId":"genesis","proposer":"","modelDigest":"AA==","accuracy":0}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(badHash); !errors.Is(err, ErrCorruptChain) {
+		t.Errorf("ragged hashes loaded: %v", err)
+	}
+}

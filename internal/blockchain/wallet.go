@@ -1,0 +1,64 @@
+// Package blockchain implements the PoUW blockchain substrate the mining
+// pool lives in (Sec. III-A): Ed25519 wallets and addresses, a task pool
+// that publishes DNN training tasks, blocks that carry trained models, the
+// consensus round that releases the test set only after enough proposals
+// arrive and elects the best-generalizing model, and an escrow ledger for
+// the reward fair-exchange the paper lists as future work.
+package blockchain
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wallet is a consensus node's signing identity. Its address is derived
+// from the public key and is what the AMLayer encodes.
+type Wallet struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// ErrBadSignature is returned when signature verification fails.
+var ErrBadSignature = errors.New("blockchain: bad signature")
+
+// NewWallet generates a wallet from the given entropy source (use
+// crypto/rand.Reader in production; tests may use a deterministic reader).
+func NewWallet(entropy io.Reader) (*Wallet, error) {
+	pub, priv, err := ed25519.GenerateKey(entropy)
+	if err != nil {
+		return nil, fmt.Errorf("blockchain wallet: %w", err)
+	}
+	return &Wallet{pub: pub, priv: priv}, nil
+}
+
+// Address returns the wallet's blockchain address: the hex-encoded SHA-256
+// of the public key, truncated to 40 characters (20 bytes), Ethereum-style.
+func (w *Wallet) Address() string {
+	sum := sha256.Sum256(w.pub)
+	return hex.EncodeToString(sum[:20])
+}
+
+// PublicKey returns the wallet's public key.
+func (w *Wallet) PublicKey() ed25519.PublicKey { return w.pub }
+
+// Sign signs the message with the wallet's private key.
+func (w *Wallet) Sign(message []byte) []byte {
+	return ed25519.Sign(w.priv, message)
+}
+
+// VerifySignature checks a signature against a public key and confirms the
+// public key hashes to the claimed address.
+func VerifySignature(address string, pub ed25519.PublicKey, message, sig []byte) error {
+	sum := sha256.Sum256(pub)
+	if hex.EncodeToString(sum[:20]) != address {
+		return fmt.Errorf("public key does not match address %s: %w", address, ErrBadSignature)
+	}
+	if !ed25519.Verify(pub, message, sig) {
+		return ErrBadSignature
+	}
+	return nil
+}

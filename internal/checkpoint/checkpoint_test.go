@@ -1,0 +1,154 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+
+	"rpol/internal/tensor"
+)
+
+// storeUnderTest runs the shared contract tests against any Store.
+func storeUnderTest(t *testing.T, s Store) {
+	t.Helper()
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatalf("fresh store not empty: len %d, bytes %d", s.Len(), s.Bytes())
+	}
+	w0 := tensor.Vector{1.5, -2.25, 3}
+	w1 := tensor.Vector{4, 5, 6}
+	if err := s.Put(0, w0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, w1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	wantBytes := int64(2 * tensor.EncodedSize(3))
+	if s.Bytes() != wantBytes {
+		t.Errorf("Bytes = %d, want %d", s.Bytes(), wantBytes)
+	}
+	got, err := s.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(w0, 0) {
+		t.Errorf("Get(0) = %v", got)
+	}
+	// Overwrite.
+	if err := s.Put(0, w1); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(w1, 0) {
+		t.Error("overwrite lost")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len after overwrite = %d", s.Len())
+	}
+	// Missing and invalid indices.
+	if _, err := s.Get(9); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get(9) err = %v", err)
+	}
+	if err := s.Put(-1, w0); !errors.Is(err, ErrBadIndex) {
+		t.Errorf("Put(-1) err = %v", err)
+	}
+	// Clear.
+	if err := s.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Errorf("store not empty after Clear: len %d", s.Len())
+	}
+	if _, err := s.Get(0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after Clear err = %v", err)
+	}
+}
+
+func TestMemoryStoreContract(t *testing.T) {
+	storeUnderTest(t, NewMemoryStore())
+}
+
+func TestDiskStoreContract(t *testing.T) {
+	s, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeUnderTest(t, s)
+}
+
+func TestMemoryStoreCopies(t *testing.T) {
+	s := NewMemoryStore()
+	w := tensor.Vector{1, 2}
+	if err := s.Put(0, w); err != nil {
+		t.Fatal(err)
+	}
+	w[0] = 99 // caller mutation must not leak in
+	got, err := s.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Error("store aliases the caller's slice")
+	}
+	got[1] = 99 // reader mutation must not leak back
+	again, err := s.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[1] != 2 {
+		t.Error("store aliases returned slices")
+	}
+}
+
+func TestDiskStoreBitExactRoundTrip(t *testing.T) {
+	// Verification demands bit-identical openings: the disk round trip must
+	// preserve every float exactly.
+	s, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(4)
+	w := rng.NormalVector(512, 0, 1)
+	if err := s.Put(3, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(w, 0) {
+		t.Error("disk round trip not bit-exact")
+	}
+	if s.Dir() == "" {
+		t.Error("Dir empty")
+	}
+}
+
+func TestDiskStorePersistsAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(0, tensor.Vector{7}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Error("checkpoint lost across instances")
+	}
+	if s2.Len() != 1 {
+		t.Errorf("Len = %d", s2.Len())
+	}
+}

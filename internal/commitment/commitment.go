@@ -1,0 +1,234 @@
+// Package commitment implements the binding commitments pool workers publish
+// over their training checkpoints (Sec. V-B). A commitment must satisfy two
+// requirements: it covers the proofs of all checkpoints in order, and any
+// individual proof can later be verified against it.
+//
+// Both constructions from the paper are provided:
+//
+//   - HashList: the ordered list of SHA-256 digests of the checkpoint
+//     payloads (the paper's primary construction), and
+//   - MerkleTree: a Merkle hash tree whose leaves are the checkpoint
+//     payloads, yielding O(log n) inclusion proofs (Merkle 1980).
+//
+// The worker publishes the commitment *before* the manager reveals its
+// sampling decisions — the "commit-and-prove" paradigm that prevents lazy
+// workers from training only the sampled steps.
+package commitment
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// HashSize is the digest size in bytes (SHA-256).
+const HashSize = sha256.Size
+
+// Hash is a single SHA-256 digest.
+type Hash [HashSize]byte
+
+// HashLeaf returns the domain-separated digest of a leaf payload.
+func HashLeaf(payload []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x00}) // leaf domain separator
+	h.Write(payload)
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func hashNodes(l, r Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x01}) // interior-node domain separator
+	h.Write(l[:])
+	h.Write(r[:])
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Errors returned by commitment verification.
+var (
+	ErrEmpty      = errors.New("commitment: no leaves")
+	ErrOutOfRange = errors.New("commitment: leaf index out of range")
+	ErrMismatch   = errors.New("commitment: payload does not match commitment")
+)
+
+// HashList is the paper's primary commitment construction: the ordered
+// SHA-256 digests of all checkpoint payloads.
+type HashList struct {
+	Leaves []Hash
+}
+
+// NewHashList commits to the ordered payloads.
+func NewHashList(payloads [][]byte) (*HashList, error) {
+	if len(payloads) == 0 {
+		return nil, ErrEmpty
+	}
+	leaves := make([]Hash, len(payloads))
+	for i, p := range payloads {
+		leaves[i] = HashLeaf(p)
+	}
+	return &HashList{Leaves: leaves}, nil
+}
+
+// Len returns the number of committed leaves.
+func (h *HashList) Len() int { return len(h.Leaves) }
+
+// Root condenses the list into a single digest (hash of the concatenated
+// leaf digests), used when a compact identifier of the whole commitment is
+// needed.
+func (h *HashList) Root() Hash {
+	hs := sha256.New()
+	hs.Write([]byte{0x02})
+	for _, l := range h.Leaves {
+		hs.Write(l[:])
+	}
+	var out Hash
+	copy(out[:], hs.Sum(nil))
+	return out
+}
+
+// VerifyLeaf checks that payload is exactly what was committed at index i.
+func (h *HashList) VerifyLeaf(i int, payload []byte) error {
+	if i < 0 || i >= len(h.Leaves) {
+		return fmt.Errorf("index %d of %d: %w", i, len(h.Leaves), ErrOutOfRange)
+	}
+	if HashLeaf(payload) != h.Leaves[i] {
+		return fmt.Errorf("leaf %d: %w", i, ErrMismatch)
+	}
+	return nil
+}
+
+// Size returns the commitment's wire size in bytes.
+func (h *HashList) Size() int { return HashSize * len(h.Leaves) }
+
+// Encode serializes the commitment.
+func (h *HashList) Encode() []byte {
+	out := make([]byte, 0, h.Size())
+	for _, l := range h.Leaves {
+		out = append(out, l[:]...)
+	}
+	return out
+}
+
+// DecodeHashList parses a commitment previously produced by Encode.
+func DecodeHashList(buf []byte) (*HashList, error) {
+	if len(buf) == 0 || len(buf)%HashSize != 0 {
+		return nil, fmt.Errorf("commitment: bad encoding length %d", len(buf))
+	}
+	leaves := make([]Hash, len(buf)/HashSize)
+	for i := range leaves {
+		copy(leaves[i][:], buf[i*HashSize:])
+	}
+	return &HashList{Leaves: leaves}, nil
+}
+
+// MerkleTree is the alternative O(log n)-proof construction.
+type MerkleTree struct {
+	levels [][]Hash // levels[0] = leaves, last level = [root]
+}
+
+// MerkleProof is an inclusion path from a leaf to the root.
+type MerkleProof struct {
+	Index    int
+	Siblings []Hash
+}
+
+// NewMerkleTree builds the tree over the ordered payloads. Odd nodes are
+// paired with themselves.
+func NewMerkleTree(payloads [][]byte) (*MerkleTree, error) {
+	if len(payloads) == 0 {
+		return nil, ErrEmpty
+	}
+	level := make([]Hash, len(payloads))
+	for i, p := range payloads {
+		level[i] = HashLeaf(p)
+	}
+	levels := [][]Hash{level}
+	for len(level) > 1 {
+		next := make([]Hash, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next[i/2] = hashNodes(level[i], level[i+1])
+			} else {
+				next[i/2] = hashNodes(level[i], level[i])
+			}
+		}
+		levels = append(levels, next)
+		level = next
+	}
+	return &MerkleTree{levels: levels}, nil
+}
+
+// Len returns the number of leaves.
+func (t *MerkleTree) Len() int { return len(t.levels[0]) }
+
+// Root returns the Merkle root.
+func (t *MerkleTree) Root() Hash { return t.levels[len(t.levels)-1][0] }
+
+// Prove returns the inclusion proof for leaf i.
+func (t *MerkleTree) Prove(i int) (MerkleProof, error) {
+	if i < 0 || i >= t.Len() {
+		return MerkleProof{}, fmt.Errorf("index %d of %d: %w", i, t.Len(), ErrOutOfRange)
+	}
+	proof := MerkleProof{Index: i}
+	idx := i
+	for _, level := range t.levels[:len(t.levels)-1] {
+		sib := idx ^ 1
+		if sib >= len(level) {
+			sib = idx // odd node paired with itself
+		}
+		proof.Siblings = append(proof.Siblings, level[sib])
+		idx /= 2
+	}
+	return proof, nil
+}
+
+// VerifyMerkle checks an inclusion proof of payload against root for a tree
+// with the given leaf count. The count is part of the verification contract:
+// without it, a proof for leaf i would also verify for any phantom index
+// sharing i's left/right path bits (e.g. index 17 with a depth-2 proof for
+// index 1), letting a prover claim one committed value at several positions.
+func VerifyMerkle(root Hash, leaves int, payload []byte, proof MerkleProof) error {
+	if leaves < 1 {
+		return fmt.Errorf("tree with %d leaves: %w", leaves, ErrEmpty)
+	}
+	if proof.Index < 0 || proof.Index >= leaves {
+		return fmt.Errorf("index %d of %d: %w", proof.Index, leaves, ErrOutOfRange)
+	}
+	if len(proof.Siblings) != treeDepth(leaves) {
+		return fmt.Errorf("proof depth %d, want %d: %w",
+			len(proof.Siblings), treeDepth(leaves), ErrMismatch)
+	}
+	cur := HashLeaf(payload)
+	idx := proof.Index
+	for _, sib := range proof.Siblings {
+		if idx%2 == 0 {
+			cur = hashNodes(cur, sib)
+		} else {
+			cur = hashNodes(sib, cur)
+		}
+		idx /= 2
+	}
+	if !bytes.Equal(cur[:], root[:]) {
+		return fmt.Errorf("leaf %d: %w", proof.Index, ErrMismatch)
+	}
+	return nil
+}
+
+// treeDepth returns the proof length of a tree with n leaves (levels below
+// the root).
+func treeDepth(n int) int {
+	depth := 0
+	for n > 1 {
+		n = (n + 1) / 2
+		depth++
+	}
+	return depth
+}
+
+// ProofSize returns the wire size in bytes of a Merkle proof with the given
+// number of siblings.
+func ProofSize(siblings int) int { return 8 + HashSize*siblings }

@@ -1,0 +1,65 @@
+package commitment
+
+import "testing"
+
+// FuzzDecodeHashList drives the commitment decoder with arbitrary bytes.
+func FuzzDecodeHashList(f *testing.F) {
+	hl, err := NewHashList([][]byte{[]byte("a"), []byte("b")})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(hl.Encode())
+	f.Add([]byte{})
+	f.Add(make([]byte, HashSize-1))
+	f.Add(make([]byte, HashSize*3))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeHashList(data)
+		if err != nil {
+			return
+		}
+		re := got.Encode()
+		if len(re) != len(data) {
+			t.Fatalf("round trip length %d != %d", len(re), len(data))
+		}
+		for i := range re {
+			if re[i] != data[i] {
+				t.Fatalf("round trip byte %d differs", i)
+			}
+		}
+		// Any decoded commitment must support leaf verification without
+		// panicking, even on out-of-range indices.
+		_ = got.VerifyLeaf(-1, nil)
+		_ = got.VerifyLeaf(got.Len(), nil)
+		_ = got.VerifyLeaf(0, []byte("probe"))
+	})
+}
+
+// FuzzVerifyMerkle drives Merkle proof verification with hostile proofs.
+func FuzzVerifyMerkle(f *testing.F) {
+	tree, err := NewMerkleTree([][]byte{[]byte("x"), []byte("y"), []byte("z")})
+	if err != nil {
+		f.Fatal(err)
+	}
+	root := tree.Root()
+	proof, err := tree.Prove(1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(1, []byte("y"), proof.Siblings[0][:], proof.Siblings[1][:])
+	f.Add(0, []byte(""), []byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, idx int, payload, sib1, sib2 []byte) {
+		p := MerkleProof{Index: idx}
+		var h1, h2 Hash
+		copy(h1[:], sib1)
+		copy(h2[:], sib2)
+		p.Siblings = []Hash{h1, h2}
+		// Must never panic; acceptance only for the genuine (payload,
+		// proof) pair.
+		err := VerifyMerkle(root, 3, payload, p)
+		if err == nil {
+			if idx != 1 || string(payload) != "y" {
+				t.Fatalf("forged proof accepted at idx %d payload %q", idx, payload)
+			}
+		}
+	})
+}

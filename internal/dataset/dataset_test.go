@@ -1,0 +1,259 @@
+package dataset
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"rpol/internal/tensor"
+)
+
+func smallConfig() Config {
+	return Config{
+		Name:       "test",
+		NumClasses: 4,
+		Dim:        8,
+		Size:       200,
+		ClusterStd: 0.3,
+		Seed:       1,
+	}
+}
+
+func TestGenerateBasic(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 200 {
+		t.Errorf("Len = %d", ds.Len())
+	}
+	if ds.NumClasses != 4 || ds.Dim != 8 {
+		t.Errorf("meta = %d classes, %d dim", ds.NumClasses, ds.Dim)
+	}
+	counts := make(map[int]int)
+	for _, ex := range ds.Examples {
+		if ex.Label < 0 || ex.Label >= 4 {
+			t.Fatalf("label %d out of range", ex.Label)
+		}
+		if len(ex.Features) != 8 {
+			t.Fatalf("feature dim %d", len(ex.Features))
+		}
+		counts[ex.Label]++
+	}
+	for c := 0; c < 4; c++ {
+		if counts[c] != 50 {
+			t.Errorf("class %d count = %d, want 50", c, counts[c])
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Examples {
+		if a.Examples[i].Label != b.Examples[i].Label {
+			t.Fatalf("labels differ at %d", i)
+		}
+		if !a.Examples[i].Features.Equal(b.Examples[i].Features, 0) {
+			t.Fatalf("features differ at %d", i)
+		}
+	}
+	cfg := smallConfig()
+	cfg.Seed = 2
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Examples[0].Features.Equal(c.Examples[0].Features, 0) {
+		t.Error("different seeds should give different data")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cases := []Config{
+		{NumClasses: 1, Dim: 4, Size: 10, ClusterStd: 1},
+		{NumClasses: 2, Dim: 0, Size: 10, ClusterStd: 1},
+		{NumClasses: 10, Dim: 4, Size: 5, ClusterStd: 1},
+		{NumClasses: 2, Dim: 4, Size: 10, ClusterStd: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := Generate(cfg); !errors.Is(err, ErrEmptyConfig) {
+			t.Errorf("case %d: err = %v, want ErrEmptyConfig", i, err)
+		}
+	}
+}
+
+func TestAt(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.At(0); err != nil {
+		t.Errorf("At(0) err = %v", err)
+	}
+	if _, err := ds.At(-1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("At(-1) err = %v", err)
+	}
+	if _, err := ds.At(ds.Len()); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("At(len) err = %v", err)
+	}
+}
+
+func TestPartitionEqual(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := ds.Partition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 5 {
+		t.Fatalf("shards = %d", len(shards))
+	}
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+		if s.NumClasses != ds.NumClasses || s.Dim != ds.Dim {
+			t.Error("shard metadata lost")
+		}
+	}
+	if total != ds.Len() {
+		t.Errorf("partition loses examples: %d != %d", total, ds.Len())
+	}
+}
+
+func TestPartitionRemainder(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Size = 203 // not divisible by 5
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := ds.Partition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range shards {
+		total += s.Len()
+	}
+	if total != 203 {
+		t.Errorf("remainder lost: %d", total)
+	}
+	if shards[4].Len() < shards[0].Len() {
+		t.Error("last shard must absorb the remainder")
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Partition(0); !errors.Is(err, ErrBadSplit) {
+		t.Errorf("Partition(0) err = %v", err)
+	}
+	if _, err := ds.Partition(ds.Len() + 1); !errors.Is(err, ErrBadSplit) {
+		t.Errorf("Partition(too many) err = %v", err)
+	}
+}
+
+func TestSplitTrainTest(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := ds.SplitTrainTest(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len()+test.Len() != ds.Len() {
+		t.Errorf("split loses examples")
+	}
+	if test.Len() != 50 {
+		t.Errorf("test size = %d, want 50", test.Len())
+	}
+	for _, bad := range []float64{0, 1, -0.5, 1.5} {
+		if _, _, err := ds.SplitTrainTest(bad); !errors.Is(err, ErrBadSplit) {
+			t.Errorf("SplitTrainTest(%v) err = %v", bad, err)
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[int]int)
+	for _, ex := range ds.Examples {
+		before[ex.Label]++
+	}
+	ds.Shuffle(tensor.NewRNG(42))
+	after := make(map[int]int)
+	for _, ex := range ds.Examples {
+		after[ex.Label]++
+	}
+	for k, v := range before {
+		if after[k] != v {
+			t.Errorf("class %d count changed: %d -> %d", k, v, after[k])
+		}
+	}
+}
+
+func TestShardsAreIID(t *testing.T) {
+	// After shuffling, each shard should contain roughly equal class shares —
+	// the i.i.d. property that adaptive LSH calibration relies on (Sec. V-C).
+	cfg := smallConfig()
+	cfg.Size = 4000
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := ds.Partition(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, s := range shards {
+		counts := make(map[int]int)
+		for _, ex := range s.Examples {
+			counts[ex.Label]++
+		}
+		expected := s.Len() / cfg.NumClasses
+		for c := 0; c < cfg.NumClasses; c++ {
+			if counts[c] < expected/2 || counts[c] > expected*2 {
+				t.Errorf("shard %d class %d count %d far from expected %d", si, c, counts[c], expected)
+			}
+		}
+	}
+}
+
+// Property: Partition never loses or duplicates examples for any shard count.
+func TestPartitionMassProperty(t *testing.T) {
+	ds, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%ds.Len() + 1
+		shards, err := ds.Partition(n)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, s := range shards {
+			total += s.Len()
+		}
+		return total == ds.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

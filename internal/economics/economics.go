@@ -1,0 +1,177 @@
+// Package economics implements the paper's security-economics analysis
+// (Sec. VI): the soundness error of sampling-based verification (Theorem 2,
+// Eq. 8), the attacker's expected net gain and the economically sufficient
+// sample count (Theorem 3, Eq. 9–11), and the capital-cost model behind
+// Table III (Alibaba-cloud prices for GPU time, WAN traffic, and storage).
+package economics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Errors for invalid analysis inputs.
+var (
+	ErrBadHonesty = errors.New("economics: honesty ratio must be in [0, 1]")
+	ErrBadProb    = errors.New("economics: probability must be in (0, 1)")
+	ErrNoEvasion  = errors.New("economics: per-sample pass probability is 1; sampling cannot help")
+)
+
+// PassProbability returns the probability that an attacker with honesty
+// ratio hA passes ONE sampled checkpoint: hA + (1−hA)·Pr_lsh(β).
+func PassProbability(hA, prLshBeta float64) (float64, error) {
+	if hA < 0 || hA > 1 {
+		return 0, fmt.Errorf("hA = %v: %w", hA, ErrBadHonesty)
+	}
+	if prLshBeta < 0 || prLshBeta > 1 {
+		return 0, fmt.Errorf("Pr_lsh(β) = %v: %w", prLshBeta, ErrBadProb)
+	}
+	return hA + (1-hA)*prLshBeta, nil
+}
+
+// SoundnessError returns the evasion probability after q independent
+// samples: (hA + (1−hA)·Pr_lsh(β))^q (Theorem 2).
+func SoundnessError(hA, prLshBeta float64, q int) (float64, error) {
+	p, err := PassProbability(hA, prLshBeta)
+	if err != nil {
+		return 0, err
+	}
+	if q < 0 {
+		return 0, errors.New("economics: negative sample count")
+	}
+	return math.Pow(p, float64(q)), nil
+}
+
+// SamplesForSoundness returns the minimal q that keeps the soundness error
+// at or below prErr (Eq. 8): q ≥ log(Pr_err) / log(hA + (1−hA)·Pr_lsh(β)).
+func SamplesForSoundness(prErr, hA, prLshBeta float64) (int, error) {
+	if prErr <= 0 || prErr >= 1 {
+		return 0, fmt.Errorf("Pr_err = %v: %w", prErr, ErrBadProb)
+	}
+	p, err := PassProbability(hA, prLshBeta)
+	if err != nil {
+		return 0, err
+	}
+	if p >= 1 {
+		return 0, ErrNoEvasion
+	}
+	if p <= 0 {
+		return 1, nil
+	}
+	q := math.Log(prErr) / math.Log(p)
+	return int(math.Ceil(q)), nil
+}
+
+// GainParams configures the attacker's net-gain analysis of Eq. (9). All
+// quantities are in units of one epoch's mining reward.
+type GainParams struct {
+	HonestyRatio float64 // h_A: fraction of checkpoints honestly trained
+	CTrain       float64 // computation cost of one fully honest submission
+	CSpoof       float64 // computation cost of the spoofing itself
+	CT           float64 // communication cost of one model-weights transfer
+	PrLshAlpha   float64 // Pr_lsh(α): honest-result match probability
+	PrLshBeta    float64 // Pr_lsh(β): spoofed-result match probability
+	Samples      int     // q
+}
+
+func (g GainParams) validate() error {
+	if g.HonestyRatio < 0 || g.HonestyRatio > 1 {
+		return ErrBadHonesty
+	}
+	if g.PrLshAlpha < 0 || g.PrLshAlpha > 1 || g.PrLshBeta < 0 || g.PrLshBeta > 1 {
+		return ErrBadProb
+	}
+	if g.Samples < 0 {
+		return errors.New("economics: negative sample count")
+	}
+	return nil
+}
+
+// AttackerGain returns the upper bound on the attacker's expected net gain
+// G_A for one submission (Eq. 9): the reward weighted by the evasion
+// probability, minus training, spoofing, and communication costs (including
+// double-check traffic).
+func AttackerGain(g GainParams) (float64, error) {
+	if err := g.validate(); err != nil {
+		return 0, err
+	}
+	pPass, err := SoundnessError(g.HonestyRatio, g.PrLshBeta, g.Samples)
+	if err != nil {
+		return 0, err
+	}
+	q := float64(g.Samples)
+	doubleCheck := q * g.CT * (g.HonestyRatio*(1-g.PrLshAlpha) + (1-g.HonestyRatio)*(1-g.PrLshBeta))
+	cost := g.HonestyRatio*g.CTrain + g.CSpoof + q*g.CT + doubleCheck
+	return pPass - cost, nil
+}
+
+// SamplesForNegativeGain returns the minimal q that drives the attacker's
+// maximum net gain non-positive (Eq. 11):
+//
+//	q ≥ log(hA·C_train + C_spoof) / log(hA + (1−hA)·Pr_lsh(β)).
+//
+// Following the theorem's derivation, the communication cost is set to its
+// gain-maximizing value C_t = 0.
+func SamplesForNegativeGain(hA, cTrain, cSpoof, prLshBeta float64) (int, error) {
+	p, err := PassProbability(hA, prLshBeta)
+	if err != nil {
+		return 0, err
+	}
+	if p >= 1 {
+		return 0, ErrNoEvasion
+	}
+	budget := hA*cTrain + cSpoof
+	if budget <= 0 {
+		// Attacking is free; no finite q makes the bound negative, but any
+		// q ≥ 1 at least bounds the reward by the soundness error.
+		return 0, errors.New("economics: attack cost is zero; Eq. (11) undefined")
+	}
+	if budget >= 1 {
+		// Attacking already costs more than the reward; one sample suffices.
+		return 1, nil
+	}
+	q := math.Log(budget) / math.Log(p)
+	n := int(math.Ceil(q))
+	if n < 1 {
+		n = 1
+	}
+	return n, nil
+}
+
+// Pricing is the cloud price card used by Table III (Alibaba cloud,
+// Sec. VII-E): GPU $1.33/h (GA10), WAN $0.12/GB, storage $5/100 GB·month.
+type Pricing struct {
+	GPUPerHour        float64
+	WANPerGB          float64
+	StoragePerGBMonth float64
+}
+
+// DefaultPricing returns the paper's price card.
+func DefaultPricing() Pricing {
+	return Pricing{GPUPerHour: 1.33, WANPerGB: 0.12, StoragePerGBMonth: 0.05}
+}
+
+// Usage is one configuration's resource consumption for a billing period.
+type Usage struct {
+	GPUTime      time.Duration // total accelerator time across all parties
+	CommBytes    int64         // total WAN traffic
+	StorageBytes int64         // peak storage held for the period
+	// StorageMonths scales the storage bill; Table III bills one epoch's
+	// artifacts for a nominal period (default 1 month when zero).
+	StorageMonths float64
+}
+
+// CapitalCost returns the dollar cost of the usage under the price card.
+func CapitalCost(u Usage, p Pricing) float64 {
+	months := u.StorageMonths
+	if months == 0 {
+		months = 1
+	}
+	const gb = 1e9
+	cost := u.GPUTime.Hours()*p.GPUPerHour +
+		float64(u.CommBytes)/gb*p.WANPerGB +
+		float64(u.StorageBytes)/gb*p.StoragePerGBMonth*months
+	return cost
+}

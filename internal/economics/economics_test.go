@@ -1,0 +1,226 @@
+package economics
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPaperSoundnessNumbers(t *testing.T) {
+	// Sec. VI: with Pr_err = 1% and Pr_lsh(β) = 5%, we need 3 samples for
+	// h_A = 10% and 47 for h_A = 90%.
+	q, err := SamplesForSoundness(0.01, 0.10, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 3 {
+		t.Errorf("q(h=10%%) = %d, want 3", q)
+	}
+	q, err = SamplesForSoundness(0.01, 0.90, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 47 {
+		t.Errorf("q(h=90%%) = %d, want 47", q)
+	}
+}
+
+func TestPaperEconomicNumbers(t *testing.T) {
+	// Sec. VI Theorem 3 example: C_train = 0.88, C_spoof = 0 is undefined in
+	// Eq. (11) for h_A = 0, but for h = 10% we need 2 samples and for
+	// h = 90% we need 3.
+	q, err := SamplesForNegativeGain(0.10, 0.88, 0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 2 {
+		t.Errorf("economic q(h=10%%) = %d, want 2", q)
+	}
+	q, err = SamplesForNegativeGain(0.90, 0.88, 0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 3 {
+		t.Errorf("economic q(h=90%%) = %d, want 3", q)
+	}
+}
+
+func TestPaperQ3SoundnessError(t *testing.T) {
+	// Sec. VI: with q = 3 and h_A = 90% the soundness error is ≈ 74.12%.
+	got, err := SoundnessError(0.90, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.7412) > 0.001 {
+		t.Errorf("soundness error = %v, want ≈ 0.7412", got)
+	}
+}
+
+func TestPassProbabilityValidation(t *testing.T) {
+	if _, err := PassProbability(-0.1, 0.05); !errors.Is(err, ErrBadHonesty) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := PassProbability(0.5, 1.5); !errors.Is(err, ErrBadProb) {
+		t.Errorf("err = %v", err)
+	}
+	p, err := PassProbability(0.5, 0.1)
+	if err != nil || math.Abs(p-0.55) > 1e-12 {
+		t.Errorf("p = %v, %v", p, err)
+	}
+}
+
+func TestSoundnessErrorEdge(t *testing.T) {
+	if _, err := SoundnessError(0.5, 0.05, -1); err == nil {
+		t.Error("want error for negative q")
+	}
+	one, err := SoundnessError(0.5, 0.05, 0)
+	if err != nil || one != 1 {
+		t.Errorf("q=0: %v, %v", one, err)
+	}
+}
+
+func TestSamplesForSoundnessEdge(t *testing.T) {
+	if _, err := SamplesForSoundness(0, 0.5, 0.05); !errors.Is(err, ErrBadProb) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := SamplesForSoundness(1, 0.5, 0.05); !errors.Is(err, ErrBadProb) {
+		t.Errorf("err = %v", err)
+	}
+	// Fully honest "attacker" always passes — sampling can't help.
+	if _, err := SamplesForSoundness(0.01, 1.0, 0.05); !errors.Is(err, ErrNoEvasion) {
+		t.Errorf("err = %v", err)
+	}
+	// Fully dishonest with Pr_lsh(β)=0 is caught by a single sample.
+	q, err := SamplesForSoundness(0.01, 0, 0)
+	if err != nil || q != 1 {
+		t.Errorf("q = %d, %v", q, err)
+	}
+}
+
+func TestAttackerGainDecreasesWithSamples(t *testing.T) {
+	base := GainParams{
+		HonestyRatio: 0.1, CTrain: 0.88, CSpoof: 0.01, CT: 0.02,
+		PrLshAlpha: 0.95, PrLshBeta: 0.05,
+	}
+	prev := math.Inf(1)
+	for q := 0; q <= 6; q++ {
+		p := base
+		p.Samples = q
+		g, err := AttackerGain(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g >= prev {
+			t.Errorf("gain not decreasing at q=%d: %v ≥ %v", q, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestAttackerGainNegativeAtPaperQ(t *testing.T) {
+	// With the paper's parameters and q from Eq. (11), the attacker's gain
+	// must be non-positive.
+	for _, h := range []float64{0.1, 0.5, 0.9} {
+		q, err := SamplesForNegativeGain(h, 0.88, 0, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := AttackerGain(GainParams{
+			HonestyRatio: h, CTrain: 0.88, CSpoof: 0, CT: 0,
+			PrLshAlpha: 0.95, PrLshBeta: 0.05, Samples: q,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g > 1e-9 {
+			t.Errorf("h=%v q=%d: gain %v > 0", h, q, g)
+		}
+	}
+}
+
+func TestHonestWorkerGainPositive(t *testing.T) {
+	// An honest worker (h=1) always passes, so its "gain" is the reward
+	// minus the training cost — positive when C_train < 1. This is the
+	// incentive asymmetry RPoL creates.
+	g, err := AttackerGain(GainParams{
+		HonestyRatio: 1, CTrain: 0.88, CT: 0,
+		PrLshAlpha: 1, PrLshBeta: 0.05, Samples: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g <= 0 {
+		t.Errorf("honest gain = %v, want > 0", g)
+	}
+}
+
+func TestSamplesForNegativeGainEdges(t *testing.T) {
+	if _, err := SamplesForNegativeGain(0.5, 0, 0, 0.05); err == nil {
+		t.Error("want error for zero attack cost")
+	}
+	// Attack cost above the reward ⇒ one sample suffices.
+	q, err := SamplesForNegativeGain(1.0, 1.2, 0.1, 0.0)
+	if err != nil && !errors.Is(err, ErrNoEvasion) {
+		t.Fatal(err)
+	}
+	if err == nil && q != 1 {
+		t.Errorf("q = %d, want 1", q)
+	}
+	if _, err := SamplesForNegativeGain(1.0, 0.5, 0, 0.05); !errors.Is(err, ErrNoEvasion) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAttackerGainValidation(t *testing.T) {
+	if _, err := AttackerGain(GainParams{HonestyRatio: -1}); !errors.Is(err, ErrBadHonesty) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := AttackerGain(GainParams{HonestyRatio: 0.5, PrLshAlpha: 2}); !errors.Is(err, ErrBadProb) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := AttackerGain(GainParams{HonestyRatio: 0.5, Samples: -1}); err == nil {
+		t.Error("want error for negative samples")
+	}
+}
+
+func TestCapitalCost(t *testing.T) {
+	p := DefaultPricing()
+	// 1 hour GPU + 1 GB WAN + 100 GB·month storage.
+	u := Usage{GPUTime: time.Hour, CommBytes: 1e9, StorageBytes: 100e9}
+	got := CapitalCost(u, p)
+	want := 1.33 + 0.12 + 5.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+	// Storage billed for half a month.
+	u.StorageMonths = 0.5
+	got = CapitalCost(u, p)
+	want = 1.33 + 0.12 + 2.5
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("cost = %v, want %v", got, want)
+	}
+	if CapitalCost(Usage{}, p) != 0 {
+		t.Error("zero usage must cost zero")
+	}
+}
+
+// Property: soundness error is monotone decreasing in q and increasing in
+// honesty ratio.
+func TestSoundnessMonotonicity(t *testing.T) {
+	f := func(hRaw, bRaw uint8, qRaw uint8) bool {
+		h := float64(hRaw%100) / 100
+		b := float64(bRaw%50) / 100
+		q := int(qRaw%20) + 1
+		e1, err1 := SoundnessError(h, b, q)
+		e2, err2 := SoundnessError(h, b, q+1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return e2 <= e1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

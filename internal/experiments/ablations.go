@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rpol/internal/commitment"
+	"rpol/internal/gpu"
+	"rpol/internal/lsh"
+	"rpol/internal/modelzoo"
+	"rpol/internal/prf"
+	"rpol/internal/rpol"
+	"rpol/internal/stats"
+	"rpol/internal/tensor"
+)
+
+// CommitmentAblationResult compares the paper's hash-list commitment with
+// the Merkle alternative it also describes (Sec. V-B): commitment size on
+// the wire versus per-opening proof size, across checkpoint counts.
+type CommitmentAblationResult struct {
+	Table Table
+}
+
+// CommitmentAblation sizes both constructions.
+func CommitmentAblation(checkpointCounts []int, payloadBytes int) (*CommitmentAblationResult, error) {
+	if len(checkpointCounts) == 0 {
+		checkpointCounts = []int{4, 16, 64, 256}
+	}
+	if payloadBytes <= 0 {
+		payloadBytes = 128 // an LSH digest of l=16 groups
+	}
+	res := &CommitmentAblationResult{Table: Table{
+		Caption: "Ablation — hash-list vs Merkle commitment (bytes)",
+		Headers: []string{"checkpoints", "hash-list commit", "hash-list proof", "merkle commit", "merkle proof"},
+	}}
+	for _, n := range checkpointCounts {
+		payloads := make([][]byte, n)
+		for i := range payloads {
+			payloads[i] = make([]byte, payloadBytes)
+			payloads[i][0] = byte(i)
+		}
+		hl, err := commitment.NewHashList(payloads)
+		if err != nil {
+			return nil, err
+		}
+		mt, err := commitment.NewMerkleTree(payloads)
+		if err != nil {
+			return nil, err
+		}
+		proof, err := mt.Prove(n / 2)
+		if err != nil {
+			return nil, err
+		}
+		res.Table.Add(n,
+			hl.Size(),           // full leaf list published up front
+			0,                   // openings verified against the published list
+			commitment.HashSize, // only the root is published
+			commitment.ProofSize(len(proof.Siblings)))
+	}
+	return res, nil
+}
+
+// DoubleCheckRow is one LSH tuning's outcome with and without the
+// double-check.
+type DoubleCheckRow struct {
+	Tuning string
+	// FalseRejectWith / FalseRejectWithout count honest submissions rejected
+	// under each mode.
+	FalseRejectWith    int
+	FalseRejectWithout int
+	// LSHMissTrials counts trials in which at least one sampled checkpoint
+	// missed the LSH match (the situations the double-check rescues).
+	LSHMissTrials int
+}
+
+// DoubleCheckAblationResult quantifies the double-check strategy: the
+// false-rejection rate of honest workers with and without it, under both
+// the calibrated LSH (misses are rare, Sec. VII-D) and a deliberately
+// detuned LSH (misses are frequent, so the rescue is visible).
+type DoubleCheckAblationResult struct {
+	Trials int
+	Rows   []DoubleCheckRow
+	// Legacy aggregate fields: the calibrated tuning's counts.
+	FalseRejectWith    int
+	FalseRejectWithout int
+	LSHMissTrials      int
+	Table              Table
+}
+
+// DoubleCheckAblation runs honest epochs through the RPoLv2 verifier with
+// the double-check enabled and disabled.
+func DoubleCheckAblation(taskName string, trials int, seed int64) (*DoubleCheckAblationResult, error) {
+	if taskName == "" {
+		taskName = "resnet18-cifar10"
+	}
+	if trials <= 0 {
+		trials = 10
+	}
+	spec, err := modelzoo.Get(taskName)
+	if err != nil {
+		return nil, err
+	}
+	_, train, _, err := spec.BuildProxy(seed)
+	if err != nil {
+		return nil, err
+	}
+	halves, err := train.Partition(2)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DoubleCheckAblationResult{Trials: trials}
+	for _, tuning := range []string{"calibrated", "detuned"} {
+		row := DoubleCheckRow{Tuning: tuning}
+		for trial := 0; trial < trials; trial++ {
+			trialSeed := seed + int64(trial)*31
+			p := rpol.TaskParams{
+				Epoch:           trial,
+				Hyper:           rpol.Hyper{Optimizer: "sgdm", LR: 0.02, BatchSize: spec.ProxyBatchSize},
+				Nonce:           prf.DeriveNonce([]byte("ablation"), taskName, trial),
+				Steps:           15,
+				CheckpointEvery: 5,
+			}
+			calNet, err := spec.BuildProxyNet(seed + 1)
+			if err != nil {
+				return nil, err
+			}
+			p.Global = calNet.ParamVector()
+			calibrator := &rpol.Calibrator{Net: calNet, Shard: halves[0], XFactor: 5, KLsh: 16}
+			cal, fam, err := calibrator.Calibrate(p, gpu.G3090, gpu.GA10,
+				[2]int64{trialSeed + 1, trialSeed + 2}, trialSeed+3)
+			if err != nil {
+				return nil, err
+			}
+			if tuning == "detuned" {
+				// An overly sharp family: bucket width far below the honest
+				// error scale, so genuine reproduction differences miss often.
+				sharp, err := lsh.NewFamily(len(p.Global),
+					lsh.Params{R: cal.Alpha / 4, K: 8, L: 2}, trialSeed+9)
+				if err != nil {
+					return nil, err
+				}
+				fam = sharp
+			}
+			p.LSH = fam
+
+			workerNet, err := spec.BuildProxyNet(seed + 1)
+			if err != nil {
+				return nil, err
+			}
+			worker, err := rpol.NewHonestWorker("h", gpu.GA10, trialSeed+4, workerNet, halves[1])
+			if err != nil {
+				return nil, err
+			}
+			result, err := worker.RunEpoch(p)
+			if err != nil {
+				return nil, err
+			}
+
+			verify := func(disable bool, seedOffset int64) (*rpol.VerifyOutcome, error) {
+				verifyNet, err := spec.BuildProxyNet(seed + 1)
+				if err != nil {
+					return nil, err
+				}
+				device, err := gpu.NewDevice(gpu.G3090, trialSeed+seedOffset)
+				if err != nil {
+					return nil, err
+				}
+				v := &rpol.Verifier{
+					Scheme: rpol.SchemeV2, Net: verifyNet, Device: device,
+					Beta: cal.Beta, LSH: fam, Samples: 3,
+					Sampler:            tensor.NewRNG(trialSeed + seedOffset),
+					DisableDoubleCheck: disable,
+				}
+				return v.VerifySubmission(worker, halves[1], result, p)
+			}
+			withDC, err := verify(false, 100)
+			if err != nil {
+				return nil, err
+			}
+			withoutDC, err := verify(true, 100) // same sampling seed: identical samples
+			if err != nil {
+				return nil, err
+			}
+			if !withDC.Accepted {
+				row.FalseRejectWith++
+			}
+			if !withoutDC.Accepted {
+				row.FalseRejectWithout++
+			}
+			if withDC.LSHMisses > 0 || withoutDC.LSHMisses > 0 {
+				row.LSHMissTrials++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+		if tuning == "calibrated" {
+			res.FalseRejectWith = row.FalseRejectWith
+			res.FalseRejectWithout = row.FalseRejectWithout
+			res.LSHMissTrials = row.LSHMissTrials
+		}
+	}
+	res.Table = Table{
+		Caption: fmt.Sprintf("Ablation — double-check strategy (%s, %d honest trials per tuning)", taskName, trials),
+		Headers: []string{"lsh tuning", "mode", "false rejections", "trials with LSH miss"},
+	}
+	for _, row := range res.Rows {
+		res.Table.Add(row.Tuning, "double-check ON", row.FalseRejectWith, row.LSHMissTrials)
+		res.Table.Add(row.Tuning, "double-check OFF", row.FalseRejectWithout, row.LSHMissTrials)
+	}
+	return res, nil
+}
+
+// IntervalSweepResult records reproduction-error growth with the checkpoint
+// interval (Sec. VII-C observes roughly linear growth).
+type IntervalSweepResult struct {
+	Intervals []int
+	MaxErrors []float64
+	// LinearCorrelation is the Pearson coefficient of (interval, error) —
+	// the quantified version of the paper's "increase linearly" claim.
+	LinearCorrelation float64
+	Table             Table
+}
+
+// IntervalSweep measures reproduction errors across checkpoint intervals,
+// averaging `pairs` independent run-pairs per interval (0 ⇒ 3) to tame the
+// per-pair divergence noise.
+func IntervalSweep(taskName string, intervals []int, seed int64, pairs int) (*IntervalSweepResult, error) {
+	if taskName == "" {
+		taskName = "resnet18-cifar10"
+	}
+	if len(intervals) == 0 {
+		intervals = []int{5, 10, 20, 40}
+	}
+	if pairs <= 0 {
+		pairs = 3
+	}
+	spec, err := modelzoo.Get(taskName)
+	if err != nil {
+		return nil, err
+	}
+	_, train, _, err := spec.BuildProxy(seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &IntervalSweepResult{Table: Table{
+		Caption: fmt.Sprintf("Ablation — reproduction error vs checkpoint interval (%s)", taskName),
+		Headers: []string{"interval", "max repro error (mean+std)"},
+	}}
+	for _, interval := range intervals {
+		p := rpol.TaskParams{
+			Hyper:           rpol.Hyper{Optimizer: "sgdm", LR: 0.02, BatchSize: spec.ProxyBatchSize},
+			Nonce:           prf.DeriveNonce([]byte("interval"), taskName, interval),
+			Steps:           interval * 2,
+			CheckpointEvery: interval,
+		}
+		run := func(profile gpu.Profile, runSeed int64) (*rpol.Trace, error) {
+			net, err := spec.BuildProxyNet(seed + 1)
+			if err != nil {
+				return nil, err
+			}
+			p.Global = net.ParamVector()
+			device, err := gpu.NewDevice(profile, runSeed)
+			if err != nil {
+				return nil, err
+			}
+			trainer := &rpol.Trainer{Net: net, Shard: train, Device: device}
+			return trainer.RunEpoch(p)
+		}
+		var pooled []float64
+		for pair := 0; pair < pairs; pair++ {
+			base := seed + int64(interval)*100 + int64(pair)*2
+			t1, err := run(gpu.G3090, base+1)
+			if err != nil {
+				return nil, err
+			}
+			t2, err := run(gpu.GA10, base+2)
+			if err != nil {
+				return nil, err
+			}
+			dists, err := rpol.TraceDistances(t1, t2)
+			if err != nil {
+				return nil, err
+			}
+			pooled = append(pooled, dists...)
+		}
+		summary, err := stats.Summarize(pooled)
+		if err != nil {
+			return nil, err
+		}
+		res.Intervals = append(res.Intervals, interval)
+		res.MaxErrors = append(res.MaxErrors, summary.MeanPlusSD)
+		res.Table.Add(interval, summary.MeanPlusSD)
+	}
+	if len(res.Intervals) >= 2 {
+		xs := make([]float64, len(res.Intervals))
+		for i, v := range res.Intervals {
+			xs[i] = float64(v)
+		}
+		if r, err := stats.Pearson(xs, res.MaxErrors); err == nil {
+			res.LinearCorrelation = r
+		}
+	}
+	return res, nil
+}

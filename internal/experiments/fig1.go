@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rpol/internal/lsh"
+)
+
+// Fig1Options configures the LSH match-probability sweep.
+type Fig1Options struct {
+	// Alpha and Beta anchor the sweep: the similar-data and dissimilar-data
+	// distance bounds (defaults 0.2 and 1.0, i.e. β = 5α as in the
+	// evaluation).
+	Alpha, Beta float64
+	// Points is the number of distances sampled per curve.
+	Points int
+	// KLsh is the budget for the optimized parameter set.
+	KLsh int
+}
+
+func (o *Fig1Options) defaults() {
+	if o.Alpha <= 0 {
+		o.Alpha = 0.2
+	}
+	if o.Beta <= o.Alpha {
+		o.Beta = 5 * o.Alpha
+	}
+	if o.Points <= 0 {
+		o.Points = 17
+	}
+	if o.KLsh <= 0 {
+		o.KLsh = 16
+	}
+}
+
+// Fig1Result holds the probability curves of Fig. 1: the relationship
+// between LSH matching probability and data distance under varied LSH
+// parameters, plus the optimizer's pick.
+type Fig1Result struct {
+	Distances []float64
+	// Curves maps a parameter-set label to its match probabilities at each
+	// distance.
+	Curves map[string][]float64
+	// Optimal is the parameter set Eq. (6) selects for (α, β).
+	Optimal lsh.Params
+	// PrAlpha and PrBeta are the optimal set's probabilities at the bounds
+	// (the paper targets ≈95 % and ≈5 %).
+	PrAlpha, PrBeta float64
+	Table           Table
+}
+
+// Fig1 sweeps match probability against distance for several (r, k, l)
+// settings including the optimized one, reproducing Fig. 1's S-curves: high
+// match probability below α, low above β, sharper with larger k·l.
+func Fig1(opts Fig1Options) (*Fig1Result, error) {
+	opts.defaults()
+	optimal, _, _, err := lsh.Optimize(opts.Alpha, opts.Beta, lsh.OptimizeOptions{KLsh: opts.KLsh})
+	if err != nil {
+		return nil, err
+	}
+	paramSets := []struct {
+		label  string
+		params lsh.Params
+	}{
+		{"loose (k=1,l=1)", lsh.Params{R: optimal.R, K: 1, L: 1}},
+		{"wide (k=2,l=8)", lsh.Params{R: optimal.R, K: 2, L: 8}},
+		{"sharp (k=8,l=2)", lsh.Params{R: optimal.R, K: 8, L: 2}},
+		{fmt.Sprintf("optimal (r=%.3g,k=%d,l=%d)", optimal.R, optimal.K, optimal.L), optimal},
+	}
+
+	res := &Fig1Result{
+		Curves:  make(map[string][]float64, len(paramSets)),
+		Optimal: optimal,
+		PrAlpha: lsh.MatchProb(opts.Alpha, optimal),
+		PrBeta:  lsh.MatchProb(opts.Beta, optimal),
+	}
+	maxDist := 1.5 * opts.Beta
+	for i := 0; i < opts.Points; i++ {
+		res.Distances = append(res.Distances, maxDist*float64(i)/float64(opts.Points-1))
+	}
+	res.Table = Table{
+		Caption: fmt.Sprintf("Fig. 1 — LSH matching probability vs distance (α=%.3g, β=%.3g)", opts.Alpha, opts.Beta),
+		Headers: []string{"distance"},
+	}
+	for _, ps := range paramSets {
+		res.Table.Headers = append(res.Table.Headers, ps.label)
+		curve := make([]float64, len(res.Distances))
+		for i, c := range res.Distances {
+			curve[i] = lsh.MatchProb(c, ps.params)
+		}
+		res.Curves[ps.label] = curve
+	}
+	for i, c := range res.Distances {
+		row := []any{c}
+		for _, ps := range paramSets {
+			row = append(row, res.Curves[ps.label][i])
+		}
+		res.Table.Add(row...)
+	}
+	return res, nil
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"rpol/internal/amlayer"
+	"rpol/internal/gpu"
+	"rpol/internal/modelzoo"
+	"rpol/internal/nn"
+	"rpol/internal/prf"
+	"rpol/internal/rpol"
+	"rpol/internal/tensor"
+)
+
+// centralRun trains a proxy task centrally (one trainer, the full training
+// shard) and records test accuracy after every epoch. It returns the
+// accuracy curve, the measured wall-clock per epoch, and the trained
+// network.
+func centralRun(spec modelzoo.TaskSpec, withAMLayer bool, address string, epochs, stepsPerEpoch int, seed int64) ([]float64, time.Duration, *nn.Network, error) {
+	net, train, test, err := spec.BuildProxy(seed)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if withAMLayer {
+		stack, err := amlayer.NewDenseStack(address, spec.ProxyDim, amlayer.DefaultStackDepth, amlayer.StackConfig())
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		net, err = amlayer.PrependStack(stack, net)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+	}
+	device, err := gpu.NewDevice(gpu.G3090, seed+99)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	trainer := &rpol.Trainer{Net: net, Shard: train, Device: device}
+
+	testXs := make([]tensor.Vector, test.Len())
+	testYs := make([]int, test.Len())
+	for i, ex := range test.Examples {
+		testXs[i] = ex.Features
+		testYs[i] = ex.Label
+	}
+
+	weights := net.ParamVector()
+	accs := make([]float64, 0, epochs)
+	start := time.Now()
+	for e := 0; e < epochs; e++ {
+		p := rpol.TaskParams{
+			Epoch:           e,
+			Global:          weights,
+			Hyper:           rpol.Hyper{Optimizer: "sgdm", LR: 0.02, BatchSize: spec.ProxyBatchSize},
+			Nonce:           prf.DeriveNonce([]byte("central"), spec.Name, e),
+			Steps:           stepsPerEpoch,
+			CheckpointEvery: 5,
+		}
+		trace, err := trainer.RunEpoch(p)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		weights = trace.Final()
+		if err := net.SetParamVector(weights); err != nil {
+			return nil, 0, nil, err
+		}
+		acc, err := net.Accuracy(testXs, testYs)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		accs = append(accs, acc)
+	}
+	perEpoch := time.Duration(int64(time.Since(start)) / int64(epochs))
+	return accs, perEpoch, net, nil
+}
+
+// Fig3Options configures the AMLayer accuracy-curve comparison.
+type Fig3Options struct {
+	// Tasks are modelzoo names; defaults to the paper's task A and B.
+	Tasks []string
+	// Epochs per curve (the paper trains 40/200; proxies converge faster).
+	Epochs int
+	// StepsPerEpoch of the proxy run.
+	StepsPerEpoch int
+	Seed          int64
+}
+
+func (o *Fig3Options) defaults() {
+	if len(o.Tasks) == 0 {
+		o.Tasks = []string{"resnet18-cifar10", "resnet50-cifar100"}
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 8
+	}
+	if o.StepsPerEpoch <= 0 {
+		o.StepsPerEpoch = 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Fig3Curve is one task's pair of accuracy curves.
+type Fig3Curve struct {
+	Task            string
+	Origin, AMLayer []float64
+}
+
+// Fig3Result holds the curves of Fig. 3: testing accuracy with and without
+// the AMLayer stays close throughout training.
+type Fig3Result struct {
+	Curves []Fig3Curve
+	Table  Table
+}
+
+// Fig3 reproduces the AMLayer accuracy-curve comparison.
+func Fig3(opts Fig3Options) (*Fig3Result, error) {
+	opts.defaults()
+	res := &Fig3Result{Table: Table{
+		Caption: "Fig. 3 — testing accuracy with and without AMLayer",
+		Headers: []string{"task", "epoch", "origin", "AMLayer"},
+	}}
+	for _, name := range opts.Tasks {
+		spec, err := modelzoo.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		origin, _, _, err := centralRun(spec, false, "", opts.Epochs, opts.StepsPerEpoch, opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s origin: %w", name, err)
+		}
+		withAML, _, _, err := centralRun(spec, true, "fig3-manager", opts.Epochs, opts.StepsPerEpoch, opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s amlayer: %w", name, err)
+		}
+		res.Curves = append(res.Curves, Fig3Curve{Task: name, Origin: origin, AMLayer: withAML})
+		for e := 0; e < opts.Epochs; e++ {
+			res.Table.Add(name, e+1, origin[e], withAML[e])
+		}
+	}
+	return res, nil
+}

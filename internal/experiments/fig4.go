@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rpol/internal/dataset"
+	"rpol/internal/gpu"
+	"rpol/internal/modelzoo"
+	"rpol/internal/prf"
+	"rpol/internal/rpol"
+	"rpol/internal/stats"
+)
+
+// Fig4Options configures the reproduction-error study.
+type Fig4Options struct {
+	// Task is the modelzoo task (paper: ResNet18 on CIFAR-10).
+	Task string
+	// Shards is the number of i.i.d. sub-datasets (paper: 5 × 10 000).
+	Shards int
+	// StepsPerEpoch and CheckpointEvery set the probe workload (paper's
+	// checkpoint interval is 5).
+	StepsPerEpoch   int
+	CheckpointEvery int
+	Seed            int64
+}
+
+func (o *Fig4Options) defaults() {
+	if o.Task == "" {
+		o.Task = "resnet18-cifar10"
+	}
+	if o.Shards <= 0 {
+		o.Shards = 5
+	}
+	if o.StepsPerEpoch <= 0 {
+		o.StepsPerEpoch = 30
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Fig4Cell is the reproduction-error statistic for one (GPU pair, shard).
+type Fig4Cell struct {
+	Pair       string
+	Shard      int
+	MaxError   float64 // the paper's mean+std "maximum"
+	MeanError  float64
+	KSPValue   float64
+	NormalDist bool
+}
+
+// Fig4Result reproduces Fig. 4: reproduction errors per GPU pair and i.i.d.
+// sub-dataset, with the Kolmogorov–Smirnov normality verdict.
+type Fig4Result struct {
+	Cells []Fig4Cell
+	// PairMax maps each pair label to its mean "maximum" error across
+	// shards — the quantity whose ordering the paper reports.
+	PairMax map[string]float64
+	Table   Table
+}
+
+// Fig4 measures training reproduction errors across GPU pairs and shards.
+func Fig4(opts Fig4Options) (*Fig4Result, error) {
+	opts.defaults()
+	spec, err := modelzoo.Get(opts.Task)
+	if err != nil {
+		return nil, err
+	}
+	_, train, _, err := spec.BuildProxy(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	shards, err := train.Partition(opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+
+	pairs := []struct {
+		label string
+		a, b  gpu.Profile
+	}{
+		{"G3090+G3090", gpu.G3090, gpu.G3090},
+		{"GA10+GA10", gpu.GA10, gpu.GA10},
+		{"GT4+GT4", gpu.GT4, gpu.GT4},
+		{"G3090+GA10", gpu.G3090, gpu.GA10},
+		{"G3090+GP100", gpu.G3090, gpu.GP100},
+		{"GP100+GT4", gpu.GP100, gpu.GT4},
+	}
+
+	res := &Fig4Result{
+		PairMax: make(map[string]float64, len(pairs)),
+		Table: Table{
+			Caption: fmt.Sprintf("Fig. 4 — reproduction errors (%s) per GPU pair and i.i.d. shard", opts.Task),
+			Headers: []string{"pair", "shard", "mean err", "max err (mean+std)", "KS p-value", "normal?"},
+		},
+	}
+	for _, pair := range pairs {
+		var pairErrs []float64
+		for si, shard := range shards {
+			errsList, err := measureShardErrors(spec, shard, pair.a, pair.b, opts, int64(si))
+			if err != nil {
+				return nil, fmt.Errorf("fig4 %s shard %d: %w", pair.label, si, err)
+			}
+			summary, err := stats.Summarize(errsList)
+			if err != nil {
+				return nil, err
+			}
+			// The KS normality test needs at least 3 checkpoints; tiny probe
+			// configurations simply report "not established".
+			var ks stats.KSResult
+			if len(errsList) >= 3 {
+				ks, err = stats.KSTestNormal(errsList)
+				if err != nil {
+					return nil, err
+				}
+			}
+			cell := Fig4Cell{
+				Pair:       pair.label,
+				Shard:      si,
+				MaxError:   summary.MeanPlusSD,
+				MeanError:  summary.Mean,
+				KSPValue:   ks.PValue,
+				NormalDist: ks.Normal,
+			}
+			res.Cells = append(res.Cells, cell)
+			res.Table.Add(pair.label, si, cell.MeanError, cell.MaxError, cell.KSPValue, cell.NormalDist)
+			pairErrs = append(pairErrs, summary.MeanPlusSD)
+		}
+		m, err := stats.Mean(pairErrs)
+		if err != nil {
+			return nil, err
+		}
+		res.PairMax[pair.label] = m
+	}
+	return res, nil
+}
+
+// measureShardErrors runs the same sub-task on two devices and returns the
+// per-checkpoint reproduction distances.
+func measureShardErrors(spec modelzoo.TaskSpec, shard *dataset.Dataset, a, b gpu.Profile, opts Fig4Options, shardSeed int64) ([]float64, error) {
+	params := rpol.TaskParams{
+		Hyper:           rpol.Hyper{Optimizer: "sgdm", LR: 0.02, BatchSize: spec.ProxyBatchSize},
+		Nonce:           prf.DeriveNonce([]byte("fig4"), spec.Name, int(shardSeed)),
+		Steps:           opts.StepsPerEpoch,
+		CheckpointEvery: opts.CheckpointEvery,
+	}
+	run := func(profile gpu.Profile, runSeed int64) (*rpol.Trace, error) {
+		net, err := spec.BuildProxyNet(opts.Seed + 1)
+		if err != nil {
+			return nil, err
+		}
+		params.Global = net.ParamVector()
+		device, err := gpu.NewDevice(profile, runSeed)
+		if err != nil {
+			return nil, err
+		}
+		trainer := &rpol.Trainer{Net: net, Shard: shard, Device: device}
+		return trainer.RunEpoch(params)
+	}
+	t1, err := run(a, opts.Seed*1000+shardSeed*2+1)
+	if err != nil {
+		return nil, err
+	}
+	t2, err := run(b, opts.Seed*1000+shardSeed*2+2)
+	if err != nil {
+		return nil, err
+	}
+	return rpol.TraceDistances(t1, t2)
+}

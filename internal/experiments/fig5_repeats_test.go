@@ -1,0 +1,23 @@
+package experiments
+
+import "testing"
+
+func TestFig5Repeats(t *testing.T) {
+	res, err := Fig5(Fig5Options{
+		Tasks:   []string{"resnet18-cifar10"},
+		Epochs:  2,
+		Repeats: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if !row.BetaAboveHonest || !row.BetaBelowSpoof {
+			t.Errorf("epoch %d: separation broken across repeats (β=%v repro=%v spoof=%v)",
+				row.Epoch, row.Beta, row.MaxReproError, row.MinSpoofDistance)
+		}
+		if row.FNR != 0 {
+			t.Errorf("epoch %d: FNR %v across repeats", row.Epoch, row.FNR)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rpol/internal/pool"
+	"rpol/internal/rpol"
+)
+
+// Fig6Options configures the attack-resilience experiment.
+type Fig6Options struct {
+	// Tasks defaults to the paper's two (ResNet18/CIFAR-10 and
+	// ResNet50/CIFAR-100 proxies).
+	Tasks []string
+	// AdversaryFractions to sweep (paper: 10 %–90 %).
+	AdversaryFractions []float64
+	// Epochs per run.
+	Epochs int
+	// NumWorkers in the pool (paper: 10).
+	NumWorkers int
+	// StepsPerEpoch of each worker's sub-task.
+	StepsPerEpoch int
+	Seed          int64
+}
+
+func (o *Fig6Options) defaults() {
+	if len(o.Tasks) == 0 {
+		o.Tasks = []string{"resnet18-cifar10", "resnet50-cifar100"}
+	}
+	if len(o.AdversaryFractions) == 0 {
+		o.AdversaryFractions = []float64{0.1, 0.5, 0.9}
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 5
+	}
+	if o.NumWorkers <= 0 {
+		o.NumWorkers = 10
+	}
+	if o.StepsPerEpoch <= 0 {
+		o.StepsPerEpoch = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Fig6Run is one (task, attack, scheme, fraction) accuracy curve.
+type Fig6Run struct {
+	Task     string
+	Attack   string // "adv1" or "adv2"
+	Scheme   rpol.Scheme
+	Fraction float64
+	// Accuracy is the per-epoch test accuracy of the global model.
+	Accuracy []float64
+	// Detected / Missed tally adversarial submissions across all epochs.
+	Detected, Missed int
+	FalseRejections  int
+}
+
+// Final returns the last epoch's accuracy.
+func (r Fig6Run) Final() float64 {
+	if len(r.Accuracy) == 0 {
+		return 0
+	}
+	return r.Accuracy[len(r.Accuracy)-1]
+}
+
+// Fig6Result reproduces Fig. 6: global-model accuracy under Adv1/Adv2 for
+// the insecure baseline versus RPoLv1/RPoLv2 across adversary shares.
+type Fig6Result struct {
+	Runs  []Fig6Run
+	Table Table
+}
+
+// Fig6 sweeps attack type × scheme × adversary fraction.
+func Fig6(opts Fig6Options) (*Fig6Result, error) {
+	opts.defaults()
+	schemes := []rpol.Scheme{rpol.SchemeBaseline, rpol.SchemeV1, rpol.SchemeV2}
+	attacks := []string{"adv1", "adv2"}
+	res := &Fig6Result{Table: Table{
+		Caption: "Fig. 6 — test accuracy under attack (baseline vs RPoLv1 vs RPoLv2)",
+		Headers: []string{"task", "attack", "fraction", "scheme", "final acc", "detected", "missed", "false rej"},
+	}}
+	for _, task := range opts.Tasks {
+		for _, attack := range attacks {
+			for _, frac := range opts.AdversaryFractions {
+				for _, scheme := range schemes {
+					run, err := fig6Run(task, attack, scheme, frac, opts)
+					if err != nil {
+						return nil, fmt.Errorf("fig6 %s/%s/%v/%s: %w", task, attack, frac, scheme, err)
+					}
+					res.Runs = append(res.Runs, *run)
+					res.Table.Add(task, attack, frac, scheme.String(),
+						run.Final(), run.Detected, run.Missed, run.FalseRejections)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+func fig6Run(task, attack string, scheme rpol.Scheme, frac float64, opts Fig6Options) (*Fig6Run, error) {
+	cfg := pool.Config{
+		TaskName:      task,
+		Scheme:        scheme,
+		NumWorkers:    opts.NumWorkers,
+		StepsPerEpoch: opts.StepsPerEpoch,
+		Seed:          opts.Seed,
+	}
+	switch attack {
+	case "adv1":
+		cfg.Adv1Fraction = frac
+	case "adv2":
+		cfg.Adv2Fraction = frac
+	default:
+		return nil, fmt.Errorf("unknown attack %q", attack)
+	}
+	p, err := pool.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	history, err := p.RunEpochs(opts.Epochs)
+	if err != nil {
+		return nil, err
+	}
+	run := &Fig6Run{Task: task, Attack: attack, Scheme: scheme, Fraction: frac}
+	for _, s := range history {
+		run.Accuracy = append(run.Accuracy, s.TestAccuracy)
+		run.Detected += s.DetectedAdversaries
+		run.Missed += s.MissedAdversaries
+		run.FalseRejections += s.FalseRejections
+	}
+	return run, nil
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"rpol/internal/adversary"
+	"rpol/internal/gpu"
+	"rpol/internal/modelzoo"
+	"rpol/internal/prf"
+	"rpol/internal/rpol"
+	"rpol/internal/tensor"
+)
+
+// SamplingSweepOptions configures the empirical soundness experiment.
+type SamplingSweepOptions struct {
+	// Task is the modelzoo task.
+	Task string
+	// HonestFraction is the attacker's share of honestly trained intervals
+	// (Theorem 2's h_A).
+	HonestFraction float64
+	// Trials is the number of independent attacker submissions per q.
+	Trials int
+	// StepsPerEpoch and CheckpointEvery set the epoch shape; the number of
+	// intervals bounds the sweep's q.
+	StepsPerEpoch   int
+	CheckpointEvery int
+	Seed            int64
+}
+
+func (o *SamplingSweepOptions) defaults() {
+	if o.Task == "" {
+		o.Task = "resnet18-cifar10"
+	}
+	if o.HonestFraction <= 0 {
+		o.HonestFraction = 0.5
+	}
+	if o.Trials <= 0 {
+		o.Trials = 20
+	}
+	if o.StepsPerEpoch <= 0 {
+		o.StepsPerEpoch = 30
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// SamplingSweepRow is one q's measured and predicted evasion rate.
+type SamplingSweepRow struct {
+	Q int
+	// EmpiricalEvasion is the fraction of attacker submissions accepted.
+	EmpiricalEvasion float64
+	// BoundWithoutReplacement is the exact evasion probability for
+	// without-replacement sampling of q intervals when `honest` of `total`
+	// are genuine: C(honest, q)/C(total, q).
+	BoundWithoutReplacement float64
+	// TheoremBound is Theorem 2's (h_A)^q with Pr_lsh(β) ≈ 0 —
+	// the with-replacement approximation the paper reports.
+	TheoremBound float64
+}
+
+// SamplingSweepResult is the empirical counterpart of Theorem 2: evasion
+// probability versus the number of sampled checkpoints q for an Adv2-style
+// attacker.
+type SamplingSweepResult struct {
+	Intervals       int
+	HonestIntervals int
+	Rows            []SamplingSweepRow
+	Table           Table
+}
+
+// SamplingSweep measures how the verifier's sample count q drives the
+// probability that a partially honest attacker evades detection, and
+// compares it with the analytical bounds.
+func SamplingSweep(opts SamplingSweepOptions) (*SamplingSweepResult, error) {
+	opts.defaults()
+	spec, err := modelzoo.Get(opts.Task)
+	if err != nil {
+		return nil, err
+	}
+	_, train, _, err := spec.BuildProxy(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	halves, err := train.Partition(2)
+	if err != nil {
+		return nil, err
+	}
+
+	// Calibrate β once; the error profile is stable across trials.
+	calNet, err := spec.BuildProxyNet(opts.Seed + 1)
+	if err != nil {
+		return nil, err
+	}
+	baseParams := rpol.TaskParams{
+		Global:          calNet.ParamVector(),
+		Hyper:           rpol.Hyper{Optimizer: "sgdm", LR: 0.02, BatchSize: spec.ProxyBatchSize},
+		Nonce:           prf.DeriveNonce([]byte("sampling-sweep"), opts.Task, 0),
+		Steps:           opts.StepsPerEpoch,
+		CheckpointEvery: opts.CheckpointEvery,
+	}
+	calibrator := &rpol.Calibrator{Net: calNet, Shard: halves[0], XFactor: 5, KLsh: 16}
+	cal, _, err := calibrator.Calibrate(baseParams, gpu.G3090, gpu.GA10,
+		[2]int64{opts.Seed + 1, opts.Seed + 2}, opts.Seed+3)
+	if err != nil {
+		return nil, err
+	}
+
+	intervals := baseParams.NumCheckpoints() - 1
+	res := &SamplingSweepResult{Intervals: intervals}
+	res.Table = Table{
+		Caption: fmt.Sprintf("Ablation — evasion rate vs sample count q (h_A=%.0f%%, %d intervals, %d trials)",
+			opts.HonestFraction*100, intervals, opts.Trials),
+		Headers: []string{"q", "empirical evasion", "exact bound (w/o repl.)", "Theorem 2 bound"},
+	}
+
+	// Pre-generate one attacker submission per trial; each is then verified
+	// under every q (fresh samplers), reusing the expensive training.
+	type trial struct {
+		adv    *adversary.Adv2
+		result *rpol.EpochResult
+		params rpol.TaskParams
+	}
+	trials := make([]trial, 0, opts.Trials)
+	var honestIntervals int
+	for i := 0; i < opts.Trials; i++ {
+		advNet, err := spec.BuildProxyNet(opts.Seed + 1)
+		if err != nil {
+			return nil, err
+		}
+		p := baseParams
+		p.Nonce = prf.DeriveNonce([]byte("sampling-sweep"), opts.Task, i+1)
+		adv, err := adversary.NewAdv2(fmt.Sprintf("adv-%d", i), gpu.GA10, opts.Seed+int64(100+i),
+			advNet, halves[1], opts.HonestFraction, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		honestIntervals = int(math.Ceil(opts.HonestFraction * float64(intervals)))
+		result, err := adv.RunEpoch(p)
+		if err != nil {
+			return nil, err
+		}
+		trials = append(trials, trial{adv: adv, result: result, params: p})
+	}
+	res.HonestIntervals = honestIntervals
+
+	for q := 1; q <= intervals; q++ {
+		evasions := 0
+		for i, tr := range trials {
+			verifyNet, err := spec.BuildProxyNet(opts.Seed + 1)
+			if err != nil {
+				return nil, err
+			}
+			device, err := gpu.NewDevice(gpu.G3090, opts.Seed+int64(1000+q*100+i))
+			if err != nil {
+				return nil, err
+			}
+			verifier := &rpol.Verifier{
+				Scheme: rpol.SchemeV1, Net: verifyNet, Device: device,
+				Beta: cal.Beta, Samples: q,
+				Sampler: tensor.NewRNG(opts.Seed + int64(q*1000+i)),
+			}
+			out, err := verifier.VerifySubmission(tr.adv, halves[1], tr.result, tr.params)
+			if err != nil {
+				return nil, err
+			}
+			if out.Accepted {
+				evasions++
+			}
+		}
+		row := SamplingSweepRow{
+			Q:                       q,
+			EmpiricalEvasion:        float64(evasions) / float64(len(trials)),
+			BoundWithoutReplacement: hypergeomAllHonest(honestIntervals, intervals, q),
+			TheoremBound:            math.Pow(opts.HonestFraction, float64(q)),
+		}
+		res.Rows = append(res.Rows, row)
+		res.Table.Add(row.Q, row.EmpiricalEvasion, row.BoundWithoutReplacement, row.TheoremBound)
+	}
+	return res, nil
+}
+
+// hypergeomAllHonest returns C(honest, q)/C(total, q): the probability that
+// q distinct samples all land on honestly trained intervals.
+func hypergeomAllHonest(honest, total, q int) float64 {
+	if q > honest {
+		return 0
+	}
+	p := 1.0
+	for i := 0; i < q; i++ {
+		p *= float64(honest-i) / float64(total-i)
+	}
+	return p
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"errors"
+
+	"rpol/internal/economics"
+)
+
+// SoundnessOptions configures the Sec. VI analysis table.
+type SoundnessOptions struct {
+	// HonestyRatios to tabulate (paper highlights 10 % and 90 %).
+	HonestyRatios []float64
+	// PrErr is the target soundness error (paper: 1 %).
+	PrErr float64
+	// PrLshBeta is Pr_lsh(β) (paper: 5 %).
+	PrLshBeta float64
+	// CTrain and CSpoof are the economic parameters (paper: 0.88, 0).
+	CTrain, CSpoof float64
+}
+
+func (o *SoundnessOptions) defaults() {
+	if len(o.HonestyRatios) == 0 {
+		o.HonestyRatios = []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	}
+	if o.PrErr <= 0 {
+		o.PrErr = 0.01
+	}
+	if o.PrLshBeta <= 0 {
+		o.PrLshBeta = 0.05
+	}
+	if o.CTrain <= 0 {
+		o.CTrain = 0.88
+	}
+}
+
+// SoundnessRow is one honesty ratio's analysis.
+type SoundnessRow struct {
+	HonestyRatio float64
+	// QSoundness is Eq. (8)'s sample count for the target soundness error.
+	QSoundness int
+	// QEconomic is Eq. (11)'s sample count for non-positive attacker gain.
+	QEconomic int
+	// GainAtQEconomic is the attacker's bounded net gain at q = QEconomic.
+	GainAtQEconomic float64
+	// ErrAtQ3 is the soundness error at the evaluation's q = 3.
+	ErrAtQ3 float64
+}
+
+// SoundnessResult reproduces the Sec. VI worked numbers: the q required by
+// pure soundness versus the (much smaller) q required once attacker
+// economics are taken into account — the justification for the evaluation's
+// q = 3.
+type SoundnessResult struct {
+	Rows  []SoundnessRow
+	Table Table
+}
+
+// Soundness tabulates Eq. (8) and Eq. (11) across honesty ratios.
+func Soundness(opts SoundnessOptions) (*SoundnessResult, error) {
+	opts.defaults()
+	res := &SoundnessResult{Table: Table{
+		Caption: "Sec. VI — samples required: cryptographic vs economic soundness",
+		Headers: []string{"h_A", "q (Pr_err≤1%)", "q (G_A≤0)", "G_A at q_econ", "soundness err at q=3"},
+	}}
+	for _, h := range opts.HonestyRatios {
+		row := SoundnessRow{HonestyRatio: h}
+		var err error
+		row.QSoundness, err = economics.SamplesForSoundness(opts.PrErr, h, opts.PrLshBeta)
+		if err != nil {
+			return nil, err
+		}
+		row.QEconomic, err = economics.SamplesForNegativeGain(h, opts.CTrain, opts.CSpoof, opts.PrLshBeta)
+		if err != nil {
+			return nil, err
+		}
+		row.GainAtQEconomic, err = economics.AttackerGain(economics.GainParams{
+			HonestyRatio: h, CTrain: opts.CTrain, CSpoof: opts.CSpoof,
+			PrLshAlpha: 0.95, PrLshBeta: opts.PrLshBeta, Samples: row.QEconomic,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.ErrAtQ3, err = economics.SoundnessError(h, opts.PrLshBeta, 3)
+		if err != nil {
+			return nil, err
+		}
+		if row.QEconomic > row.QSoundness {
+			return nil, errors.New("experiments: economic q exceeded cryptographic q — model inconsistency")
+		}
+		res.Rows = append(res.Rows, row)
+		res.Table.Add(row.HonestyRatio, row.QSoundness, row.QEconomic, row.GainAtQEconomic, row.ErrAtQ3)
+	}
+	return res, nil
+}

@@ -1,0 +1,122 @@
+package lsh
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"rpol/internal/tensor"
+)
+
+// Family is a concrete p-stable LSH family over vectors of a fixed
+// dimension. A family is a pure function of (dim, params, seed): the manager
+// distributes (params, seed) to pool workers so both sides hash with
+// identical projections (Sec. V-C, "distributes them to pool workers for
+// producing LSH-based commitment").
+type Family struct {
+	dim    int
+	params Params
+	seed   int64
+	// projections[g][f] is the Gaussian vector a for group g, function f;
+	// offsets[g][f] is the uniform shift b in [0, r).
+	projections [][]tensor.Vector
+	offsets     [][]float64
+}
+
+// Digest is the LSH fingerprint of a vector: one 8-byte hash per group,
+// where each group hash condenses its k bucket indices. Two digests match if
+// any group hash agrees.
+type Digest []uint64
+
+// Size returns the digest's wire size in bytes.
+func (d Digest) Size() int { return 8 * len(d) }
+
+// Encode serializes the digest.
+func (d Digest) Encode() []byte {
+	buf := make([]byte, 8*len(d))
+	for i, v := range d {
+		binary.LittleEndian.PutUint64(buf[8*i:], v)
+	}
+	return buf
+}
+
+// DecodeDigest parses a digest previously produced by Encode.
+func DecodeDigest(buf []byte) (Digest, error) {
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("lsh: digest length %d not a multiple of 8", len(buf))
+	}
+	d := make(Digest, len(buf)/8)
+	for i := range d {
+		d[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	return d, nil
+}
+
+// NewFamily constructs the family for vectors of length dim.
+func NewFamily(dim int, params Params, seed int64) (*Family, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("lsh: dimension %d", dim)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(seed)
+	proj := make([][]tensor.Vector, params.L)
+	offs := make([][]float64, params.L)
+	for g := 0; g < params.L; g++ {
+		proj[g] = make([]tensor.Vector, params.K)
+		offs[g] = make([]float64, params.K)
+		for f := 0; f < params.K; f++ {
+			proj[g][f] = rng.NormalVector(dim, 0, 1)
+			offs[g][f] = rng.Uniform(0, params.R)
+		}
+	}
+	return &Family{dim: dim, params: params, seed: seed, projections: proj, offsets: offs}, nil
+}
+
+// Dim returns the vector dimension the family hashes.
+func (f *Family) Dim() int { return f.dim }
+
+// Params returns the family's {r, k, l}.
+func (f *Family) Params() Params { return f.params }
+
+// Seed returns the seed the family was derived from.
+func (f *Family) Seed() int64 { return f.seed }
+
+// Hash computes the digest of x: for each group, the k bucket indices
+// ⌊(a·x+b)/r⌋ are folded through SHA-256 into one 8-byte group hash.
+func (f *Family) Hash(x tensor.Vector) (Digest, error) {
+	if len(x) != f.dim {
+		return nil, fmt.Errorf("lsh: input %d, want %d: %w", len(x), f.dim, tensor.ErrShapeMismatch)
+	}
+	d := make(Digest, f.params.L)
+	buf := make([]byte, 8*f.params.K)
+	for g := 0; g < f.params.L; g++ {
+		for fn := 0; fn < f.params.K; fn++ {
+			dot, err := f.projections[g][fn].Dot(x)
+			if err != nil {
+				return nil, err
+			}
+			bucket := int64(math.Floor((dot + f.offsets[g][fn]) / f.params.R))
+			binary.LittleEndian.PutUint64(buf[8*fn:], uint64(bucket))
+		}
+		sum := sha256.Sum256(buf)
+		d[g] = binary.LittleEndian.Uint64(sum[:8])
+	}
+	return d, nil
+}
+
+// Match reports whether two digests agree in at least one group — the OR
+// over l groups of the AND over k functions.
+func Match(a, b Digest) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] == b[i] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package lsh
+
+import (
+	"math"
+	"testing"
+
+	"rpol/internal/stats"
+)
+
+func calibratedParams(t *testing.T, alpha, beta float64) Params {
+	t.Helper()
+	p, _, _, err := Optimize(alpha, beta, OptimizeOptions{KLsh: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFNRIntegralMatchesPointMass(t *testing.T) {
+	// With the repro density concentrated tightly at α, the integral must
+	// approach the worst-case closed form 1 − Pr_lsh(α).
+	alpha, beta := 0.2, 1.0
+	p := calibratedParams(t, alpha, beta)
+	narrow := func(c float64) float64 { return stats.NormalPDF(c, alpha, alpha/100) }
+	got, err := FNRIntegral(narrow, beta, p, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FNRAtWorstCase(alpha, p)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("FNR integral %v vs point-mass %v", got, want)
+	}
+}
+
+func TestFPRIntegralMatchesPointMass(t *testing.T) {
+	alpha, beta := 0.2, 1.0
+	p := calibratedParams(t, alpha, beta)
+	// Spoof distances concentrated entirely just above β (the mean sits
+	// 10σ past the bound so effectively no mass is truncated at β).
+	spoofMean := beta * 1.01
+	narrow := func(c float64) float64 { return stats.NormalPDF(c, spoofMean, beta/1000) }
+	got, err := FPRIntegral(narrow, beta, 3*beta, p, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FPRAtWorstCase(beta, p)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("FPR integral %v vs worst case %v", got, want)
+	}
+}
+
+func TestIntegralsWithRealisticDensities(t *testing.T) {
+	// Honest errors ~ N(α/2, α/6) (well inside the tolerance): FNR must be
+	// far below the worst case. Spoofs ~ N(4β, β/2) (far outside): FPR ≈ 0.
+	alpha, beta := 0.2, 1.0
+	p := calibratedParams(t, alpha, beta)
+	repro := func(c float64) float64 { return stats.NormalPDF(c, alpha/2, alpha/6) }
+	fnr, err := FNRIntegral(repro, beta, p, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst := FNRAtWorstCase(alpha, p); fnr >= worst {
+		t.Errorf("typical-case FNR %v not below worst case %v", fnr, worst)
+	}
+	spoof := func(c float64) float64 { return stats.NormalPDF(c, 4*beta, beta/2) }
+	fpr, err := FPRIntegral(spoof, beta, 10*beta, p, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpr > 0.01 {
+		t.Errorf("distant-spoof FPR %v, want ≈ 0", fpr)
+	}
+}
+
+func TestIntegralValidation(t *testing.T) {
+	p := Params{R: 1, K: 2, L: 2}
+	f := func(float64) float64 { return 1 }
+	if _, err := FNRIntegral(f, 0, p, 64); err == nil {
+		t.Error("zero beta accepted")
+	}
+	if _, err := FNRIntegral(f, 1, Params{}, 64); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := FPRIntegral(f, 1, 0.5, p, 64); err == nil {
+		t.Error("upper below beta accepted")
+	}
+	if _, err := FPRIntegral(f, 0, 1, p, 64); err == nil {
+		t.Error("zero beta accepted")
+	}
+}
+
+func TestIntegralsClamped(t *testing.T) {
+	// A wildly non-normalized "density" must still produce a rate in [0, 1].
+	p := Params{R: 1, K: 1, L: 1}
+	huge := func(float64) float64 { return 1e6 }
+	got, err := FNRIntegral(huge, 2, p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0 || got > 1 {
+		t.Errorf("FNR = %v outside [0,1]", got)
+	}
+}

@@ -1,0 +1,138 @@
+package mining
+
+import (
+	"errors"
+	"testing"
+
+	"rpol/internal/blockchain"
+	"rpol/internal/pool"
+	"rpol/internal/rpol"
+)
+
+// detRand is a deterministic entropy source for reproducible wallets.
+type detRand struct{ state uint64 }
+
+func (d *detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		d.state = d.state*6364136223846793005 + 1442695040888963407
+		p[i] = byte(d.state >> 56)
+	}
+	return len(p), nil
+}
+
+func task() blockchain.Task {
+	return blockchain.Task{
+		ID:             "block-7",
+		ModelSpec:      "resnet18-cifar10",
+		TargetAccuracy: 0.93,
+		MinProposals:   2,
+		Reward:         1000,
+	}
+}
+
+func contenders() []Contender {
+	return []Contender{
+		{
+			Name: "verified",
+			Pool: pool.Config{
+				Scheme: rpol.SchemeV2, NumWorkers: 5, Adv1Fraction: 0.4,
+				StepsPerEpoch: 10, Seed: 31,
+			},
+			ManagerCut: 0.05,
+		},
+		{
+			Name: "insecure",
+			Pool: pool.Config{
+				Scheme: rpol.SchemeBaseline, NumWorkers: 5, Adv1Fraction: 0.4,
+				StepsPerEpoch: 10, Seed: 31,
+			},
+			ManagerCut: 0.05,
+		},
+	}
+}
+
+func TestCompetitionVerifiedPoolWins(t *testing.T) {
+	chain := blockchain.NewChain()
+	res, err := Run(CompetitionConfig{
+		Task:      task(),
+		MaxEpochs: 5,
+		Entropy:   &detRand{state: 1},
+	}, contenders(), chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != "verified" {
+		t.Errorf("winner = %q, want the verified pool", res.Winner)
+	}
+	if chain.Height() != 1 {
+		t.Errorf("chain height = %d", chain.Height())
+	}
+	if err := chain.Verify(); err != nil {
+		t.Errorf("chain invalid: %v", err)
+	}
+	if res.Block.TaskID != "block-7" {
+		t.Errorf("block task = %q", res.Block.TaskID)
+	}
+
+	// The verified pool detected its cheaters every epoch; the insecure one
+	// detected nothing.
+	byName := map[string]ContenderResult{}
+	for _, c := range res.Contenders {
+		byName[c.Name] = c
+	}
+	if byName["verified"].Detected == 0 {
+		t.Error("verified pool detected no adversaries")
+	}
+	if byName["insecure"].Detected != 0 {
+		t.Error("insecure pool claims detections")
+	}
+
+	// The reward settles: manager fee plus per-worker payouts totalling the
+	// block reward.
+	total := res.ManagerReward
+	for _, p := range res.Payouts {
+		total += p.Amount
+		if p.Amount <= 0 {
+			t.Errorf("payout %s = %v", p.WorkerID, p.Amount)
+		}
+	}
+	if total < 999.999 || total > 1000.001 {
+		t.Errorf("settlement total = %v, want 1000", total)
+	}
+	if len(res.Payouts) != 3 { // the 3 honest workers of the verified pool
+		t.Errorf("payouts = %d, want 3", len(res.Payouts))
+	}
+}
+
+func TestCompetitionTargetAccuracyStopsEarly(t *testing.T) {
+	chain := blockchain.NewChain()
+	cfg := CompetitionConfig{
+		Task:      task(),
+		MaxEpochs: 12,
+		Entropy:   &detRand{state: 2},
+	}
+	cfg.Task.TargetAccuracy = 0.05 // trivially reached after epoch 1
+	res, err := Run(cfg, contenders(), chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Contenders {
+		if c.EpochsRun != 1 {
+			t.Errorf("%s ran %d epochs, want early stop at 1", c.Name, c.EpochsRun)
+		}
+	}
+}
+
+func TestCompetitionValidation(t *testing.T) {
+	chain := blockchain.NewChain()
+	if _, err := Run(CompetitionConfig{Task: task(), MaxEpochs: 1, Entropy: &detRand{}}, nil, chain); !errors.Is(err, ErrNoContenders) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := Run(CompetitionConfig{Task: task(), MaxEpochs: 0, Entropy: &detRand{}}, contenders(), chain); err == nil {
+		t.Error("zero epochs accepted")
+	}
+	bad := CompetitionConfig{Task: blockchain.Task{}, MaxEpochs: 1, Entropy: &detRand{}}
+	if _, err := Run(bad, contenders(), chain); err == nil {
+		t.Error("invalid task accepted")
+	}
+}

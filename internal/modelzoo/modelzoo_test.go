@@ -1,0 +1,224 @@
+package modelzoo
+
+import (
+	"testing"
+
+	"rpol/internal/nn"
+	"rpol/internal/tensor"
+)
+
+func TestRegistryContents(t *testing.T) {
+	reg := Registry()
+	for _, name := range []string{
+		"resnet18-cifar10", "resnet50-cifar100", "resnet18-cifar100",
+		"resnet50-cifar10", "resnet50-imagenet", "vgg16-imagenet",
+	} {
+		spec, ok := reg[name]
+		if !ok {
+			t.Errorf("missing task %q", name)
+			continue
+		}
+		if spec.ParamCount <= 0 || spec.ModelBytes <= 0 || spec.DatasetSize <= 0 {
+			t.Errorf("%s: incomplete paper-scale metadata: %+v", name, spec)
+		}
+		if spec.ProxyDim <= 0 || spec.ProxyClasses < 2 || len(spec.ProxyHidden) == 0 {
+			t.Errorf("%s: incomplete proxy config", name)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	if _, err := Get("resnet18-cifar10"); err != nil {
+		t.Errorf("Get: %v", err)
+	}
+	if _, err := Get("alexnet-mnist"); err == nil {
+		t.Error("want error for unknown task")
+	}
+}
+
+func TestPaperScaleSizes(t *testing.T) {
+	r50, err := Get("resnet50-imagenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r50.ModelBytes != 90_700_000 {
+		t.Errorf("ResNet50 bytes = %d, want the paper's 90.7 MB", r50.ModelBytes)
+	}
+	vgg, err := Get("vgg16-imagenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vgg.ModelBytes != 527_000_000 {
+		t.Errorf("VGG16 bytes = %d, want the paper's 527 MB", vgg.ModelBytes)
+	}
+	if vgg.ModelBytes <= r50.ModelBytes {
+		t.Error("VGG16 must be larger than ResNet50 (communication-bound case)")
+	}
+}
+
+func TestFLOPsHelpers(t *testing.T) {
+	spec, err := Get("resnet18-cifar10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := spec.FLOPsPerEpoch()
+	if full <= 0 {
+		t.Fatal("FLOPsPerEpoch must be positive")
+	}
+	if got := spec.FLOPsPerShardEpoch(10); got != full/10 {
+		t.Errorf("shard FLOPs = %v, want %v", got, full/10)
+	}
+	if got := spec.FLOPsPerShardEpoch(0); got != 0 {
+		t.Errorf("shard FLOPs with 0 workers = %v", got)
+	}
+	steps := spec.StepsPerShardEpoch(10)
+	if steps != 50_000/10/128 {
+		t.Errorf("steps = %d", steps)
+	}
+	if got := spec.StepsPerShardEpoch(0); got != 0 {
+		t.Errorf("steps with 0 shards = %v", got)
+	}
+	// Tiny shards round up to at least one step.
+	if got := spec.StepsPerShardEpoch(spec.DatasetSize); got != 1 {
+		t.Errorf("steps for singleton shard = %d, want 1", got)
+	}
+}
+
+func TestBuildProxyDeterministic(t *testing.T) {
+	spec, err := Get("resnet18-cifar10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, tr1, te1, err := spec.BuildProxy(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, tr2, te2, err := spec.BuildProxy(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n1.ParamVector().Equal(n2.ParamVector(), 0) {
+		t.Error("same seed must produce identical networks")
+	}
+	if tr1.Len() != tr2.Len() || te1.Len() != te2.Len() {
+		t.Error("same seed must produce identically sized splits")
+	}
+	if !tr1.Examples[0].Features.Equal(tr2.Examples[0].Features, 0) {
+		t.Error("same seed must produce identical data")
+	}
+}
+
+func TestBuildProxyShapes(t *testing.T) {
+	spec, err := Get("resnet50-cifar100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, train, test, err := spec.BuildProxy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != spec.ProxyTrainSize {
+		t.Errorf("train size = %d, want %d", train.Len(), spec.ProxyTrainSize)
+	}
+	if test.Len() != spec.ProxyTestSize {
+		t.Errorf("test size = %d, want %d", test.Len(), spec.ProxyTestSize)
+	}
+	logits, err := net.Forward(train.Examples[0].Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logits) != spec.ProxyClasses {
+		t.Errorf("logits = %d, want %d", len(logits), spec.ProxyClasses)
+	}
+}
+
+func TestProxyIsLearnable(t *testing.T) {
+	// The proxy must be a real learnable task or Figures 3/6 degenerate.
+	spec, err := Get("resnet18-cifar10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, train, test, err := spec.BuildProxy(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := &nn.SGDM{LR: 0.05, Momentum: 0.9}
+	xs := make([]tensor.Vector, train.Len())
+	labels := make([]int, train.Len())
+	for i, ex := range train.Examples {
+		xs[i] = ex.Features
+		labels[i] = ex.Label
+	}
+	for epoch := 0; epoch < 5; epoch++ {
+		for i := 0; i+32 <= len(xs); i += 32 {
+			if _, err := net.TrainBatch(xs[i:i+32], labels[i:i+32], opt); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	testXs := make([]tensor.Vector, test.Len())
+	testLabels := make([]int, test.Len())
+	for i, ex := range test.Examples {
+		testXs[i] = ex.Features
+		testLabels[i] = ex.Label
+	}
+	acc, err := net.Accuracy(testXs, testLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.5 {
+		t.Errorf("proxy test accuracy %v after 5 epochs; task not learnable", acc)
+	}
+}
+
+func TestConvProxyLearnable(t *testing.T) {
+	spec, err := Get("resnet18-cifar10-conv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.ProxyConv {
+		t.Fatal("conv task must set ProxyConv")
+	}
+	net, train, test, err := spec.BuildProxy(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := &nn.SGDM{LR: 0.02, Momentum: 0.9}
+	xs := make([]tensor.Vector, train.Len())
+	labels := make([]int, train.Len())
+	for i, ex := range train.Examples {
+		xs[i] = ex.Features
+		labels[i] = ex.Label
+	}
+	for epoch := 0; epoch < 5; epoch++ {
+		for i := 0; i+32 <= len(xs); i += 32 {
+			if _, err := net.TrainBatch(xs[i:i+32], labels[i:i+32], opt); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	testXs := make([]tensor.Vector, test.Len())
+	testLabels := make([]int, test.Len())
+	for i, ex := range test.Examples {
+		testXs[i] = ex.Features
+		testLabels[i] = ex.Label
+	}
+	acc, err := net.Accuracy(testXs, testLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.4 {
+		t.Errorf("conv proxy accuracy %v; task not learnable", acc)
+	}
+}
+
+func TestConvProxyGeometryValidation(t *testing.T) {
+	spec, err := Get("resnet18-cifar10-conv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.ProxyChannels = 5 // no longer matches ProxyDim
+	if _, err := spec.BuildProxyNet(1); err == nil {
+		t.Error("mismatched conv geometry accepted")
+	}
+}

@@ -1,0 +1,209 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Message is one payload in flight on the Bus.
+type Message struct {
+	From    string
+	To      string
+	Kind    string // protocol message type, e.g. "commit", "proof-request"
+	Payload []byte
+}
+
+// Size returns the accounted wire size of the message: payload plus a small
+// fixed header, approximating a TLS record with framing.
+func (m Message) Size() int64 { return int64(len(m.Payload)) + 64 }
+
+// Bus is an in-memory, metered message fabric connecting named endpoints.
+// It stands in for the TLS channels between the manager and workers; every
+// delivered byte is recorded in the Meter.
+type Bus struct {
+	mu        sync.Mutex
+	endpoints map[string]chan Message
+	meter     *Meter
+	closed    bool
+}
+
+// Errors returned by Bus operations.
+var (
+	ErrUnknownEndpoint = errors.New("netsim: unknown endpoint")
+	ErrDuplicate       = errors.New("netsim: endpoint already registered")
+	ErrClosed          = errors.New("netsim: bus closed")
+)
+
+// busQueueDepth bounds each endpoint's in-flight messages. The pool protocol
+// is strictly request/response per epoch, so the depth only needs to cover
+// one round of fan-in from all peers.
+const busQueueDepth = 1024
+
+// NewBus returns an empty bus with a fresh meter.
+func NewBus() *Bus {
+	return &Bus{
+		endpoints: make(map[string]chan Message),
+		meter:     NewMeter(),
+	}
+}
+
+// Meter returns the bus's byte meter.
+func (b *Bus) Meter() *Meter { return b.meter }
+
+// Endpoint is one party's handle on the bus.
+type Endpoint struct {
+	bus   *Bus
+	name  string
+	inbox chan Message
+}
+
+// Register adds a named endpoint. Names must be unique.
+func (b *Bus) Register(name string) (*Endpoint, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := b.endpoints[name]; ok {
+		return nil, fmt.Errorf("%s: %w", name, ErrDuplicate)
+	}
+	ch := make(chan Message, busQueueDepth)
+	b.endpoints[name] = ch
+	return &Endpoint{bus: b, name: name, inbox: ch}, nil
+}
+
+// Close shuts the bus down; subsequent sends fail and pending receivers
+// drain then see closed inboxes.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, ch := range b.endpoints {
+		close(ch)
+	}
+}
+
+// Name returns the endpoint's registered name.
+func (e *Endpoint) Name() string { return e.name }
+
+// Send delivers a message to the named endpoint and meters its size.
+func (e *Endpoint) Send(to, kind string, payload []byte) error {
+	e.bus.mu.Lock()
+	if e.bus.closed {
+		e.bus.mu.Unlock()
+		return ErrClosed
+	}
+	ch, ok := e.bus.endpoints[to]
+	e.bus.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%s: %w", to, ErrUnknownEndpoint)
+	}
+	msg := Message{From: e.name, To: to, Kind: kind, Payload: payload}
+	select {
+	case ch <- msg:
+		e.bus.meter.Record(e.name, to, kind, msg.Size())
+		return nil
+	default:
+		return fmt.Errorf("netsim: inbox of %s full", to)
+	}
+}
+
+// Recv blocks until a message arrives or the bus closes.
+func (e *Endpoint) Recv() (Message, error) {
+	msg, ok := <-e.inbox
+	if !ok {
+		return Message{}, ErrClosed
+	}
+	return msg, nil
+}
+
+// TryRecv returns the next message if one is queued.
+func (e *Endpoint) TryRecv() (Message, bool) {
+	select {
+	case msg, ok := <-e.inbox:
+		if !ok {
+			return Message{}, false
+		}
+		return msg, true
+	default:
+		return Message{}, false
+	}
+}
+
+// Meter accumulates transferred bytes, grouped by endpoint and message kind.
+// It is safe for concurrent use.
+type Meter struct {
+	mu       sync.Mutex
+	sent     map[string]int64 // by sender
+	received map[string]int64 // by receiver
+	byKind   map[string]int64
+	total    int64
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{
+		sent:     make(map[string]int64),
+		received: make(map[string]int64),
+		byKind:   make(map[string]int64),
+	}
+}
+
+// Record accounts one transfer.
+func (m *Meter) Record(from, to, kind string, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sent[from] += bytes
+	m.received[to] += bytes
+	m.byKind[kind] += bytes
+	m.total += bytes
+}
+
+// Total returns all bytes transferred.
+func (m *Meter) Total() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// SentBy returns the bytes sent by the named endpoint.
+func (m *Meter) SentBy(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sent[name]
+}
+
+// ReceivedBy returns the bytes received by the named endpoint.
+func (m *Meter) ReceivedBy(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.received[name]
+}
+
+// ByKind returns a copy of the per-message-kind byte totals.
+func (m *Meter) ByKind() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.byKind))
+	for k, v := range m.byKind {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset zeroes all counters.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sent = make(map[string]int64)
+	m.received = make(map[string]int64)
+	m.byKind = make(map[string]int64)
+	m.total = 0
+}

@@ -1,0 +1,242 @@
+package netsim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTransferTimeBottleneck(t *testing.T) {
+	// 100 MB over a 100 Mbps bottleneck = 8 s.
+	got, err := TransferTime(100_000_000, 10e9, 100e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 8 * time.Second
+	if got < want-time.Millisecond || got > want+time.Millisecond {
+		t.Errorf("TransferTime = %v, want %v", got, want)
+	}
+	// Direction of the bottleneck must not matter.
+	rev, err := TransferTime(100_000_000, 100e6, 10e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev != got {
+		t.Errorf("asymmetric bottleneck: %v vs %v", rev, got)
+	}
+}
+
+func TestTransferTimeEdge(t *testing.T) {
+	if _, err := TransferTime(1, 0, 1); !errors.Is(err, ErrBadLink) {
+		t.Errorf("err = %v", err)
+	}
+	got, err := TransferTime(0, 1e6, 1e6)
+	if err != nil || got != 0 {
+		t.Errorf("zero bytes: %v, %v", got, err)
+	}
+}
+
+func TestFanOutSmallPoolWorkerBound(t *testing.T) {
+	// 10 workers × 90.7 MB through a 10 Gbps manager uplink = 0.73 s
+	// aggregate, but each worker's 100 Mbps downlink needs 7.26 s — the
+	// worker link governs.
+	got, err := FanOutTime(10, 90_700_000, ManagerLink, WorkerLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Duration(90_700_000 * 8 / 100e6 * float64(time.Second))
+	if got < want-10*time.Millisecond || got > want+10*time.Millisecond {
+		t.Errorf("FanOut = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestFanOutLargePoolManagerBound(t *testing.T) {
+	// 1000 workers × 90.7 MB = 90.7 GB through 10 Gbps = 72.6 s aggregate,
+	// exceeding the per-worker 7.26 s — the manager uplink governs.
+	got, err := FanOutTime(1000, 90_700_000, ManagerLink, WorkerLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggregate := time.Duration(1000 * 90_700_000 * 8 / 10e9 * float64(time.Second))
+	if got < aggregate-100*time.Millisecond || got > aggregate+100*time.Millisecond {
+		t.Errorf("FanOut = %v, want ≈ %v", got, aggregate)
+	}
+}
+
+func TestFanInMirrorsFanOut(t *testing.T) {
+	out, err := FanOutTime(10, 1_000_000, ManagerLink, WorkerLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := FanInTime(10, 1_000_000, ManagerLink, WorkerLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("symmetric links must give equal times: %v vs %v", out, in)
+	}
+}
+
+func TestFanEdgeCases(t *testing.T) {
+	if _, err := FanOutTime(1, 1, LinkSpec{}, WorkerLink); !errors.Is(err, ErrBadLink) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := FanInTime(1, 1, ManagerLink, LinkSpec{}); !errors.Is(err, ErrBadLink) {
+		t.Errorf("err = %v", err)
+	}
+	if got, err := FanOutTime(0, 100, ManagerLink, WorkerLink); err != nil || got != 0 {
+		t.Errorf("n=0: %v, %v", got, err)
+	}
+}
+
+func TestBusSendRecv(t *testing.T) {
+	bus := NewBus()
+	a, err := bus.Register("manager")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bus.Register("worker-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("worker-1", "model", []byte("weights")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.From != "manager" || msg.Kind != "model" || string(msg.Payload) != "weights" {
+		t.Errorf("msg = %+v", msg)
+	}
+}
+
+func TestBusUnknownAndDuplicate(t *testing.T) {
+	bus := NewBus()
+	a, err := bus.Register("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("ghost", "x", nil); !errors.Is(err, ErrUnknownEndpoint) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := bus.Register("a"); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBusClose(t *testing.T) {
+	bus := NewBus()
+	a, err := bus.Register("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bus.Register("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var recvErr error
+	go func() {
+		defer wg.Done()
+		_, recvErr = b.Recv()
+	}()
+	bus.Close()
+	wg.Wait()
+	if !errors.Is(recvErr, ErrClosed) {
+		t.Errorf("Recv after close = %v", recvErr)
+	}
+	if err := a.Send("b", "x", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close = %v", err)
+	}
+	if _, err := bus.Register("c"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Register after close = %v", err)
+	}
+	bus.Close() // double close must not panic
+}
+
+func TestBusTryRecv(t *testing.T) {
+	bus := NewBus()
+	a, err := bus.Register("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bus.Register("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.TryRecv(); ok {
+		t.Error("TryRecv on empty inbox must return false")
+	}
+	if err := a.Send("b", "x", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, ok := b.TryRecv(); !ok || msg.Kind != "x" {
+		t.Errorf("TryRecv = %+v, %v", msg, ok)
+	}
+}
+
+func TestMeterAccounting(t *testing.T) {
+	bus := NewBus()
+	a, err := bus.Register("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bus.Register("b"); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1000)
+	if err := a.Send("b", "weights", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", "digest", payload[:100]); err != nil {
+		t.Fatal(err)
+	}
+	m := bus.Meter()
+	if m.Total() != 1064+164 {
+		t.Errorf("Total = %d", m.Total())
+	}
+	if m.SentBy("a") != m.Total() {
+		t.Errorf("SentBy(a) = %d", m.SentBy("a"))
+	}
+	if m.ReceivedBy("b") != m.Total() {
+		t.Errorf("ReceivedBy(b) = %d", m.ReceivedBy("b"))
+	}
+	byKind := m.ByKind()
+	if byKind["weights"] != 1064 || byKind["digest"] != 164 {
+		t.Errorf("ByKind = %v", byKind)
+	}
+	m.Reset()
+	if m.Total() != 0 || m.SentBy("a") != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestMeterConcurrentSafety(t *testing.T) {
+	m := NewMeter()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.Record("x", "y", "k", 10)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Total() != 8000 {
+		t.Errorf("Total = %d, want 8000", m.Total())
+	}
+}
+
+func TestMeterIgnoresNonPositive(t *testing.T) {
+	m := NewMeter()
+	m.Record("a", "b", "k", 0)
+	m.Record("a", "b", "k", -5)
+	if m.Total() != 0 {
+		t.Errorf("Total = %d", m.Total())
+	}
+}

@@ -1,0 +1,302 @@
+package netsim
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPHub is a real-sockets counterpart to the in-memory Bus: a star-topology
+// router that endpoints join over TCP. Each client registers a unique name
+// and then exchanges the same Message frames as the Bus, with the hub
+// routing by destination name and metering every delivered byte. It exists
+// so the wire-level protocol (internal/wire) can be exercised over an
+// actual network stack as well as in memory.
+//
+// Frame format: 4-byte big-endian length prefix followed by the JSON
+// encoding of Message. The first frame a client sends is its registration:
+// a Message whose Kind is "register" and whose From is the client's name.
+type TCPHub struct {
+	listener net.Listener
+	meter    *Meter
+
+	mu      sync.Mutex
+	clients map[string]*hubClient
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+type hubClient struct {
+	name string
+	conn net.Conn
+	out  chan Message
+}
+
+// Reserved message kinds for the registration handshake.
+const (
+	KindRegister    = "register"
+	KindRegistered  = "registered"
+	KindRegisterErr = "register-error"
+)
+
+// maxFrameSize bounds a single frame to guard against corrupt length
+// prefixes.
+const maxFrameSize = 64 << 20
+
+// ErrFrameTooLarge is returned when a peer announces an oversized frame.
+var ErrFrameTooLarge = errors.New("netsim: frame too large")
+
+// NewTCPHub starts a hub listening on addr (e.g. "127.0.0.1:0").
+func NewTCPHub(addr string) (*TCPHub, error) {
+	listener, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim hub: %w", err)
+	}
+	h := &TCPHub{
+		listener: listener,
+		meter:    NewMeter(),
+		clients:  make(map[string]*hubClient),
+	}
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr returns the hub's listening address.
+func (h *TCPHub) Addr() string { return h.listener.Addr().String() }
+
+// Meter returns the hub's byte meter.
+func (h *TCPHub) Meter() *Meter { return h.meter }
+
+// Close shuts the hub and all client connections down and waits for its
+// goroutines to exit.
+func (h *TCPHub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		h.wg.Wait()
+		return
+	}
+	h.closed = true
+	_ = h.listener.Close()
+	for _, c := range h.clients {
+		_ = c.conn.Close()
+		close(c.out)
+	}
+	h.clients = make(map[string]*hubClient)
+	h.mu.Unlock()
+	h.wg.Wait()
+}
+
+func (h *TCPHub) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		h.wg.Add(1)
+		go h.serveConn(conn)
+	}
+}
+
+// serveConn handles one client: registration, then routing its frames.
+func (h *TCPHub) serveConn(conn net.Conn) {
+	defer h.wg.Done()
+	reader := bufio.NewReader(conn)
+	reg, err := readFrame(reader)
+	if err != nil || reg.Kind != KindRegister || reg.From == "" {
+		_ = conn.Close()
+		return
+	}
+	client := &hubClient{name: reg.From, conn: conn, out: make(chan Message, busQueueDepth)}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	if _, exists := h.clients[client.name]; exists {
+		h.mu.Unlock()
+		// Refuse the duplicate explicitly so the dialer fails fast.
+		w := bufio.NewWriter(conn)
+		_ = writeFrame(w, Message{To: reg.From, Kind: KindRegisterErr, Payload: []byte("name already registered")})
+		_ = w.Flush()
+		_ = conn.Close()
+		return
+	}
+	h.clients[client.name] = client
+	// Registration is acknowledged synchronously: the dialer blocks until
+	// this ack arrives, so a message sent right after DialHub returns can
+	// never race the hub's routing table. Enqueued under the lock so a
+	// concurrent Close cannot close the queue first.
+	client.out <- Message{To: client.name, Kind: KindRegistered}
+	h.mu.Unlock()
+
+	// Writer: drain the client's outbound queue onto the socket.
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		w := bufio.NewWriter(conn)
+		for msg := range client.out {
+			if err := writeFrame(w, msg); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Reader: route inbound frames until the connection drops.
+	for {
+		msg, err := readFrame(reader)
+		if err != nil {
+			break
+		}
+		msg.From = client.name // the hub authenticates the sender
+		h.route(msg)
+	}
+	h.dropClient(client.name)
+}
+
+func (h *TCPHub) route(msg Message) {
+	// The lock is held across the (non-blocking) enqueue so that a
+	// concurrent dropClient cannot close the destination queue mid-send.
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	dst, ok := h.clients[msg.To]
+	if !ok {
+		return // unknown destination: drop (as a datagram fabric would)
+	}
+	select {
+	case dst.out <- msg:
+		h.meter.Record(msg.From, msg.To, msg.Kind, msg.Size())
+	default:
+		// Destination queue full: drop rather than block the router.
+	}
+}
+
+func (h *TCPHub) dropClient(name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	if c, ok := h.clients[name]; ok {
+		delete(h.clients, name)
+		_ = c.conn.Close()
+		close(c.out)
+	}
+}
+
+func writeFrame(w io.Writer, msg Message) error {
+	data, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("netsim frame: %w", err)
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(data)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+func readFrame(r io.Reader) (Message, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return Message{}, err
+	}
+	size := binary.BigEndian.Uint32(prefix[:])
+	if size > maxFrameSize {
+		return Message{}, fmt.Errorf("%d bytes: %w", size, ErrFrameTooLarge)
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return Message{}, err
+	}
+	var msg Message
+	if err := json.Unmarshal(data, &msg); err != nil {
+		return Message{}, fmt.Errorf("netsim frame: %w", err)
+	}
+	return msg, nil
+}
+
+// TCPEndpoint is a client connection to a TCPHub offering the same
+// Send/Recv surface as the in-memory Endpoint.
+type TCPEndpoint struct {
+	name string
+	conn net.Conn
+
+	writeMu sync.Mutex
+	writer  *bufio.Writer
+	reader  *bufio.Reader
+}
+
+// DialHub connects to the hub at addr and registers under name.
+func DialHub(addr, name string) (*TCPEndpoint, error) {
+	if name == "" {
+		return nil, errors.New("netsim: endpoint needs a name")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim dial: %w", err)
+	}
+	ep := &TCPEndpoint{
+		name:   name,
+		conn:   conn,
+		writer: bufio.NewWriter(conn),
+		reader: bufio.NewReader(conn),
+	}
+	if err := ep.writeMsg(Message{From: name, Kind: KindRegister}); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("netsim register: %w", err)
+	}
+	ack, err := readFrame(ep.reader)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("netsim register: %w", err)
+	}
+	if ack.Kind != KindRegistered {
+		_ = conn.Close()
+		return nil, fmt.Errorf("netsim register %q: %s", name, ack.Payload)
+	}
+	return ep, nil
+}
+
+// Name returns the endpoint's registered name.
+func (e *TCPEndpoint) Name() string { return e.name }
+
+func (e *TCPEndpoint) writeMsg(msg Message) error {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	if err := writeFrame(e.writer, msg); err != nil {
+		return err
+	}
+	return e.writer.Flush()
+}
+
+// Send delivers a message through the hub.
+func (e *TCPEndpoint) Send(to, kind string, payload []byte) error {
+	return e.writeMsg(Message{From: e.name, To: to, Kind: kind, Payload: payload})
+}
+
+// Recv blocks until a message arrives or the connection closes.
+func (e *TCPEndpoint) Recv() (Message, error) {
+	msg, err := readFrame(e.reader)
+	if err != nil {
+		return Message{}, fmt.Errorf("netsim recv: %w", err)
+	}
+	return msg, nil
+}
+
+// Close terminates the connection.
+func (e *TCPEndpoint) Close() error { return e.conn.Close() }

@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rpol/internal/tensor"
+)
+
+// LayerNorm normalizes its input to zero mean and unit variance and applies
+// a learned affine transform: y = γ·(x − μ)/σ + b. Unlike batch
+// normalization it keeps no running statistics, so training remains a pure
+// per-example function — the determinism RPoL's re-execution verification
+// requires.
+type LayerNorm struct {
+	Gamma, Beta         tensor.Vector
+	GradGamma, GradBeta tensor.Vector
+	Eps                 float64
+	Frozen              bool
+
+	lastNorm tensor.Vector // (x − μ)/σ cache for backward
+	lastStd  float64
+}
+
+var _ Layer = (*LayerNorm)(nil)
+
+// NewLayerNorm returns a layer norm over vectors of length dim with γ = 1,
+// b = 0.
+func NewLayerNorm(dim int) (*LayerNorm, error) {
+	if dim < 2 {
+		return nil, errors.New("nn: layernorm needs dim ≥ 2")
+	}
+	ln := &LayerNorm{
+		Gamma:     tensor.NewVector(dim),
+		Beta:      tensor.NewVector(dim),
+		GradGamma: tensor.NewVector(dim),
+		GradBeta:  tensor.NewVector(dim),
+		Eps:       1e-5,
+	}
+	ln.Gamma.Fill(1)
+	return ln, nil
+}
+
+// Forward normalizes x and applies the affine transform.
+func (l *LayerNorm) Forward(x tensor.Vector) (tensor.Vector, error) {
+	if len(x) != len(l.Gamma) {
+		return nil, fmt.Errorf("layernorm input %d, want %d: %w", len(x), len(l.Gamma), tensor.ErrShapeMismatch)
+	}
+	n := float64(len(x))
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= n
+	var variance float64
+	for _, v := range x {
+		d := v - mean
+		variance += d * d
+	}
+	variance /= n
+	std := math.Sqrt(variance + l.Eps)
+
+	norm := make(tensor.Vector, len(x))
+	out := make(tensor.Vector, len(x))
+	for i, v := range x {
+		norm[i] = (v - mean) / std
+		out[i] = l.Gamma[i]*norm[i] + l.Beta[i]
+	}
+	l.lastNorm = norm
+	l.lastStd = std
+	return out, nil
+}
+
+// Backward computes parameter gradients and the input gradient using the
+// standard layer-norm backward pass.
+func (l *LayerNorm) Backward(grad tensor.Vector) (tensor.Vector, error) {
+	if l.lastNorm == nil {
+		return nil, errors.New("nn: layernorm backward before forward")
+	}
+	if len(grad) != len(l.Gamma) {
+		return nil, fmt.Errorf("layernorm grad %d, want %d: %w", len(grad), len(l.Gamma), tensor.ErrShapeMismatch)
+	}
+	n := float64(len(grad))
+
+	// dnorm_i = grad_i · γ_i
+	dnorm := make(tensor.Vector, len(grad))
+	var sumDnorm, sumDnormNorm float64
+	for i, g := range grad {
+		if !l.Frozen {
+			l.GradGamma[i] += g * l.lastNorm[i]
+			l.GradBeta[i] += g
+		}
+		dnorm[i] = g * l.Gamma[i]
+		sumDnorm += dnorm[i]
+		sumDnormNorm += dnorm[i] * l.lastNorm[i]
+	}
+	in := make(tensor.Vector, len(grad))
+	for i := range in {
+		in[i] = (dnorm[i] - sumDnorm/n - l.lastNorm[i]*sumDnormNorm/n) / l.lastStd
+	}
+	return in, nil
+}
+
+// Params returns γ and b, or nil when frozen.
+func (l *LayerNorm) Params() []tensor.Vector {
+	if l.Frozen {
+		return nil
+	}
+	return []tensor.Vector{l.Gamma, l.Beta}
+}
+
+// Grads returns the accumulated gradients, or nil when frozen.
+func (l *LayerNorm) Grads() []tensor.Vector {
+	if l.Frozen {
+		return nil
+	}
+	return []tensor.Vector{l.GradGamma, l.GradBeta}
+}
+
+// ZeroGrads clears the accumulated gradients.
+func (l *LayerNorm) ZeroGrads() {
+	l.GradGamma.Zero()
+	l.GradBeta.Zero()
+}
+
+// InputDim returns the vector length.
+func (l *LayerNorm) InputDim() int { return len(l.Gamma) }
+
+// OutputDim returns the vector length.
+func (l *LayerNorm) OutputDim() int { return len(l.Gamma) }
+
+// Name returns "layernorm".
+func (l *LayerNorm) Name() string { return "layernorm" }

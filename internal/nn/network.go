@@ -1,0 +1,176 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+
+	"rpol/internal/tensor"
+)
+
+// Network is a sequential stack of layers trained with softmax
+// cross-entropy. It exposes its trainable parameters as one flattened
+// vector — the representation RPoL checkpoints, hashes, and LSH-digests.
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork validates that consecutive layers connect and returns the
+// stack.
+func NewNetwork(layers ...Layer) (*Network, error) {
+	if len(layers) == 0 {
+		return nil, errors.New("nn: empty network")
+	}
+	for i := 1; i < len(layers); i++ {
+		if layers[i-1].OutputDim() != layers[i].InputDim() {
+			return nil, fmt.Errorf("layer %d (%s) out %d vs layer %d (%s) in %d: %w",
+				i-1, layers[i-1].Name(), layers[i-1].OutputDim(),
+				i, layers[i].Name(), layers[i].InputDim(), ErrNotConnected)
+		}
+	}
+	return &Network{Layers: layers}, nil
+}
+
+// Forward runs x through every layer and returns the logits.
+func (n *Network) Forward(x tensor.Vector) (tensor.Vector, error) {
+	cur := x
+	for i, l := range n.Layers {
+		out, err := l.Forward(cur)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d (%s): %w", i, l.Name(), err)
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// Backward propagates the loss gradient through every layer in reverse,
+// accumulating parameter gradients.
+func (n *Network) Backward(grad tensor.Vector) error {
+	cur := grad
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		out, err := n.Layers[i].Backward(cur)
+		if err != nil {
+			return fmt.Errorf("layer %d (%s): %w", i, n.Layers[i].Name(), err)
+		}
+		cur = out
+	}
+	return nil
+}
+
+// ZeroGrads clears accumulated gradients across all layers.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.Layers {
+		l.ZeroGrads()
+	}
+}
+
+// Params returns the trainable parameter tensors of all layers, in order.
+// The returned slices alias network storage.
+func (n *Network) Params() []tensor.Vector {
+	var out []tensor.Vector
+	for _, l := range n.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Grads returns the gradient tensors positionally matching Params.
+func (n *Network) Grads() []tensor.Vector {
+	var out []tensor.Vector
+	for _, l := range n.Layers {
+		out = append(out, l.Grads()...)
+	}
+	return out
+}
+
+// NumParams returns the total count of trainable parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p)
+	}
+	return total
+}
+
+// ParamVector returns a copy of all trainable parameters flattened into one
+// vector — the model-weight representation used for checkpoints,
+// commitments, and distance measurement throughout the protocol.
+func (n *Network) ParamVector() tensor.Vector {
+	out := make(tensor.Vector, 0, n.NumParams())
+	for _, p := range n.Params() {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// SetParamVector loads a flattened parameter vector produced by
+// ParamVector back into the network.
+func (n *Network) SetParamVector(v tensor.Vector) error {
+	if len(v) != n.NumParams() {
+		return fmt.Errorf("param vector %d, want %d: %w", len(v), n.NumParams(), tensor.ErrShapeMismatch)
+	}
+	off := 0
+	for _, p := range n.Params() {
+		copy(p, v[off:off+len(p)])
+		off += len(p)
+	}
+	return nil
+}
+
+// TrainBatch runs one optimization step over the batch (xs, labels) and
+// returns the mean loss. Gradients are averaged over the batch. The update
+// is fully deterministic given the inputs, which is the property RPoL's
+// re-execution verification needs.
+func (n *Network) TrainBatch(xs []tensor.Vector, labels []int, opt Optimizer) (float64, error) {
+	if len(xs) == 0 || len(xs) != len(labels) {
+		return 0, fmt.Errorf("batch %d inputs vs %d labels: %w", len(xs), len(labels), tensor.ErrShapeMismatch)
+	}
+	n.ZeroGrads()
+	var total float64
+	for i, x := range xs {
+		logits, err := n.Forward(x)
+		if err != nil {
+			return 0, err
+		}
+		loss, grad, err := SoftmaxCrossEntropy(logits, labels[i])
+		if err != nil {
+			return 0, err
+		}
+		total += loss
+		grad.Scale(1 / float64(len(xs)))
+		if err := n.Backward(grad); err != nil {
+			return 0, err
+		}
+	}
+	if err := opt.Step(n.Params(), n.Grads()); err != nil {
+		return 0, err
+	}
+	return total / float64(len(xs)), nil
+}
+
+// Predict returns the argmax class for input x.
+func (n *Network) Predict(x tensor.Vector) (int, error) {
+	logits, err := n.Forward(x)
+	if err != nil {
+		return 0, err
+	}
+	return Argmax(logits), nil
+}
+
+// Accuracy returns the fraction of (xs, labels) classified correctly.
+func (n *Network) Accuracy(xs []tensor.Vector, labels []int) (float64, error) {
+	if len(xs) == 0 || len(xs) != len(labels) {
+		return 0, fmt.Errorf("eval %d inputs vs %d labels: %w", len(xs), len(labels), tensor.ErrShapeMismatch)
+	}
+	correct := 0
+	for i, x := range xs {
+		pred, err := n.Predict(x)
+		if err != nil {
+			return 0, err
+		}
+		if pred == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(xs)), nil
+}

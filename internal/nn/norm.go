@@ -1,0 +1,20 @@
+package nn
+
+import "rpol/internal/tensor"
+
+// SpectralNormalize rescales the matrix in place so that its spectral norm
+// does not exceed c, implementing the paper's Eq. (4):
+//
+//	W̃ = c·W/σ̃  if c/σ̃ < 1,   W̃ = W otherwise,
+//
+// where σ̃ is the maximum singular value estimated with iters rounds of power
+// iteration. It returns the estimated σ̃ of the original matrix.
+// The AMLayer uses this to enforce Lipschitz continuity with c < 1 so the
+// residual block is an invertible 1-1 mapping (Sec. V-A).
+func SpectralNormalize(m *tensor.Matrix, c float64, iters int) float64 {
+	sigma := m.SpectralNorm(iters)
+	if sigma > 0 && c/sigma < 1 {
+		m.Data.Scale(c / sigma)
+	}
+	return sigma
+}

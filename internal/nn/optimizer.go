@@ -1,0 +1,235 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rpol/internal/tensor"
+)
+
+// Optimizer applies a gradient-descent update to a set of parameter tensors.
+// The params and grads slices are positionally matched; implementations keep
+// per-tensor state (momentum, second moments) keyed by position, so an
+// optimizer instance must be used with a single network.
+type Optimizer interface {
+	// Step updates params in place from grads.
+	Step(params, grads []tensor.Vector) error
+	// Reset clears any accumulated state (momentum buffers etc.).
+	Reset()
+	// Name identifies the optimizer ("sgd", "sgdm", "rmsprop", "adam").
+	Name() string
+}
+
+// ErrStateMismatch is returned when Step is called with a parameter layout
+// different from earlier calls.
+var ErrStateMismatch = errors.New("nn: optimizer state mismatch")
+
+func checkPairs(params, grads []tensor.Vector) error {
+	if len(params) != len(grads) {
+		return fmt.Errorf("params %d vs grads %d: %w", len(params), len(grads), ErrStateMismatch)
+	}
+	for i := range params {
+		if len(params[i]) != len(grads[i]) {
+			return fmt.Errorf("tensor %d: param %d vs grad %d: %w",
+				i, len(params[i]), len(grads[i]), ErrStateMismatch)
+		}
+	}
+	return nil
+}
+
+// SGD is plain stochastic gradient descent: θ ← θ − lr·g.
+type SGD struct {
+	LR float64
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// Step applies θ ← θ − lr·g.
+func (o *SGD) Step(params, grads []tensor.Vector) error {
+	if err := checkPairs(params, grads); err != nil {
+		return err
+	}
+	for i := range params {
+		if err := params[i].AXPY(-o.LR, grads[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset is a no-op; SGD is stateless.
+func (o *SGD) Reset() {}
+
+// Name returns "sgd".
+func (o *SGD) Name() string { return "sgd" }
+
+// SGDM is SGD with classical momentum — the paper's default optimizer
+// (lr 0.1, momentum 0.9, Sec. VII-A).
+type SGDM struct {
+	LR       float64
+	Momentum float64
+
+	velocity []tensor.Vector
+}
+
+var _ Optimizer = (*SGDM)(nil)
+
+// Step applies v ← μ·v + g; θ ← θ − lr·v.
+func (o *SGDM) Step(params, grads []tensor.Vector) error {
+	if err := checkPairs(params, grads); err != nil {
+		return err
+	}
+	if o.velocity == nil {
+		o.velocity = make([]tensor.Vector, len(params))
+		for i := range params {
+			o.velocity[i] = tensor.NewVector(len(params[i]))
+		}
+	}
+	if len(o.velocity) != len(params) {
+		return fmt.Errorf("velocity %d vs params %d: %w", len(o.velocity), len(params), ErrStateMismatch)
+	}
+	for i := range params {
+		v := o.velocity[i]
+		if len(v) != len(params[i]) {
+			return fmt.Errorf("velocity tensor %d size changed: %w", i, ErrStateMismatch)
+		}
+		g := grads[i]
+		for j := range v {
+			v[j] = o.Momentum*v[j] + g[j]
+			params[i][j] -= o.LR * v[j]
+		}
+	}
+	return nil
+}
+
+// Reset drops the momentum buffers.
+func (o *SGDM) Reset() { o.velocity = nil }
+
+// Name returns "sgdm".
+func (o *SGDM) Name() string { return "sgdm" }
+
+// RMSprop divides the learning rate by a running RMS of recent gradients.
+type RMSprop struct {
+	LR    float64
+	Decay float64 // typically 0.99
+	Eps   float64 // typically 1e-8
+
+	sq []tensor.Vector
+}
+
+var _ Optimizer = (*RMSprop)(nil)
+
+// Step applies s ← ρ·s + (1−ρ)·g²; θ ← θ − lr·g/√(s+ε).
+func (o *RMSprop) Step(params, grads []tensor.Vector) error {
+	if err := checkPairs(params, grads); err != nil {
+		return err
+	}
+	if o.sq == nil {
+		o.sq = make([]tensor.Vector, len(params))
+		for i := range params {
+			o.sq[i] = tensor.NewVector(len(params[i]))
+		}
+	}
+	if len(o.sq) != len(params) {
+		return fmt.Errorf("state %d vs params %d: %w", len(o.sq), len(params), ErrStateMismatch)
+	}
+	eps := o.Eps
+	if eps == 0 {
+		eps = 1e-8
+	}
+	for i := range params {
+		s := o.sq[i]
+		if len(s) != len(params[i]) {
+			return fmt.Errorf("state tensor %d size changed: %w", i, ErrStateMismatch)
+		}
+		g := grads[i]
+		for j := range s {
+			s[j] = o.Decay*s[j] + (1-o.Decay)*g[j]*g[j]
+			params[i][j] -= o.LR * g[j] / (math.Sqrt(s[j]) + eps)
+		}
+	}
+	return nil
+}
+
+// Reset drops the running squared-gradient buffers.
+func (o *RMSprop) Reset() { o.sq = nil }
+
+// Name returns "rmsprop".
+func (o *RMSprop) Name() string { return "rmsprop" }
+
+// Adam combines momentum and RMS scaling with bias correction.
+type Adam struct {
+	LR       float64
+	Beta1    float64 // typically 0.9
+	Beta2    float64 // typically 0.999
+	Eps      float64 // typically 1e-8
+	timestep int
+
+	m, v []tensor.Vector
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// Step applies the Adam update with bias correction.
+func (o *Adam) Step(params, grads []tensor.Vector) error {
+	if err := checkPairs(params, grads); err != nil {
+		return err
+	}
+	if o.m == nil {
+		o.m = make([]tensor.Vector, len(params))
+		o.v = make([]tensor.Vector, len(params))
+		for i := range params {
+			o.m[i] = tensor.NewVector(len(params[i]))
+			o.v[i] = tensor.NewVector(len(params[i]))
+		}
+	}
+	if len(o.m) != len(params) {
+		return fmt.Errorf("state %d vs params %d: %w", len(o.m), len(params), ErrStateMismatch)
+	}
+	eps := o.Eps
+	if eps == 0 {
+		eps = 1e-8
+	}
+	o.timestep++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.timestep))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.timestep))
+	for i := range params {
+		m, v := o.m[i], o.v[i]
+		if len(m) != len(params[i]) {
+			return fmt.Errorf("state tensor %d size changed: %w", i, ErrStateMismatch)
+		}
+		g := grads[i]
+		for j := range m {
+			m[j] = o.Beta1*m[j] + (1-o.Beta1)*g[j]
+			v[j] = o.Beta2*v[j] + (1-o.Beta2)*g[j]*g[j]
+			mhat := m[j] / bc1
+			vhat := v[j] / bc2
+			params[i][j] -= o.LR * mhat / (math.Sqrt(vhat) + eps)
+		}
+	}
+	return nil
+}
+
+// Reset drops moment buffers and the timestep.
+func (o *Adam) Reset() { o.m, o.v, o.timestep = nil, nil, 0 }
+
+// Name returns "adam".
+func (o *Adam) Name() string { return "adam" }
+
+// NewOptimizer constructs an optimizer by name with the paper's default
+// hyper-parameters (Sec. VII-A: SGDM lr 0.1, momentum 0.9).
+func NewOptimizer(name string, lr float64) (Optimizer, error) {
+	switch name {
+	case "sgd":
+		return &SGD{LR: lr}, nil
+	case "sgdm":
+		return &SGDM{LR: lr, Momentum: 0.9}, nil
+	case "rmsprop":
+		return &RMSprop{LR: lr, Decay: 0.99, Eps: 1e-8}, nil
+	case "adam":
+		return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}, nil
+	default:
+		return nil, fmt.Errorf("nn: unknown optimizer %q", name)
+	}
+}

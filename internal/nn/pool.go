@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+
+	"rpol/internal/tensor"
+)
+
+// MaxPool2D is a non-overlapping max-pooling layer over a flattened
+// (channels, height, width) layout — the downsampling block of the
+// convolutional proxy architectures. Window dimensions must divide the
+// spatial dimensions.
+type MaxPool2D struct {
+	C, H, W int
+	Window  int
+
+	// argmax caches, per output element, the input index that won the max,
+	// for gradient routing.
+	argmax []int
+}
+
+var _ Layer = (*MaxPool2D)(nil)
+
+// NewMaxPool2D returns a window×window max pool over (c, h, w) inputs.
+func NewMaxPool2D(c, h, w, window int) (*MaxPool2D, error) {
+	if c < 1 || h < 1 || w < 1 || window < 1 {
+		return nil, errors.New("nn: invalid maxpool geometry")
+	}
+	if h%window != 0 || w%window != 0 {
+		return nil, fmt.Errorf("nn: window %d does not divide %dx%d", window, h, w)
+	}
+	return &MaxPool2D{C: c, H: h, W: w, Window: window}, nil
+}
+
+func (m *MaxPool2D) outH() int { return m.H / m.Window }
+func (m *MaxPool2D) outW() int { return m.W / m.Window }
+
+// InputDim returns c·h·w.
+func (m *MaxPool2D) InputDim() int { return m.C * m.H * m.W }
+
+// OutputDim returns c·(h/window)·(w/window).
+func (m *MaxPool2D) OutputDim() int { return m.C * m.outH() * m.outW() }
+
+// Forward computes the window maxima.
+func (m *MaxPool2D) Forward(x tensor.Vector) (tensor.Vector, error) {
+	if len(x) != m.InputDim() {
+		return nil, fmt.Errorf("maxpool input %d, want %d: %w", len(x), m.InputDim(), tensor.ErrShapeMismatch)
+	}
+	oh, ow := m.outH(), m.outW()
+	out := tensor.NewVector(m.C * oh * ow)
+	m.argmax = make([]int, len(out))
+	for c := 0; c < m.C; c++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				bestIdx := (c*m.H+oy*m.Window)*m.W + ox*m.Window
+				best := x[bestIdx]
+				for ky := 0; ky < m.Window; ky++ {
+					for kx := 0; kx < m.Window; kx++ {
+						idx := (c*m.H+oy*m.Window+ky)*m.W + ox*m.Window + kx
+						if x[idx] > best {
+							best = x[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				o := (c*oh+oy)*ow + ox
+				out[o] = best
+				m.argmax[o] = bestIdx
+			}
+		}
+	}
+	return out, nil
+}
+
+// Backward routes each output gradient to the input element that won the
+// max.
+func (m *MaxPool2D) Backward(grad tensor.Vector) (tensor.Vector, error) {
+	if m.argmax == nil {
+		return nil, errors.New("nn: maxpool backward before forward")
+	}
+	if len(grad) != m.OutputDim() {
+		return nil, fmt.Errorf("maxpool grad %d, want %d: %w", len(grad), m.OutputDim(), tensor.ErrShapeMismatch)
+	}
+	in := tensor.NewVector(m.InputDim())
+	for o, g := range grad {
+		in[m.argmax[o]] += g
+	}
+	return in, nil
+}
+
+// Params returns nil; pooling has no parameters.
+func (m *MaxPool2D) Params() []tensor.Vector { return nil }
+
+// Grads returns nil; pooling has no parameters.
+func (m *MaxPool2D) Grads() []tensor.Vector { return nil }
+
+// ZeroGrads is a no-op.
+func (m *MaxPool2D) ZeroGrads() {}
+
+// Name returns "maxpool2d".
+func (m *MaxPool2D) Name() string { return "maxpool2d" }

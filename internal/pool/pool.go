@@ -1,0 +1,403 @@
+// Package pool assembles a complete mining pool (Fig. 2): a manager, a mix
+// of honest and adversarial workers, shard distribution, per-epoch
+// coordination with RPoL verification, reward accounting, and global-model
+// evaluation on the held-out test set. The Fig. 6 experiments (model
+// accuracy under attack, with and without verification) run on this
+// package.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rpol/internal/adversary"
+	"rpol/internal/amlayer"
+	"rpol/internal/dataset"
+	"rpol/internal/gpu"
+	"rpol/internal/modelzoo"
+	"rpol/internal/nn"
+	"rpol/internal/rpol"
+	"rpol/internal/tensor"
+)
+
+// Config describes one pool instantiation.
+type Config struct {
+	// TaskName keys into modelzoo (e.g. "resnet18-cifar10").
+	TaskName string
+	// Scheme selects baseline / RPoLv1 / RPoLv2 verification.
+	Scheme rpol.Scheme
+	// NumWorkers is the pool size (the paper's prototype uses 10).
+	NumWorkers int
+	// Adv1Fraction and Adv2Fraction are the shares of workers running the
+	// replay attack and the spoofing attack respectively.
+	Adv1Fraction float64
+	Adv2Fraction float64
+	// Adv2HonestFraction is how much Adv2 actually trains (paper: 10 % of
+	// steps).
+	Adv2HonestFraction float64
+	// Lambda is Adv2's spoofing coefficient (Eq. 12).
+	Lambda float64
+	// StepsPerEpoch, CheckpointEvery, Samples parameterize the protocol.
+	// Zero values take the defaults (derived steps, interval 5, q = 3).
+	StepsPerEpoch   int
+	CheckpointEvery int
+	Samples         int
+	// ManagerAddress is the pool's blockchain address, encoded in the
+	// AMLayer when UseAMLayer is set.
+	ManagerAddress string
+	UseAMLayer     bool
+	// Verifiers > 1 enables decentralized verification: submissions are
+	// checked by that many parallel verifiers (Sec. IX future work).
+	Verifiers int
+	// Seed makes the whole pool construction and run reproducible.
+	Seed int64
+}
+
+func (c *Config) applyDefaults() {
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 5
+	}
+	if c.Samples == 0 {
+		c.Samples = 3
+	}
+	if c.StepsPerEpoch == 0 {
+		c.StepsPerEpoch = 15
+	}
+	if c.Adv2HonestFraction == 0 {
+		c.Adv2HonestFraction = 0.1
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 0.5
+	}
+	if c.ManagerAddress == "" {
+		c.ManagerAddress = "pool-manager"
+	}
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.TaskName == "":
+		return errors.New("pool: task name required")
+	case c.NumWorkers < 1:
+		return errors.New("pool: need at least one worker")
+	case c.Adv1Fraction < 0 || c.Adv2Fraction < 0 || c.Adv1Fraction+c.Adv2Fraction > 1:
+		return errors.New("pool: adversary fractions must be non-negative and sum to ≤ 1")
+	}
+	return nil
+}
+
+// Role classifies a pool participant for detection accounting.
+type Role int
+
+// Worker roles.
+const (
+	RoleHonest Role = iota + 1
+	RoleAdv1
+	RoleAdv2
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleHonest:
+		return "honest"
+	case RoleAdv1:
+		return "adv1"
+	case RoleAdv2:
+		return "adv2"
+	default:
+		return "unknown"
+	}
+}
+
+// member pairs a protocol worker with its ground-truth role.
+type member struct {
+	worker rpol.Worker
+	role   Role
+}
+
+// Pool is a ready-to-run mining pool.
+type Pool struct {
+	cfg      Config
+	spec     modelzoo.TaskSpec
+	manager  *rpol.Manager
+	members  []member
+	evalNet  *nn.Network
+	buildNet func() (*nn.Network, error)
+	testXs   []tensor.Vector
+	testYs   []int
+	rewards  map[string]float64
+}
+
+// EpochStats records one epoch's outcome for the experiment harness.
+type EpochStats struct {
+	Epoch        int
+	TestAccuracy float64
+	Accepted     int
+	Rejected     int
+	// DetectedAdversaries counts rejected submissions that really came from
+	// adversaries (true positives).
+	DetectedAdversaries int
+	// MissedAdversaries counts accepted adversarial submissions (false
+	// negatives of the scheme as a detector).
+	MissedAdversaries int
+	// FalseRejections counts rejected honest submissions — the paper's
+	// "0 false negative for honesty" target says this should stay 0.
+	FalseRejections int
+	Calibration     *rpol.Calibration
+	VerifyCommBytes int64
+	ReexecSteps     int
+}
+
+// New builds the pool: dataset generation and sharding, per-worker model
+// instances (identical initialization, with the AMLayer prepended when
+// configured), adversary placement, and the manager.
+func New(cfg Config) (*Pool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+	spec, err := modelzoo.Get(cfg.TaskName)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the shared data: train split partitioned into n+1 i.i.d.
+	// shards (workers + the manager's calibration probe), plus the held-out
+	// test set.
+	_, train, test, err := spec.BuildProxy(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	shards, err := train.Partition(cfg.NumWorkers + 1)
+	if err != nil {
+		return nil, fmt.Errorf("pool: %w", err)
+	}
+
+	buildNet := func() (*nn.Network, error) {
+		net, err := spec.BuildProxyNet(cfg.Seed + 1)
+		if err != nil {
+			return nil, err
+		}
+		if !cfg.UseAMLayer {
+			return net, nil
+		}
+		// The pool uses a mild stack (c = 0.5, depth 3): the strong
+		// theft-resistant configuration (amlayer.StackConfig) amplifies the
+		// proxy's loss-surface curvature enough to fatten reproduction-error
+		// tails, and theft resistance is a consensus-layer property
+		// exercised by the Table I experiment, not by pool verification.
+		stack, err := amlayer.NewDenseStack(cfg.ManagerAddress, spec.ProxyDim, 3, amlayer.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		return amlayer.PrependStack(stack, net)
+	}
+
+	// Adversary counts (rounded to nearest).
+	nAdv1 := int(math.Round(cfg.Adv1Fraction * float64(cfg.NumWorkers)))
+	nAdv2 := int(math.Round(cfg.Adv2Fraction * float64(cfg.NumWorkers)))
+	if nAdv1+nAdv2 > cfg.NumWorkers {
+		nAdv2 = cfg.NumWorkers - nAdv1
+	}
+
+	profiles := gpu.Profiles()
+	members := make([]member, 0, cfg.NumWorkers)
+	workers := make([]rpol.Worker, 0, cfg.NumWorkers)
+	shardMap := make(map[string]*dataset.Dataset, cfg.NumWorkers)
+	for i := 0; i < cfg.NumWorkers; i++ {
+		profile := profiles[i%len(profiles)]
+		shard := shards[i]
+		runSeed := cfg.Seed + int64(1000+i)
+		var (
+			w    rpol.Worker
+			role Role
+		)
+		switch {
+		case i < nAdv1:
+			role = RoleAdv1
+			w = adversary.NewAdv1(fmt.Sprintf("adv1-%02d", i), profile, shard.Len())
+		case i < nAdv1+nAdv2:
+			role = RoleAdv2
+			net, err := buildNet()
+			if err != nil {
+				return nil, err
+			}
+			w, err = adversary.NewAdv2(fmt.Sprintf("adv2-%02d", i), profile, runSeed, net, shard,
+				cfg.Adv2HonestFraction, cfg.Lambda)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			role = RoleHonest
+			net, err := buildNet()
+			if err != nil {
+				return nil, err
+			}
+			w, err = rpol.NewHonestWorker(fmt.Sprintf("worker-%02d", i), profile, runSeed, net, shard)
+			if err != nil {
+				return nil, err
+			}
+		}
+		members = append(members, member{worker: w, role: role})
+		workers = append(workers, w)
+		shardMap[w.ID()] = shard
+	}
+
+	managerNet, err := buildNet()
+	if err != nil {
+		return nil, err
+	}
+	manager, err := rpol.NewManager(rpol.ManagerConfig{
+		Address:           cfg.ManagerAddress,
+		Scheme:            cfg.Scheme,
+		Hyper:             rpol.Hyper{Optimizer: "sgdm", LR: 0.02, BatchSize: spec.ProxyBatchSize},
+		StepsPerEpoch:     cfg.StepsPerEpoch,
+		CheckpointEvery:   cfg.CheckpointEvery,
+		Samples:           cfg.Samples,
+		GPU:               gpu.G3090,
+		MasterKey:         []byte(cfg.ManagerAddress + "/nonce-master"),
+		Seed:              cfg.Seed + 7,
+		ParallelVerifiers: cfg.Verifiers,
+		NetBuilder:        buildNet,
+		// In-process workers each own their network and trainer, so the
+		// collection phase can safely run them concurrently.
+		ConcurrentCollection: true,
+	}, managerNet, workers, shardMap, shards[cfg.NumWorkers])
+	if err != nil {
+		return nil, err
+	}
+
+	evalNet, err := buildNet()
+	if err != nil {
+		return nil, err
+	}
+	testXs := make([]tensor.Vector, test.Len())
+	testYs := make([]int, test.Len())
+	for i, ex := range test.Examples {
+		testXs[i] = ex.Features
+		testYs[i] = ex.Label
+	}
+	return &Pool{
+		cfg:      cfg,
+		spec:     spec,
+		manager:  manager,
+		members:  members,
+		evalNet:  evalNet,
+		buildNet: buildNet,
+		testXs:   testXs,
+		testYs:   testYs,
+		rewards:  make(map[string]float64),
+	}, nil
+}
+
+// Spec returns the pool's task spec.
+func (p *Pool) Spec() modelzoo.TaskSpec { return p.spec }
+
+// Manager exposes the underlying protocol manager.
+func (p *Pool) Manager() *rpol.Manager { return p.manager }
+
+// Roles returns the ground-truth role of every worker ID.
+func (p *Pool) Roles() map[string]Role {
+	out := make(map[string]Role, len(p.members))
+	for _, m := range p.members {
+		out[m.worker.ID()] = m.role
+	}
+	return out
+}
+
+// CandidateNet materializes the pool's current global model as a network
+// instance (with the AMLayer stack, when configured) ready to be proposed
+// as a consensus candidate.
+func (p *Pool) CandidateNet() (*nn.Network, error) {
+	net, err := p.buildNet()
+	if err != nil {
+		return nil, err
+	}
+	if err := net.SetParamVector(p.manager.Global()); err != nil {
+		return nil, fmt.Errorf("pool candidate: %w", err)
+	}
+	return net, nil
+}
+
+// TestSet returns the pool's held-out evaluation data.
+func (p *Pool) TestSet() ([]tensor.Vector, []int) {
+	xs := make([]tensor.Vector, len(p.testXs))
+	copy(xs, p.testXs)
+	ys := make([]int, len(p.testYs))
+	copy(ys, p.testYs)
+	return xs, ys
+}
+
+// TestAccuracy evaluates the current global model on the held-out test set.
+func (p *Pool) TestAccuracy() (float64, error) {
+	if err := p.evalNet.SetParamVector(p.manager.Global()); err != nil {
+		return 0, fmt.Errorf("pool eval: %w", err)
+	}
+	return p.evalNet.Accuracy(p.testXs, p.testYs)
+}
+
+// Rewards returns a copy of the cumulative per-worker rewards (one unit per
+// accepted epoch, as in Theorem 3's normalization).
+func (p *Pool) Rewards() map[string]float64 {
+	out := make(map[string]float64, len(p.rewards))
+	for k, v := range p.rewards {
+		out[k] = v
+	}
+	return out
+}
+
+// RunEpoch coordinates one epoch and returns its stats.
+func (p *Pool) RunEpoch() (*EpochStats, error) {
+	roles := p.Roles()
+	report, err := p.manager.RunEpoch()
+	if err != nil {
+		return nil, err
+	}
+	stats := &EpochStats{
+		Epoch:           report.Epoch,
+		Accepted:        report.Accepted,
+		Rejected:        report.Rejected,
+		Calibration:     report.Calibration,
+		VerifyCommBytes: report.VerifyCommBytes,
+		ReexecSteps:     report.ReexecSteps,
+	}
+	for _, o := range report.Outcomes {
+		role := roles[o.WorkerID]
+		switch {
+		case o.Accepted && role == RoleHonest:
+			p.rewards[o.WorkerID]++
+		case o.Accepted: // adversary slipped through
+			p.rewards[o.WorkerID]++
+			stats.MissedAdversaries++
+		case role == RoleHonest:
+			stats.FalseRejections++
+		default:
+			stats.DetectedAdversaries++
+		}
+	}
+	acc, err := p.TestAccuracy()
+	if err != nil {
+		return nil, err
+	}
+	stats.TestAccuracy = acc
+	return stats, nil
+}
+
+// RunEpochs runs n epochs and returns the stats history.
+func (p *Pool) RunEpochs(n int) ([]*EpochStats, error) {
+	if n < 1 {
+		return nil, errors.New("pool: need at least one epoch")
+	}
+	history := make([]*EpochStats, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := p.RunEpoch()
+		if err != nil {
+			return nil, err
+		}
+		history = append(history, s)
+	}
+	return history, nil
+}

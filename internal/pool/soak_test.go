@@ -1,0 +1,99 @@
+package pool
+
+import (
+	"testing"
+
+	"rpol/internal/rpol"
+)
+
+// TestSoakFullSystem is the long integration test: a 10-worker pool with
+// every adversary class present, the AMLayer enabled, decentralized
+// verification, and eight epochs of training. It asserts the system-level
+// invariants the paper's evaluation rests on:
+//
+//   - honest workers are never rejected (0 false negatives for honesty),
+//   - every adversarial submission is rejected in every epoch,
+//   - the global model's accuracy improves monotonically-ish and ends high,
+//   - rewards flow exclusively to honest workers,
+//   - calibration adapts each epoch (fresh α/β per epoch).
+func TestSoakFullSystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	cfg := Config{
+		TaskName:     "resnet18-cifar10",
+		Scheme:       rpol.SchemeV2,
+		NumWorkers:   10,
+		Adv1Fraction: 0.2,
+		Adv2Fraction: 0.2,
+		UseAMLayer:   true,
+		Verifiers:    4,
+		Seed:         2024,
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roles := p.Roles()
+	nAdv := 0
+	for _, r := range roles {
+		if r != RoleHonest {
+			nAdv++
+		}
+	}
+	if nAdv != 4 {
+		t.Fatalf("adversaries placed = %d", nAdv)
+	}
+
+	const epochs = 8
+	var (
+		prevBeta float64
+		betas    int
+		first    float64
+	)
+	for e := 0; e < epochs; e++ {
+		stats, err := p.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e == 0 {
+			first = stats.TestAccuracy
+		}
+		if stats.FalseRejections != 0 {
+			t.Fatalf("epoch %d: %d honest workers rejected", e, stats.FalseRejections)
+		}
+		if stats.DetectedAdversaries != nAdv {
+			t.Errorf("epoch %d: detected %d of %d adversaries", e, stats.DetectedAdversaries, nAdv)
+		}
+		if stats.Calibration == nil {
+			t.Fatalf("epoch %d: no calibration", e)
+		}
+		if stats.Calibration.Beta != prevBeta {
+			betas++
+			prevBeta = stats.Calibration.Beta
+		}
+	}
+	if betas < epochs/2 {
+		t.Errorf("calibration barely adapted: %d distinct β over %d epochs", betas, epochs)
+	}
+
+	final, err := p.TestAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final <= first {
+		t.Errorf("accuracy did not improve: %v → %v", first, final)
+	}
+	if final < 0.8 {
+		t.Errorf("final accuracy %v too low for 8 epochs of 6 honest workers", final)
+	}
+
+	for id, reward := range p.Rewards() {
+		if roles[id] != RoleHonest && reward > 0 {
+			t.Errorf("adversary %s earned %v", id, reward)
+		}
+		if roles[id] == RoleHonest && reward != epochs {
+			t.Errorf("honest %s earned %v of %d", id, reward, epochs)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package rpol
+
+import (
+	"errors"
+	"fmt"
+
+	"rpol/internal/dataset"
+	"rpol/internal/gpu"
+	"rpol/internal/lsh"
+	"rpol/internal/nn"
+	"rpol/internal/stats"
+	"rpol/internal/tensor"
+)
+
+// Calibrator implements the manager's adaptive strategy for LSH calibration
+// (Sec. V-C). The manager keeps one of the (n+1) i.i.d. shards for itself;
+// before each epoch it executes that probe sub-task twice — once on each of
+// the pool's top-2 best-performing GPU profiles, to provoke reproduction
+// errors near their worst case — measures the per-checkpoint errors, and
+// sets
+//
+//	α = mean + std of the measured errors,
+//	β = XFactor·α + YOffset  (the paper's β = x·α + y; evaluation uses 5α),
+//
+// then solves Eq. (6) for the LSH parameters under the budget K_lsh.
+type Calibrator struct {
+	// Net is the model architecture used for probe runs; weights are
+	// overwritten.
+	Net *nn.Network
+	// Shard is the manager's own probe sub-dataset.
+	Shard *dataset.Dataset
+	// XFactor and YOffset define β = XFactor·α + YOffset. The paper's
+	// evaluation uses XFactor 5, YOffset 0 (Sec. VII-D).
+	XFactor float64
+	YOffset float64
+	// KLsh is the computational budget k·l ≤ K_lsh (16 in the evaluation).
+	KLsh int
+}
+
+// ErrNoErrors is returned when a probe run produces no comparable
+// checkpoints.
+var ErrNoErrors = errors.New("rpol: calibration produced no reproduction errors")
+
+// Calibrate runs the probe twice on the top-2 profiles and returns the
+// epoch's calibration plus the LSH family workers must use. probeSeeds
+// individualize the two hardware runs; lshSeed derives the shared family.
+func (c *Calibrator) Calibrate(p TaskParams, top1, top2 gpu.Profile, probeSeeds [2]int64, lshSeed int64) (*Calibration, *lsh.Family, error) {
+	if c.Net == nil || c.Shard == nil {
+		return nil, nil, errors.New("rpol: calibrator needs a network and a probe shard")
+	}
+	errsList, err := c.MeasureErrors(p, top1, top2, probeSeeds)
+	if err != nil {
+		return nil, nil, err
+	}
+	summary, err := stats.Summarize(errsList)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rpol calibrate: %w", err)
+	}
+	xf := c.XFactor
+	if xf <= 0 {
+		xf = 5
+	}
+	alpha := summary.MeanPlusSD
+	if alpha <= 0 {
+		// Degenerate noiseless probe: fall back to a tiny positive bound so
+		// LSH optimization stays well-posed.
+		alpha = 1e-12
+	}
+	beta := xf*alpha + c.YOffset
+	params, worstFNR, worstFPR, err := lsh.Optimize(alpha, beta, lsh.OptimizeOptions{KLsh: c.KLsh})
+	if err != nil {
+		return nil, nil, fmt.Errorf("rpol calibrate: %w", err)
+	}
+	cal := &Calibration{
+		Alpha:     alpha,
+		Beta:      beta,
+		Params:    params,
+		WorstFNR:  worstFNR,
+		WorstFPR:  worstFPR,
+		MaxError:  summary.Max,
+		NumProbes: summary.N,
+	}
+	fam, err := lsh.NewFamily(len(p.Global), params, lshSeed)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rpol calibrate: %w", err)
+	}
+	return cal, fam, nil
+}
+
+// MeasureErrors runs the probe sub-task twice (once per profile) and
+// returns the Euclidean reproduction errors of all comparable checkpoints.
+func (c *Calibrator) MeasureErrors(p TaskParams, top1, top2 gpu.Profile, probeSeeds [2]int64) ([]float64, error) {
+	run := func(profile gpu.Profile, seed int64) (*Trace, error) {
+		device, err := gpu.NewDevice(profile, seed)
+		if err != nil {
+			return nil, fmt.Errorf("rpol calibrate: %w", err)
+		}
+		trainer := &Trainer{Net: c.Net, Shard: c.Shard, Device: device}
+		return trainer.RunEpoch(p)
+	}
+	t1, err := run(top1, probeSeeds[0])
+	if err != nil {
+		return nil, err
+	}
+	t2, err := run(top2, probeSeeds[1])
+	if err != nil {
+		return nil, err
+	}
+	return TraceDistances(t1, t2)
+}
+
+// TraceDistances returns the per-checkpoint Euclidean distances between two
+// traces of the same task, skipping the identical initial checkpoint.
+func TraceDistances(a, b *Trace) ([]float64, error) {
+	if len(a.Checkpoints) != len(b.Checkpoints) {
+		return nil, fmt.Errorf("rpol: traces have %d vs %d checkpoints", len(a.Checkpoints), len(b.Checkpoints))
+	}
+	if len(a.Checkpoints) < 2 {
+		return nil, ErrNoErrors
+	}
+	out := make([]float64, 0, len(a.Checkpoints)-1)
+	for i := 1; i < len(a.Checkpoints); i++ {
+		d, err := tensor.Distance(a.Checkpoints[i], b.Checkpoints[i])
+		if err != nil {
+			return nil, fmt.Errorf("rpol trace distance %d: %w", i, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

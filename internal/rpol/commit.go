@@ -1,0 +1,67 @@
+package rpol
+
+import (
+	"fmt"
+
+	"rpol/internal/commitment"
+	"rpol/internal/lsh"
+	"rpol/internal/tensor"
+)
+
+// BuildCommitment constructs the epoch commitment over a sequence of
+// checkpoint snapshots.
+//
+// Under RPoLv1 (fam == nil) each leaf is the raw encoded weights, so the
+// commitment binds the exact checkpoint bytes and the returned digest slice
+// is nil.
+//
+// Under RPoLv2 each checkpoint is first LSH-hashed; the leaves commit the
+// digests and the digests themselves are returned so the worker can reveal
+// them during verification (the manager checks a revealed digest against the
+// commitment before fuzzy-matching it).
+func BuildCommitment(checkpoints []tensor.Vector, fam *lsh.Family) (*commitment.HashList, []lsh.Digest, error) {
+	if len(checkpoints) == 0 {
+		return nil, nil, commitment.ErrEmpty
+	}
+	payloads := make([][]byte, len(checkpoints))
+	var digests []lsh.Digest
+	if fam != nil {
+		digests = make([]lsh.Digest, len(checkpoints))
+	}
+	for i, w := range checkpoints {
+		if fam == nil {
+			payloads[i] = w.Encode()
+			continue
+		}
+		d, err := fam.Hash(w)
+		if err != nil {
+			return nil, nil, fmt.Errorf("rpol commitment checkpoint %d: %w", i, err)
+		}
+		digests[i] = d
+		payloads[i] = d.Encode()
+	}
+	commit, err := commitment.NewHashList(payloads)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rpol commitment: %w", err)
+	}
+	return commit, digests, nil
+}
+
+// VerifyOpening checks that an opened raw checkpoint is consistent with the
+// worker's commitment: under v1 the weights must hash to the committed leaf;
+// under v2 the weights' LSH digest must equal the committed digest exactly
+// (a worker opening the very bytes it hashed always passes; any substitution
+// that changes the digest fails).
+func VerifyOpening(result *EpochResult, fam *lsh.Family, idx int, weights tensor.Vector) error {
+	if result.Commit == nil {
+		return fmt.Errorf("rpol: submission carries no commitment")
+	}
+	if fam == nil {
+		return result.Commit.VerifyLeaf(idx, weights.Encode())
+	}
+	d, err := fam.Hash(weights)
+	if err != nil {
+		return fmt.Errorf("rpol opening %d: %w", idx, err)
+	}
+	return result.Commit.VerifyLeaf(idx, d.Encode())
+}

@@ -1,0 +1,301 @@
+package rpol
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rpol/internal/dataset"
+	"rpol/internal/gpu"
+	"rpol/internal/lsh"
+	"rpol/internal/nn"
+	"rpol/internal/prf"
+	"rpol/internal/tensor"
+)
+
+// ManagerConfig assembles a pool manager.
+type ManagerConfig struct {
+	// Address is the manager's blockchain address (encoded into the
+	// AMLayer by the caller before the architecture reaches here).
+	Address string
+	// Scheme selects baseline / RPoLv1 / RPoLv2.
+	Scheme Scheme
+	// Hyper are the training hyper-parameters distributed each epoch.
+	Hyper Hyper
+	// StepsPerEpoch is each worker's per-epoch training step count.
+	StepsPerEpoch int
+	// CheckpointEvery is the checkpoint interval i (5 in the evaluation).
+	CheckpointEvery int
+	// Samples is q, sampled checkpoints per submission (3 in the
+	// evaluation).
+	Samples int
+	// GPU is the manager's own verification hardware.
+	GPU gpu.Profile
+	// MasterKey derives per-(worker, epoch) nonces.
+	MasterKey []byte
+	// Seed drives the manager's sampling and hardware randomness.
+	Seed int64
+	// XFactor/YOffset define β = x·α + y (defaults 5, 0).
+	XFactor, YOffset float64
+	// KLsh is the LSH computational budget (default 16).
+	KLsh int
+	// ParallelVerifiers enables decentralized verification (the paper's
+	// Sec. IX future work): when > 1 and NetBuilder is set, submissions are
+	// verified by that many verifiers concurrently instead of sequentially
+	// by the manager.
+	ParallelVerifiers int
+	// NetBuilder constructs fresh architecture instances for parallel
+	// verifiers (each needs its own, since re-execution overwrites
+	// weights).
+	NetBuilder func() (*nn.Network, error)
+	// ConcurrentCollection trains workers concurrently during the
+	// collection phase. Safe for in-process workers (each owns its network
+	// and trainer); leave it off for workers multiplexed over a single
+	// sequential transport (e.g. one wire.ManagerPort).
+	ConcurrentCollection bool
+}
+
+// Manager coordinates the pool's distributed learning and verifies worker
+// submissions (Fig. 2's pool-manager role).
+type Manager struct {
+	cfg     ManagerConfig
+	global  tensor.Vector
+	net     *nn.Network // architecture for verification re-execution
+	workers []Worker
+	shards  map[string]*dataset.Dataset
+	probe   *dataset.Dataset
+	device  *gpu.Device
+	rng     *tensor.RNG
+	epoch   int
+
+	// lastCal is the most recent calibration (nil before the first
+	// calibrated epoch or under the baseline scheme).
+	lastCal *Calibration
+}
+
+// EpochReport summarizes one coordinated epoch.
+type EpochReport struct {
+	Epoch       int
+	Calibration *Calibration
+	Outcomes    []*VerifyOutcome
+	Accepted    int
+	Rejected    int
+	// VerifyCommBytes totals verification-only traffic across workers.
+	VerifyCommBytes int64
+	// ReexecSteps totals the manager's re-executed training steps.
+	ReexecSteps int
+}
+
+// NewManager builds a manager over pre-constructed workers.
+//
+// net is the shared model architecture (with the AMLayer already prepended);
+// its current parameters become the initial global model. shards maps worker
+// IDs to their sub-datasets (the manager partitioned the data, so it keeps
+// them for verification re-execution); probe is the manager's own (n+1)-th
+// shard used by adaptive calibration.
+func NewManager(cfg ManagerConfig, net *nn.Network, workers []Worker, shards map[string]*dataset.Dataset, probe *dataset.Dataset) (*Manager, error) {
+	if len(workers) == 0 {
+		return nil, errors.New("rpol: manager needs at least one worker")
+	}
+	if cfg.StepsPerEpoch < 1 || cfg.CheckpointEvery < 1 {
+		return nil, errors.New("rpol: manager needs positive steps and checkpoint interval")
+	}
+	if len(cfg.MasterKey) == 0 {
+		return nil, errors.New("rpol: manager needs a nonce master key")
+	}
+	for _, w := range workers {
+		if _, ok := shards[w.ID()]; !ok {
+			return nil, fmt.Errorf("rpol: no shard for worker %s", w.ID())
+		}
+	}
+	if cfg.Scheme != SchemeBaseline && probe == nil {
+		return nil, errors.New("rpol: verification schemes need a probe shard for calibration")
+	}
+	device, err := gpu.NewDevice(cfg.GPU, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("rpol manager: %w", err)
+	}
+	return &Manager{
+		cfg:     cfg,
+		global:  net.ParamVector(),
+		net:     net,
+		workers: workers,
+		shards:  shards,
+		probe:   probe,
+		device:  device,
+		rng:     tensor.NewRNG(cfg.Seed),
+	}, nil
+}
+
+// Global returns a copy of the current global model weights.
+func (m *Manager) Global() tensor.Vector { return m.global.Clone() }
+
+// Epoch returns the number of completed epochs.
+func (m *Manager) Epoch() int { return m.epoch }
+
+// LastCalibration returns the most recent epoch's calibration, or nil.
+func (m *Manager) LastCalibration() *Calibration { return m.lastCal }
+
+// topTwoProfiles picks the two fastest GPU profiles registered by workers.
+// With fewer than two distinct registrations the manager's own profile
+// fills in.
+func (m *Manager) topTwoProfiles() (gpu.Profile, gpu.Profile) {
+	profiles := make([]gpu.Profile, 0, len(m.workers)+1)
+	for _, w := range m.workers {
+		profiles = append(profiles, w.GPUProfile())
+	}
+	profiles = append(profiles, m.cfg.GPU)
+	first, second, err := gpu.TopTwo(profiles)
+	if err != nil {
+		return m.cfg.GPU, m.cfg.GPU
+	}
+	return first, second
+}
+
+// RunEpoch coordinates one full epoch: calibrate (for verification
+// schemes), distribute the task, collect submissions, verify, aggregate.
+func (m *Manager) RunEpoch() (*EpochReport, error) {
+	epoch := m.epoch
+	report := &EpochReport{Epoch: epoch}
+
+	baseParams := TaskParams{
+		Epoch:           epoch,
+		Global:          m.global.Clone(),
+		Hyper:           m.cfg.Hyper,
+		Steps:           m.cfg.StepsPerEpoch,
+		CheckpointEvery: m.cfg.CheckpointEvery,
+	}
+
+	verifier := &Verifier{
+		Scheme:  m.cfg.Scheme,
+		Net:     m.net,
+		Device:  m.device,
+		Samples: m.cfg.Samples,
+		Sampler: m.rng,
+	}
+
+	if m.cfg.Scheme != SchemeBaseline {
+		cal, fam, err := m.calibrate(baseParams)
+		if err != nil {
+			return nil, err
+		}
+		m.lastCal = cal
+		report.Calibration = cal
+		verifier.Beta = cal.Beta
+		if m.cfg.Scheme == SchemeV2 {
+			verifier.LSH = fam
+			baseParams.LSH = fam
+		}
+	}
+
+	// Distribute and collect. Nonces are issued per (worker, epoch);
+	// sampling decisions are not revealed until after ALL commitments have
+	// arrived — verification is a separate phase after collection
+	// (commit-and-prove, Sec. V-B).
+	subs := make([]Submission, len(m.workers))
+	results := make([]*EpochResult, len(m.workers))
+	collect := func(i int, w Worker) error {
+		params := baseParams
+		params.Global = m.global.Clone()
+		params.Nonce = prf.DeriveNonce(m.cfg.MasterKey, w.ID(), epoch)
+		result, err := w.RunEpoch(params)
+		if err != nil {
+			return fmt.Errorf("rpol manager: worker %s: %w", w.ID(), err)
+		}
+		subs[i] = Submission{
+			Opener: w, Shard: m.shards[w.ID()], Result: result, Params: params,
+		}
+		results[i] = result
+		return nil
+	}
+	if m.cfg.ConcurrentCollection {
+		errs := make([]error, len(m.workers))
+		var wg sync.WaitGroup
+		for i, w := range m.workers {
+			wg.Add(1)
+			go func(i int, w Worker) {
+				defer wg.Done()
+				errs[i] = collect(i, w)
+			}(i, w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i, w := range m.workers {
+			if err := collect(i, w); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	outcomes, err := m.verifyAll(verifier, subs)
+	if err != nil {
+		return nil, fmt.Errorf("rpol manager: %w", err)
+	}
+	accepted := make([]*EpochResult, 0, len(m.workers))
+	for i, outcome := range outcomes {
+		report.Outcomes = append(report.Outcomes, outcome)
+		report.VerifyCommBytes += outcome.CommBytes
+		report.ReexecSteps += outcome.ReexecSteps
+		if outcome.Accepted {
+			report.Accepted++
+			accepted = append(accepted, results[i])
+		} else {
+			report.Rejected++
+		}
+	}
+
+	if len(accepted) > 0 {
+		next, err := Aggregate(m.global, accepted, 1.0)
+		if err != nil {
+			return nil, fmt.Errorf("rpol manager: %w", err)
+		}
+		m.global = next
+	}
+	m.epoch++
+	return report, nil
+}
+
+// verifyAll checks every submission: concurrently through a VerifierPool
+// when decentralized verification is configured, sequentially through the
+// manager's own verifier otherwise.
+func (m *Manager) verifyAll(verifier *Verifier, subs []Submission) ([]*VerifyOutcome, error) {
+	if m.cfg.Scheme != SchemeBaseline && m.cfg.ParallelVerifiers > 1 && m.cfg.NetBuilder != nil {
+		vp, err := NewVerifierPool(m.cfg.ParallelVerifiers, m.cfg.Scheme, m.cfg.NetBuilder,
+			m.cfg.GPU, verifier.Beta, verifier.LSH, m.cfg.Samples, m.rng.Int63())
+		if err != nil {
+			return nil, err
+		}
+		return vp.VerifyAll(subs)
+	}
+	outcomes := make([]*VerifyOutcome, 0, len(subs))
+	for _, sub := range subs {
+		outcome, err := verifier.VerifySubmission(sub.Opener, sub.Shard, sub.Result, sub.Params)
+		if err != nil {
+			return nil, fmt.Errorf("verify %s: %w", sub.Result.WorkerID, err)
+		}
+		outcomes = append(outcomes, outcome)
+	}
+	return outcomes, nil
+}
+
+// calibrate runs the adaptive calibration for the upcoming epoch. The probe
+// sub-task's results could be aggregated too (the paper notes the probe is
+// not wasted work); here it is used purely for measurement.
+func (m *Manager) calibrate(p TaskParams) (*Calibration, *lsh.Family, error) {
+	top1, top2 := m.topTwoProfiles()
+	calibrator := &Calibrator{
+		Net:     m.net,
+		Shard:   m.probe,
+		XFactor: m.cfg.XFactor,
+		YOffset: m.cfg.YOffset,
+		KLsh:    m.cfg.KLsh,
+	}
+	probeSeeds := [2]int64{m.rng.Int63(), m.rng.Int63()}
+	lshSeed := m.rng.Int63()
+	return calibrator.Calibrate(p, top1, top2, probeSeeds, lshSeed)
+}

@@ -1,0 +1,164 @@
+package rpol
+
+import (
+	"fmt"
+
+	"rpol/internal/dataset"
+	"rpol/internal/gpu"
+	"rpol/internal/nn"
+	"rpol/internal/prf"
+	"rpol/internal/tensor"
+)
+
+// Trainer executes the mini-batch stochastic-yet-deterministic gradient
+// descent of Sec. V-B over a worker's shard: batch m consists of the
+// elements PRF(N·m + n) mod |D_w|, so the manager can re-execute any step
+// bit-for-bit (up to hardware noise) during verification.
+//
+// Optimizer state (momentum, second moments) is reset at every checkpoint
+// boundary so that each checkpoint interval is a self-contained function of
+// its starting weights — otherwise the manager could not re-execute a
+// sampled interval without also receiving the optimizer state. This is the
+// one protocol detail the paper leaves implicit; see DESIGN.md.
+type Trainer struct {
+	// Net is the model architecture; its parameters are overwritten by the
+	// weights being trained.
+	Net *nn.Network
+	// Shard is the worker's sub-dataset D_w.
+	Shard *dataset.Dataset
+	// Device injects per-step hardware noise; nil trains noiselessly (used
+	// in tests).
+	Device *gpu.Device
+}
+
+// batch materializes the deterministic batch for the given step.
+func (t *Trainer) batch(p *prf.PRF, step, batchSize int) ([]tensor.Vector, []int, error) {
+	idxs, err := p.BatchIndices(step, batchSize, t.Shard.Len())
+	if err != nil {
+		return nil, nil, fmt.Errorf("rpol batch at step %d: %w", step, err)
+	}
+	xs := make([]tensor.Vector, len(idxs))
+	labels := make([]int, len(idxs))
+	for i, idx := range idxs {
+		ex, err := t.Shard.At(idx)
+		if err != nil {
+			return nil, nil, fmt.Errorf("rpol batch at step %d: %w", step, err)
+		}
+		xs[i] = ex.Features
+		labels[i] = ex.Label
+	}
+	return xs, labels, nil
+}
+
+// ExecuteInterval trains from `start` weights for `steps` steps beginning at
+// training step startStep, returning the resulting weights. It is used both
+// by workers (per checkpoint interval) and by the manager when re-executing
+// a sampled interval during verification.
+func (t *Trainer) ExecuteInterval(start tensor.Vector, startStep, steps int, h Hyper, nonce prf.Nonce) (tensor.Vector, error) {
+	if err := t.Net.SetParamVector(start); err != nil {
+		return nil, fmt.Errorf("rpol interval: %w", err)
+	}
+	opt, err := nn.NewOptimizer(h.Optimizer, h.LR)
+	if err != nil {
+		return nil, fmt.Errorf("rpol interval: %w", err)
+	}
+	schedule := prf.NewFromNonce(nonce)
+	for s := 0; s < steps; s++ {
+		xs, labels, err := t.batch(schedule, startStep+s, h.BatchSize)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := t.Net.TrainBatch(xs, labels, opt); err != nil {
+			return nil, fmt.Errorf("rpol interval step %d: %w", startStep+s, err)
+		}
+		if t.Device != nil {
+			for _, param := range t.Net.Params() {
+				t.Device.Perturb(param)
+			}
+		}
+	}
+	return t.Net.ParamVector(), nil
+}
+
+// RunEpoch trains a full epoch per the task parameters, snapshotting
+// checkpoints every CheckpointEvery steps (including the initial weights
+// and the final weights). It returns the trace of snapshots.
+func (t *Trainer) RunEpoch(p TaskParams) (*Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	trace := &Trace{
+		Checkpoints: []tensor.Vector{p.Global.Clone()},
+		Steps:       []int{0},
+	}
+	cur := p.Global.Clone()
+	step := 0
+	for step < p.Steps {
+		interval := p.CheckpointEvery
+		if step+interval > p.Steps {
+			interval = p.Steps - step
+		}
+		next, err := t.ExecuteInterval(cur, step, interval, p.Hyper, p.Nonce)
+		if err != nil {
+			return nil, err
+		}
+		step += interval
+		cur = next
+		trace.Checkpoints = append(trace.Checkpoints, cur.Clone())
+		trace.Steps = append(trace.Steps, step)
+	}
+	return trace, nil
+}
+
+// Final returns the last checkpoint of the trace (the epoch's final
+// weights).
+func (tr *Trace) Final() tensor.Vector {
+	if len(tr.Checkpoints) == 0 {
+		return nil
+	}
+	return tr.Checkpoints[len(tr.Checkpoints)-1]
+}
+
+// Update computes the local model update L = final − initial submitted for
+// aggregation (Eq. 1).
+func (tr *Trace) Update() (tensor.Vector, error) {
+	if len(tr.Checkpoints) < 2 {
+		return nil, fmt.Errorf("rpol: trace has %d checkpoints", len(tr.Checkpoints))
+	}
+	return tr.Final().Sub(tr.Checkpoints[0])
+}
+
+// BindFinalCheckpoint computes the update L = final − θ_t and rewrites the
+// trace's final checkpoint as θ_t + L before the trace is committed.
+//
+// The rewrite exists because the verifier binds the submitted update to the
+// commitment by reconstructing θ_t + L and hashing it — and floating-point
+// addition does not exactly invert subtraction (fl(g + fl(f−g)) can differ
+// from f by an ulp). Re-adding the computed update on the worker's side
+// makes the committed bytes identical to the verifier's reconstruction,
+// while perturbing the actual final weights by at most one ulp per element
+// — orders of magnitude below any reproduction-error tolerance β.
+func BindFinalCheckpoint(tr *Trace, global tensor.Vector) (tensor.Vector, error) {
+	if len(tr.Checkpoints) < 2 {
+		return nil, fmt.Errorf("rpol: trace has %d checkpoints", len(tr.Checkpoints))
+	}
+	update, err := tr.Final().Sub(global)
+	if err != nil {
+		return nil, fmt.Errorf("rpol bind final: %w", err)
+	}
+	bound, err := global.Add(update)
+	if err != nil {
+		return nil, fmt.Errorf("rpol bind final: %w", err)
+	}
+	tr.Checkpoints[len(tr.Checkpoints)-1] = bound
+	return update, nil
+}
+
+// IntervalSteps returns the number of training steps between checkpoint idx
+// and idx+1.
+func (tr *Trace) IntervalSteps(idx int) (startStep, steps int, err error) {
+	if idx < 0 || idx+1 >= len(tr.Steps) {
+		return 0, 0, fmt.Errorf("rpol: interval %d of %d checkpoints", idx, len(tr.Steps))
+	}
+	return tr.Steps[idx], tr.Steps[idx+1] - tr.Steps[idx], nil
+}

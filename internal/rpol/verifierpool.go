@@ -1,0 +1,107 @@
+package rpol
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rpol/internal/dataset"
+	"rpol/internal/gpu"
+	"rpol/internal/lsh"
+	"rpol/internal/nn"
+	"rpol/internal/tensor"
+)
+
+// VerifierPool implements the decentralized verification the paper lists as
+// future work (Sec. IX): instead of the manager re-executing every sampled
+// interval itself, a set of verifier nodes (e.g. trusted delegates or the
+// manager's own machines) check submissions in parallel. Each submission is
+// still verified end-to-end by a single verifier — the protocol's sampling
+// and commitment logic is unchanged — but distinct submissions proceed
+// concurrently, dividing the manager's verification latency by the number
+// of verifiers.
+type VerifierPool struct {
+	verifiers []*Verifier
+}
+
+// NewVerifierPool builds n independent verifiers sharing a configuration.
+// Each verifier gets its own network instance (re-execution overwrites
+// weights), its own device (seeded from seed+i), and its own sampling RNG,
+// so verifications are deterministic per submission index regardless of
+// scheduling.
+func NewVerifierPool(n int, scheme Scheme, buildNet func() (*nn.Network, error), profile gpu.Profile, beta float64, fam *lsh.Family, samples int, seed int64) (*VerifierPool, error) {
+	if n < 1 {
+		return nil, errors.New("rpol: verifier pool needs at least one verifier")
+	}
+	if buildNet == nil {
+		return nil, errors.New("rpol: verifier pool needs a network builder")
+	}
+	pool := &VerifierPool{verifiers: make([]*Verifier, n)}
+	for i := 0; i < n; i++ {
+		net, err := buildNet()
+		if err != nil {
+			return nil, fmt.Errorf("rpol verifier %d: %w", i, err)
+		}
+		device, err := gpu.NewDevice(profile, seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("rpol verifier %d: %w", i, err)
+		}
+		pool.verifiers[i] = &Verifier{
+			Scheme:  scheme,
+			Net:     net,
+			Device:  device,
+			Beta:    beta,
+			LSH:     fam,
+			Samples: samples,
+			Sampler: tensor.NewRNG(seed + 1000 + int64(i)),
+		}
+	}
+	return pool, nil
+}
+
+// Size returns the number of parallel verifiers.
+func (vp *VerifierPool) Size() int { return len(vp.verifiers) }
+
+// Submission bundles one worker's verification inputs.
+type Submission struct {
+	Opener ProofOpener
+	Shard  *dataset.Dataset
+	Result *EpochResult
+	Params TaskParams
+}
+
+// VerifyAll checks every submission, distributing them across the pool's
+// verifiers. Results are returned in submission order. The first internal
+// error aborts the batch; protocol-level rejections are reported in the
+// outcomes, not as errors.
+func (vp *VerifierPool) VerifyAll(subs []Submission) ([]*VerifyOutcome, error) {
+	outcomes := make([]*VerifyOutcome, len(subs))
+	errs := make([]error, len(vp.verifiers))
+
+	var wg sync.WaitGroup
+	for vi, v := range vp.verifiers {
+		// Verifier vi handles submissions vi, vi+n, vi+2n, … — a static
+		// assignment, so each (submission, verifier) pairing is
+		// deterministic.
+		wg.Add(1)
+		go func(vi int, v *Verifier) {
+			defer wg.Done()
+			for si := vi; si < len(subs); si += len(vp.verifiers) {
+				sub := subs[si]
+				out, err := v.VerifySubmission(sub.Opener, sub.Shard, sub.Result, sub.Params)
+				if err != nil {
+					errs[vi] = fmt.Errorf("submission %d: %w", si, err)
+					return
+				}
+				outcomes[si] = out
+			}
+		}(vi, v)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outcomes, nil
+}

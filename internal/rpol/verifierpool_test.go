@@ -1,0 +1,134 @@
+package rpol
+
+import (
+	"testing"
+
+	"rpol/internal/gpu"
+	"rpol/internal/nn"
+	"rpol/internal/tensor"
+)
+
+func buildSubmissions(t *testing.T, n int) []Submission {
+	t.Helper()
+	subs := make([]Submission, 0, n)
+	for i := 0; i < n; i++ {
+		netW, ds := testTask(t, 10)
+		worker, err := NewHonestWorker("w", gpu.GA10, int64(300+i), netW, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := testParams(netW.ParamVector())
+		result, err := worker.RunEpoch(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, Submission{Opener: worker, Shard: ds, Result: result, Params: p})
+	}
+	return subs
+}
+
+func poolBuilder(t *testing.T) func() (*nn.Network, error) {
+	t.Helper()
+	return func() (*nn.Network, error) {
+		rng := tensor.NewRNG(10)
+		return nn.NewNetwork(
+			nn.NewDense(8, 16, rng),
+			nn.NewReLU(16),
+			nn.NewDense(16, 4, rng),
+		)
+	}
+}
+
+func TestVerifierPoolAcceptsHonest(t *testing.T) {
+	subs := buildSubmissions(t, 5)
+	vp, err := NewVerifierPool(3, SchemeV1, poolBuilder(t), gpu.G3090, 0.05, nil, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp.Size() != 3 {
+		t.Errorf("Size = %d", vp.Size())
+	}
+	outcomes, err := vp.VerifyAll(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 5 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	for i, out := range outcomes {
+		if out == nil || !out.Accepted {
+			reason := "<nil>"
+			if out != nil {
+				reason = out.FailReason
+			}
+			t.Errorf("submission %d rejected: %s", i, reason)
+		}
+	}
+}
+
+func TestVerifierPoolCatchesCheaterAmongHonest(t *testing.T) {
+	subs := buildSubmissions(t, 3)
+	// Replace submission 1's opener with one serving random weights.
+	forged := tensor.NewRNG(5).NormalVector(len(subs[1].Params.Global), 0, 1)
+	subs[1].Opener = &forgingOpener{inner: subs[1].Opener, target: 1, forged: forged}
+	subs[1].Opener = &forgingOpener{inner: subs[1].Opener, target: 2, forged: forged}
+	subs[1].Opener = &forgingOpener{inner: subs[1].Opener, target: 3, forged: forged}
+
+	vp, err := NewVerifierPool(2, SchemeV1, poolBuilder(t), gpu.G3090, 0.05, nil, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes, err := vp.VerifyAll(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outcomes[0].Accepted || !outcomes[2].Accepted {
+		t.Error("honest submissions rejected")
+	}
+	if outcomes[1].Accepted {
+		t.Error("forged submission accepted")
+	}
+}
+
+func TestVerifierPoolValidation(t *testing.T) {
+	if _, err := NewVerifierPool(0, SchemeV1, poolBuilder(t), gpu.G3090, 0.1, nil, 3, 1); err == nil {
+		t.Error("want error for zero verifiers")
+	}
+	if _, err := NewVerifierPool(2, SchemeV1, nil, gpu.G3090, 0.1, nil, 3, 1); err == nil {
+		t.Error("want error for nil builder")
+	}
+	if _, err := NewVerifierPool(2, SchemeV1, poolBuilder(t), gpu.Profile{}, 0.1, nil, 3, 1); err == nil {
+		t.Error("want error for bad profile")
+	}
+}
+
+func TestVerifierPoolEmptyBatch(t *testing.T) {
+	vp, err := NewVerifierPool(2, SchemeV1, poolBuilder(t), gpu.G3090, 0.05, nil, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes, err := vp.VerifyAll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 0 {
+		t.Errorf("outcomes = %d", len(outcomes))
+	}
+}
+
+func TestVerifierPoolMoreVerifiersThanWork(t *testing.T) {
+	subs := buildSubmissions(t, 2)
+	vp, err := NewVerifierPool(8, SchemeV1, poolBuilder(t), gpu.G3090, 0.05, nil, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes, err := vp.VerifyAll(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outcomes {
+		if out == nil || !out.Accepted {
+			t.Errorf("submission %d not verified", i)
+		}
+	}
+}

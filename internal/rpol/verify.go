@@ -1,0 +1,276 @@
+package rpol
+
+import (
+	"errors"
+	"fmt"
+
+	"rpol/internal/dataset"
+	"rpol/internal/gpu"
+	"rpol/internal/lsh"
+	"rpol/internal/nn"
+	"rpol/internal/tensor"
+)
+
+// Verifier is the manager-side verification engine. For each submission it
+// samples checkpoint intervals (after the worker has committed), re-executes
+// them on the manager's own hardware, and accepts only if every sample's
+// outcome is consistent with what the worker committed.
+type Verifier struct {
+	// Scheme selects baseline / RPoLv1 / RPoLv2 behaviour.
+	Scheme Scheme
+	// Net is the model architecture used for re-execution; its weights are
+	// overwritten per sample.
+	Net *nn.Network
+	// Device is the manager's GPU (re-execution inherits its
+	// nondeterminism).
+	Device *gpu.Device
+	// Beta is the distance threshold separating benign reproduction errors
+	// from spoofed weights; results at distance ≥ Beta are rejected.
+	Beta float64
+	// LSH is the calibrated family under RPoLv2 (nil otherwise).
+	LSH *lsh.Family
+	// Samples is q, the number of checkpoint intervals verified per
+	// submission (3 in the paper's evaluation, Sec. VII-A).
+	Samples int
+	// Sampler provides the secure post-commitment sampling randomness.
+	Sampler *tensor.RNG
+	// DisableDoubleCheck turns off the raw-weight fallback on LSH misses
+	// (RPoLv2 only). The paper argues the double-check is what guarantees
+	// rewards for honesty; this switch exists for the ablation that
+	// quantifies exactly that.
+	DisableDoubleCheck bool
+}
+
+// Errors surfaced by verification configuration.
+var (
+	ErrNoSampler = errors.New("rpol: verifier needs a sampler RNG")
+	ErrNoNetwork = errors.New("rpol: verifier needs a network")
+)
+
+// sampleIntervals draws q distinct interval start indices from
+// [0, numCheckpoints-1). Sampling happens strictly after the worker's
+// commitment arrived — the delayed-disclosure property that defeats
+// selective training.
+func (v *Verifier) sampleIntervals(numCheckpoints int) []int {
+	intervals := numCheckpoints - 1
+	if intervals <= 0 {
+		return nil
+	}
+	q := v.Samples
+	if q <= 0 {
+		q = 3
+	}
+	if q >= intervals {
+		out := make([]int, intervals)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	perm := v.Sampler.Perm(intervals)
+	out := make([]int, q)
+	copy(out, perm[:q])
+	return out
+}
+
+// VerifySubmission checks one worker's epoch submission. shard must be the
+// worker's sub-dataset (the manager partitioned the data, so it has it).
+func (v *Verifier) VerifySubmission(opener ProofOpener, shard *dataset.Dataset, result *EpochResult, p TaskParams) (*VerifyOutcome, error) {
+	out := &VerifyOutcome{WorkerID: result.WorkerID, Epoch: result.Epoch}
+	if v.Scheme == SchemeBaseline {
+		out.Accepted = true
+		return out, nil
+	}
+	if v.Net == nil {
+		return nil, ErrNoNetwork
+	}
+	if v.Sampler == nil {
+		return nil, ErrNoSampler
+	}
+	if result.Commit == nil || result.Commit.Len() != result.NumCheckpoints {
+		out.FailReason = "commitment missing or inconsistent with checkpoint count"
+		return out, nil
+	}
+	if v.Scheme == SchemeV2 {
+		if v.LSH == nil {
+			return nil, errors.New("rpol: RPoLv2 verifier needs an LSH family")
+		}
+		if len(result.LSHDigests) != result.NumCheckpoints {
+			out.FailReason = "LSH digest count inconsistent with checkpoint count"
+			return out, nil
+		}
+	}
+
+	// Bind the trace's origin: the first committed checkpoint must be
+	// exactly the global model the manager distributed. Without this check
+	// a worker could train honestly from a different initialization (a
+	// stale or poisoned model) and every sampled interval would still
+	// re-execute consistently. The check is free — the manager holds θ_t,
+	// so no transfer is needed.
+	if err := VerifyOpening(result, v.lshFamily(), 0, p.Global); err != nil {
+		out.FailReason = fmt.Sprintf("trace does not start from the distributed global model: %v", err)
+		return out, nil
+	}
+
+	// Bind the submitted update to the trace's end: θ_t + L must be the
+	// final committed checkpoint. Without this check a worker could train
+	// (and prove) honestly yet submit an arbitrary — e.g. scaled or
+	// poisoned — update for aggregation. Also free: the manager recomputes
+	// the claimed final weights locally.
+	if len(result.Update) != len(p.Global) {
+		out.FailReason = fmt.Sprintf("update has %d weights, want %d", len(result.Update), len(p.Global))
+		return out, nil
+	}
+	claimedFinal, err := p.Global.Add(result.Update)
+	if err != nil {
+		return nil, fmt.Errorf("rpol verify update binding: %w", err)
+	}
+	if err := VerifyOpening(result, v.lshFamily(), result.NumCheckpoints-1, claimedFinal); err != nil {
+		out.FailReason = fmt.Sprintf("submitted update does not reach the committed final checkpoint: %v", err)
+		return out, nil
+	}
+
+	trainer := &Trainer{Net: v.Net, Shard: shard, Device: v.Device}
+	out.SampledCheckpoints = v.sampleIntervals(result.NumCheckpoints)
+	if len(out.SampledCheckpoints) == 0 {
+		out.FailReason = "no checkpoint intervals to sample"
+		return out, nil
+	}
+
+	for _, c := range out.SampledCheckpoints {
+		ok, err := v.verifyInterval(trainer, opener, result, p, c, out)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			out.Accepted = false
+			return out, nil
+		}
+	}
+	out.Accepted = true
+	return out, nil
+}
+
+// verifyInterval checks the single sampled interval c → c+1. It returns
+// (false, nil) with out.FailReason set on a protocol-level rejection and an
+// error only on internal failures.
+func (v *Verifier) verifyInterval(trainer *Trainer, opener ProofOpener, result *EpochResult, p TaskParams, c int, out *VerifyOutcome) (bool, error) {
+	// 1. Obtain and validate the interval's input weights against the
+	// commitment.
+	input, err := opener.OpenCheckpoint(c)
+	if err != nil {
+		out.FailReason = fmt.Sprintf("checkpoint %d not opened: %v", c, err)
+		return false, nil
+	}
+	out.CommBytes += int64(tensor.EncodedSize(len(input)))
+	if err := VerifyOpening(result, v.lshFamily(), c, input); err != nil {
+		out.FailReason = fmt.Sprintf("checkpoint %d opening rejected: %v", c, err)
+		return false, nil
+	}
+
+	// 2. Re-execute the interval on the manager's hardware.
+	startStep := c * p.CheckpointEvery
+	steps := p.CheckpointEvery
+	if startStep+steps > p.Steps {
+		steps = p.Steps - startStep
+	}
+	if steps <= 0 {
+		out.FailReason = fmt.Sprintf("checkpoint %d maps past the epoch's steps", c)
+		return false, nil
+	}
+	reexec, err := trainer.ExecuteInterval(input, startStep, steps, p.Hyper, p.Nonce)
+	if err != nil {
+		return false, fmt.Errorf("rpol verify re-execution: %w", err)
+	}
+	out.ReexecSteps += steps
+
+	// 3. Compare outcomes.
+	if v.Scheme == SchemeV1 {
+		return v.compareRaw(opener, result, c, reexec, out)
+	}
+	return v.compareLSH(opener, result, c, reexec, out)
+}
+
+func (v *Verifier) lshFamily() *lsh.Family {
+	if v.Scheme == SchemeV2 {
+		return v.LSH
+	}
+	return nil
+}
+
+// compareRaw is RPoLv1: fetch the raw output weights and compare Euclidean
+// distance against Beta.
+func (v *Verifier) compareRaw(opener ProofOpener, result *EpochResult, c int, reexec tensor.Vector, out *VerifyOutcome) (bool, error) {
+	output, err := opener.OpenCheckpoint(c + 1)
+	if err != nil {
+		out.FailReason = fmt.Sprintf("checkpoint %d not opened: %v", c+1, err)
+		return false, nil
+	}
+	out.CommBytes += int64(tensor.EncodedSize(len(output)))
+	if err := VerifyOpening(result, nil, c+1, output); err != nil {
+		out.FailReason = fmt.Sprintf("checkpoint %d opening rejected: %v", c+1, err)
+		return false, nil
+	}
+	dist, err := tensor.Distance(reexec, output)
+	if err != nil {
+		return false, fmt.Errorf("rpol verify distance: %w", err)
+	}
+	if dist >= v.Beta {
+		out.FailReason = fmt.Sprintf("checkpoint %d: distance %.6g ≥ β %.6g", c, dist, v.Beta)
+		return false, nil
+	}
+	return true, nil
+}
+
+// compareLSH is RPoLv2: fuzzy-match the re-executed weights' digest against
+// the committed digest; on a miss fall back to the raw-weight double-check,
+// which guarantees rewards for honesty at the cost of one extra transfer.
+func (v *Verifier) compareLSH(opener ProofOpener, result *EpochResult, c int, reexec tensor.Vector, out *VerifyOutcome) (bool, error) {
+	committed := result.LSHDigests[c+1]
+	// The revealed digest must be exactly what was committed.
+	if err := result.Commit.VerifyLeaf(c+1, committed.Encode()); err != nil {
+		out.FailReason = fmt.Sprintf("checkpoint %d digest not committed: %v", c+1, err)
+		return false, nil
+	}
+	out.CommBytes += int64(committed.Size())
+	mine, err := v.LSH.Hash(reexec)
+	if err != nil {
+		return false, fmt.Errorf("rpol verify lsh: %w", err)
+	}
+	if lsh.Match(mine, committed) {
+		return true, nil
+	}
+	out.LSHMisses++
+	if v.DisableDoubleCheck {
+		out.FailReason = fmt.Sprintf("checkpoint %d: LSH mismatch (double-check disabled)", c)
+		return false, nil
+	}
+	// Double-check: request the raw output weights once more and compare
+	// distances directly (Sec. V-C).
+	output, err := opener.OpenCheckpoint(c + 1)
+	if err != nil {
+		out.FailReason = fmt.Sprintf("double-check %d not opened: %v", c+1, err)
+		return false, nil
+	}
+	out.CommBytes += int64(tensor.EncodedSize(len(output)))
+	if err := VerifyOpening(result, v.LSH, c+1, output); err != nil {
+		out.FailReason = fmt.Sprintf("double-check %d opening rejected: %v", c+1, err)
+		return false, nil
+	}
+	out.DoubleChecks++
+	dist, err := tensor.Distance(reexec, output)
+	if err != nil {
+		return false, fmt.Errorf("rpol verify distance: %w", err)
+	}
+	if dist >= v.Beta {
+		out.FailReason = fmt.Sprintf("checkpoint %d: double-check distance %.6g ≥ β %.6g", c, dist, v.Beta)
+		return false, nil
+	}
+	return true, nil
+}
+
+// NewManagerDevice builds the manager's verification device on the given
+// profile.
+func NewManagerDevice(profile gpu.Profile, runSeed int64) (*gpu.Device, error) {
+	return gpu.NewDevice(profile, runSeed)
+}

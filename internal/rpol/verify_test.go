@@ -1,0 +1,459 @@
+package rpol
+
+import (
+	"testing"
+
+	"rpol/internal/dataset"
+	"rpol/internal/gpu"
+	"rpol/internal/lsh"
+	"rpol/internal/tensor"
+)
+
+// buildHonestSetup creates a worker, runs one epoch, and returns everything
+// a verifier needs. scheme decides whether an LSH family is calibrated in.
+func buildHonestSetup(t *testing.T, scheme Scheme) (*HonestWorker, *EpochResult, TaskParams, *Verifier, *dataset.Dataset) {
+	t.Helper()
+	netW, ds := testTask(t, 10)
+	worker, err := NewHonestWorker("w1", gpu.GA10, 101, netW, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testParams(netW.ParamVector())
+
+	var fam *lsh.Family
+	beta := 0.05 // generous default; calibrated tests compute their own
+	if scheme == SchemeV2 {
+		// Calibrate α/β from two probe runs on the top profiles.
+		netC, _ := testTask(t, 10)
+		cal := &Calibrator{Net: netC, Shard: ds, XFactor: 5, KLsh: 16}
+		calOut, f, err := cal.Calibrate(p, gpu.G3090, gpu.GA10, [2]int64{5, 6}, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fam = f
+		beta = calOut.Beta
+		p.LSH = fam
+	}
+
+	result, err := worker.RunEpoch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	netV, _ := testTask(t, 10)
+	device, err := gpu.NewDevice(gpu.G3090, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier := &Verifier{
+		Scheme:  scheme,
+		Net:     netV,
+		Device:  device,
+		Beta:    beta,
+		LSH:     fam,
+		Samples: 3,
+		Sampler: tensor.NewRNG(42),
+	}
+	return worker, result, p, verifier, ds
+}
+
+func TestVerifyHonestWorkerV1(t *testing.T) {
+	worker, result, p, verifier, ds := buildHonestSetup(t, SchemeV1)
+	out, err := verifier.VerifySubmission(worker, ds, result, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Fatalf("honest worker rejected under v1: %s", out.FailReason)
+	}
+	if len(out.SampledCheckpoints) != 3 {
+		t.Errorf("sampled = %v", out.SampledCheckpoints)
+	}
+	// v1 transfers input and output weights per sample.
+	perSample := int64(2 * tensor.EncodedSize(len(p.Global)))
+	if out.CommBytes != perSample*int64(len(out.SampledCheckpoints)) {
+		t.Errorf("CommBytes = %d, want %d", out.CommBytes, perSample*3)
+	}
+	if out.ReexecSteps == 0 {
+		t.Error("verification must have re-executed steps")
+	}
+}
+
+func TestVerifyHonestWorkerV2(t *testing.T) {
+	worker, result, p, verifier, ds := buildHonestSetup(t, SchemeV2)
+	out, err := verifier.VerifySubmission(worker, ds, result, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Fatalf("honest worker rejected under v2: %s", out.FailReason)
+	}
+	// v2 transfers roughly half of v1: input weights + digest per sample
+	// (double-checks add occasional raw transfers).
+	weightsSize := int64(tensor.EncodedSize(len(p.Global)))
+	maxNoDoubleCheck := int64(len(out.SampledCheckpoints)) * (weightsSize + 1024)
+	if out.DoubleChecks == 0 && out.CommBytes > maxNoDoubleCheck {
+		t.Errorf("CommBytes = %d exceeds v2 budget %d", out.CommBytes, maxNoDoubleCheck)
+	}
+}
+
+func TestVerifyBaselineAcceptsAnything(t *testing.T) {
+	verifier := &Verifier{Scheme: SchemeBaseline}
+	out, err := verifier.VerifySubmission(nil, nil, &EpochResult{WorkerID: "x"}, TaskParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Error("baseline must accept without verification")
+	}
+	if out.CommBytes != 0 || out.ReexecSteps != 0 {
+		t.Error("baseline must not incur verification costs")
+	}
+}
+
+// forgingOpener wraps a worker but substitutes forged weights for one
+// checkpoint.
+type forgingOpener struct {
+	inner  ProofOpener
+	target int
+	forged tensor.Vector
+}
+
+func (f *forgingOpener) OpenCheckpoint(idx int) (tensor.Vector, error) {
+	if idx == f.target {
+		return f.forged, nil
+	}
+	return f.inner.OpenCheckpoint(idx)
+}
+
+func TestVerifyRejectsForgedOpening(t *testing.T) {
+	worker, result, p, verifier, ds := buildHonestSetup(t, SchemeV1)
+	forged := tensor.NewRNG(1).NormalVector(len(p.Global), 0, 1)
+	// Forge every opening the verifier might request.
+	for target := 0; target < result.NumCheckpoints; target++ {
+		opener := &forgingOpener{inner: worker, target: target, forged: forged}
+		out, err := verifier.VerifySubmission(opener, ds, result, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Accepted {
+			// The verifier might not have sampled the forged index; only
+			// fail when it did.
+			sampledForged := false
+			for _, c := range out.SampledCheckpoints {
+				if c == target || c+1 == target {
+					sampledForged = true
+				}
+			}
+			if sampledForged {
+				t.Errorf("forged checkpoint %d accepted", target)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsLazyTrace(t *testing.T) {
+	// A worker that commits random weights (no training) must be rejected:
+	// re-execution from its "checkpoints" lands far from the committed next
+	// checkpoint.
+	_, _, p, verifier, ds := buildHonestSetup(t, SchemeV1)
+	rng := tensor.NewRNG(3)
+	n := p.NumCheckpoints()
+	fake := &Trace{}
+	for i := 0; i < n; i++ {
+		fake.Checkpoints = append(fake.Checkpoints, rng.NormalVector(len(p.Global), 0, 1))
+		fake.Steps = append(fake.Steps, i*p.CheckpointEvery)
+	}
+	commit, _, err := BuildCommitment(fake.Checkpoints, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	update, err := fake.Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	result := &EpochResult{
+		WorkerID: "lazy", Update: update, DataSize: ds.Len(),
+		Commit: commit, NumCheckpoints: n,
+	}
+	out, err := verifier.VerifySubmission(&traceOpener{fake}, ds, result, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted {
+		t.Error("random-weights trace accepted under v1")
+	}
+}
+
+// traceOpener serves checkpoints straight from a trace.
+type traceOpener struct{ trace *Trace }
+
+func (o *traceOpener) OpenCheckpoint(idx int) (tensor.Vector, error) {
+	if idx < 0 || idx >= len(o.trace.Checkpoints) {
+		return nil, tensor.ErrShapeMismatch
+	}
+	return o.trace.Checkpoints[idx], nil
+}
+
+func TestVerifyRejectsLazyTraceV2(t *testing.T) {
+	_, _, p, verifier, ds := buildHonestSetup(t, SchemeV2)
+	rng := tensor.NewRNG(4)
+	n := p.NumCheckpoints()
+	fake := &Trace{}
+	for i := 0; i < n; i++ {
+		fake.Checkpoints = append(fake.Checkpoints, rng.NormalVector(len(p.Global), 0, 1))
+		fake.Steps = append(fake.Steps, i*p.CheckpointEvery)
+	}
+	commit, digests, err := BuildCommitment(fake.Checkpoints, verifier.LSH)
+	if err != nil {
+		t.Fatal(err)
+	}
+	update, err := fake.Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	result := &EpochResult{
+		WorkerID: "lazy", Update: update, DataSize: ds.Len(),
+		Commit: commit, LSHDigests: digests, NumCheckpoints: n,
+	}
+	out, err := verifier.VerifySubmission(&traceOpener{fake}, ds, result, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted {
+		t.Error("random-weights trace accepted under v2")
+	}
+}
+
+func TestVerifyMissingCommitment(t *testing.T) {
+	worker, result, p, verifier, ds := buildHonestSetup(t, SchemeV1)
+	_ = worker
+	bad := *result
+	bad.Commit = nil
+	out, err := verifier.VerifySubmission(worker, ds, &bad, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted {
+		t.Error("submission without commitment accepted")
+	}
+}
+
+func TestVerifyDigestCountMismatch(t *testing.T) {
+	worker, result, p, verifier, ds := buildHonestSetup(t, SchemeV2)
+	bad := *result
+	bad.LSHDigests = bad.LSHDigests[:1]
+	out, err := verifier.VerifySubmission(worker, ds, &bad, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted {
+		t.Error("submission with truncated digests accepted")
+	}
+}
+
+func TestVerifierConfigErrors(t *testing.T) {
+	worker, result, p, _, ds := buildHonestSetup(t, SchemeV1)
+	v := &Verifier{Scheme: SchemeV1}
+	if _, err := v.VerifySubmission(worker, ds, result, p); err == nil {
+		t.Error("want error for verifier without network")
+	}
+	netV, _ := testTask(t, 10)
+	v = &Verifier{Scheme: SchemeV1, Net: netV}
+	if _, err := v.VerifySubmission(worker, ds, result, p); err == nil {
+		t.Error("want error for verifier without sampler")
+	}
+	v = &Verifier{Scheme: SchemeV2, Net: netV, Sampler: tensor.NewRNG(1)}
+	if _, err := v.VerifySubmission(worker, ds, result, p); err == nil {
+		t.Error("want error for v2 verifier without LSH family")
+	}
+}
+
+func TestSampleIntervalsDistinct(t *testing.T) {
+	v := &Verifier{Samples: 3, Sampler: tensor.NewRNG(5)}
+	for trial := 0; trial < 50; trial++ {
+		got := v.sampleIntervals(10)
+		if len(got) != 3 {
+			t.Fatalf("sampled %d", len(got))
+		}
+		seen := map[int]bool{}
+		for _, c := range got {
+			if c < 0 || c >= 9 {
+				t.Fatalf("sample %d out of range", c)
+			}
+			if seen[c] {
+				t.Fatal("duplicate sample")
+			}
+			seen[c] = true
+		}
+	}
+	// Request more samples than intervals: all intervals returned.
+	all := v.sampleIntervals(3)
+	if len(all) != 2 {
+		t.Errorf("expected all 2 intervals, got %v", all)
+	}
+	if got := v.sampleIntervals(1); got != nil {
+		t.Errorf("no intervals: got %v", got)
+	}
+}
+
+func TestVerifyOpeningV1V2(t *testing.T) {
+	w := tensor.Vector{1, 2, 3}
+	commit, _, err := BuildCommitment([]tensor.Vector{w}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &EpochResult{Commit: commit}
+	if err := VerifyOpening(res, nil, 0, w); err != nil {
+		t.Errorf("genuine v1 opening rejected: %v", err)
+	}
+	if err := VerifyOpening(res, nil, 0, tensor.Vector{9, 9, 9}); err == nil {
+		t.Error("forged v1 opening accepted")
+	}
+
+	fam, err := lsh.NewFamily(3, lsh.Params{R: 1, K: 2, L: 2}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commit2, digests, err := BuildCommitment([]tensor.Vector{w}, fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(digests) != 1 {
+		t.Fatalf("digests = %d", len(digests))
+	}
+	res2 := &EpochResult{Commit: commit2, LSHDigests: digests}
+	if err := VerifyOpening(res2, fam, 0, w); err != nil {
+		t.Errorf("genuine v2 opening rejected: %v", err)
+	}
+	if err := VerifyOpening(res2, fam, 0, tensor.Vector{100, 100, 100}); err == nil {
+		t.Error("distant forged v2 opening accepted")
+	}
+	noCommit := &EpochResult{}
+	if err := VerifyOpening(noCommit, nil, 0, w); err == nil {
+		t.Error("opening without commitment accepted")
+	}
+}
+
+func TestHonestWorkerBasics(t *testing.T) {
+	net, ds := testTask(t, 11)
+	if _, err := NewHonestWorker("w", gpu.Profile{Name: "bad"}, 1, net, ds); err == nil {
+		t.Error("want error for bad profile")
+	}
+	if _, err := NewHonestWorker("w", gpu.GA10, 1, net, &dataset.Dataset{}); err == nil {
+		t.Error("want error for empty shard")
+	}
+	w, err := NewHonestWorker("w", gpu.GA10, 1, net, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.ID() != "w" || w.GPUProfile().Name != "GA10" || w.ShardSize() != ds.Len() {
+		t.Error("accessor mismatch")
+	}
+	if _, err := w.OpenCheckpoint(0); err == nil {
+		t.Error("want error before first epoch")
+	}
+	p := testParams(net.ParamVector())
+	res, err := w.RunEpoch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCheckpoints != p.NumCheckpoints() {
+		t.Errorf("NumCheckpoints = %d", res.NumCheckpoints)
+	}
+	if _, err := w.OpenCheckpoint(res.NumCheckpoints); err == nil {
+		t.Error("want error for out-of-range checkpoint")
+	}
+	if w.LastTrace() == nil {
+		t.Error("trace must be retained")
+	}
+}
+
+// TestHonestAlwaysPassesRandomized is a randomized property check of the
+// paper's 0-false-negative goal: across many independent (worker hardware,
+// verifier hardware, sampler) draws, a calibrated verifier never rejects an
+// honest submission.
+func TestHonestAlwaysPassesRandomized(t *testing.T) {
+	netC, ds := testTask(t, 10)
+	p := testParams(netC.ParamVector())
+	cal := &Calibrator{Net: netC, Shard: ds, XFactor: 5, KLsh: 16}
+	calOut, fam, err := cal.Calibrate(p, gpu.G3090, gpu.GA10, [2]int64{201, 202}, 203)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.LSH = fam
+	profiles := gpu.Profiles()
+	for trial := 0; trial < 12; trial++ {
+		netW, _ := testTask(t, 10)
+		worker, err := NewHonestWorker("w", profiles[trial%len(profiles)], int64(300+trial), netW, ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		result, err := worker.RunEpoch(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		netV, _ := testTask(t, 10)
+		device, err := gpu.NewDevice(gpu.G3090, int64(400+trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifier := &Verifier{
+			Scheme: SchemeV2, Net: netV, Device: device,
+			Beta: calOut.Beta, LSH: fam, Samples: 3,
+			Sampler: tensor.NewRNG(int64(500 + trial)),
+		}
+		out, err := verifier.VerifySubmission(worker, ds, result, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Accepted {
+			t.Fatalf("trial %d (%s): honest worker rejected: %s",
+				trial, worker.GPUProfile().Name, out.FailReason)
+		}
+	}
+}
+
+func TestVerifyRejectsWrongLengthUpdate(t *testing.T) {
+	worker, result, p, verifier, ds := buildHonestSetup(t, SchemeV1)
+	bad := *result
+	bad.Update = tensor.NewVector(3) // wrong dimensionality
+	out, err := verifier.VerifySubmission(worker, ds, &bad, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted {
+		t.Error("wrong-length update accepted")
+	}
+}
+
+func TestBindFinalCheckpoint(t *testing.T) {
+	global := tensor.Vector{1, 2, 3}
+	tr := &Trace{
+		Checkpoints: []tensor.Vector{global.Clone(), {1.5, 2.5, 3.5}},
+		Steps:       []int{0, 5},
+	}
+	update, err := BindFinalCheckpoint(tr, global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rewritten final checkpoint must equal global+update bit-exactly.
+	reconstructed, err := global.Add(update)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Final().Equal(reconstructed, 0) {
+		t.Error("binding not bit-exact")
+	}
+	// And stay within an ulp of the true final weights.
+	if !tr.Final().Equal(tensor.Vector{1.5, 2.5, 3.5}, 1e-12) {
+		t.Error("binding perturbed the final weights materially")
+	}
+	short := &Trace{Checkpoints: []tensor.Vector{global}}
+	if _, err := BindFinalCheckpoint(short, global); err == nil {
+		t.Error("single-checkpoint trace accepted")
+	}
+	if _, err := BindFinalCheckpoint(tr, tensor.Vector{1}); err == nil {
+		t.Error("mismatched global accepted")
+	}
+}

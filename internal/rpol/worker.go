@@ -1,0 +1,133 @@
+package rpol
+
+import (
+	"fmt"
+
+	"rpol/internal/checkpoint"
+	"rpol/internal/dataset"
+	"rpol/internal/gpu"
+	"rpol/internal/nn"
+	"rpol/internal/tensor"
+)
+
+// HonestWorker is the protocol-abiding pool worker: it trains its shard with
+// the deterministic batch schedule, checkpoints faithfully, commits before
+// sampling decisions are revealed, and opens exactly what it committed.
+type HonestWorker struct {
+	id      string
+	profile gpu.Profile
+	trainer *Trainer
+	store   checkpoint.Store
+
+	lastTrace  *Trace
+	lastResult *EpochResult
+}
+
+var _ Worker = (*HonestWorker)(nil)
+
+// NewHonestWorker builds a worker executing on the given GPU profile.
+// runSeed individualizes this worker's hardware nondeterminism.
+func NewHonestWorker(id string, profile gpu.Profile, runSeed int64, net *nn.Network, shard *dataset.Dataset) (*HonestWorker, error) {
+	device, err := gpu.NewDevice(profile, runSeed)
+	if err != nil {
+		return nil, fmt.Errorf("rpol worker %s: %w", id, err)
+	}
+	if shard == nil || shard.Len() == 0 {
+		return nil, fmt.Errorf("rpol worker %s: empty shard", id)
+	}
+	return &HonestWorker{
+		id:      id,
+		profile: profile,
+		trainer: &Trainer{Net: net, Shard: shard, Device: device},
+	}, nil
+}
+
+// ID returns the worker identifier.
+func (w *HonestWorker) ID() string { return w.id }
+
+// GPUProfile returns the registered hardware profile.
+func (w *HonestWorker) GPUProfile() gpu.Profile { return w.profile }
+
+// ShardSize returns |D_w|.
+func (w *HonestWorker) ShardSize() int { return w.trainer.Shard.Len() }
+
+// SetStore directs the worker to persist its checkpoints in st (e.g. a
+// disk-backed checkpoint.DiskStore) instead of process memory. Proof
+// openings then round-trip through the store's serialization — exactly what
+// a real worker whose checkpoints exceed RAM does.
+func (w *HonestWorker) SetStore(st checkpoint.Store) { w.store = st }
+
+// StorageBytes reports the bytes the worker's current proofs occupy.
+func (w *HonestWorker) StorageBytes() int64 {
+	if w.store != nil {
+		return w.store.Bytes()
+	}
+	if w.lastTrace == nil {
+		return 0
+	}
+	var total int64
+	for _, c := range w.lastTrace.Checkpoints {
+		total += int64(tensor.EncodedSize(len(c)))
+	}
+	return total
+}
+
+// RunEpoch trains the sub-task and submits the update with its commitment.
+func (w *HonestWorker) RunEpoch(p TaskParams) (*EpochResult, error) {
+	trace, err := w.trainer.RunEpoch(p)
+	if err != nil {
+		return nil, fmt.Errorf("rpol worker %s: %w", w.id, err)
+	}
+	update, err := BindFinalCheckpoint(trace, p.Global)
+	if err != nil {
+		return nil, fmt.Errorf("rpol worker %s: %w", w.id, err)
+	}
+	commit, digests, err := BuildCommitment(trace.Checkpoints, p.LSH)
+	if err != nil {
+		return nil, fmt.Errorf("rpol worker %s: %w", w.id, err)
+	}
+	if w.store != nil {
+		if err := w.store.Clear(); err != nil {
+			return nil, fmt.Errorf("rpol worker %s: %w", w.id, err)
+		}
+		for i, c := range trace.Checkpoints {
+			if err := w.store.Put(i, c); err != nil {
+				return nil, fmt.Errorf("rpol worker %s: %w", w.id, err)
+			}
+		}
+	}
+	w.lastTrace = trace
+	w.lastResult = &EpochResult{
+		WorkerID:       w.id,
+		Epoch:          p.Epoch,
+		Update:         update,
+		DataSize:       w.trainer.Shard.Len(),
+		Commit:         commit,
+		LSHDigests:     digests,
+		NumCheckpoints: len(trace.Checkpoints),
+	}
+	return w.lastResult, nil
+}
+
+// OpenCheckpoint serves the raw weights of checkpoint idx from the last
+// trained epoch, reading through the configured store when one is set.
+func (w *HonestWorker) OpenCheckpoint(idx int) (tensor.Vector, error) {
+	if w.lastTrace == nil {
+		return nil, fmt.Errorf("rpol worker %s: no epoch trained yet", w.id)
+	}
+	if idx < 0 || idx >= len(w.lastTrace.Checkpoints) {
+		return nil, fmt.Errorf("rpol worker %s: checkpoint %d of %d", w.id, idx, len(w.lastTrace.Checkpoints))
+	}
+	if w.store != nil {
+		weights, err := w.store.Get(idx)
+		if err != nil {
+			return nil, fmt.Errorf("rpol worker %s: %w", w.id, err)
+		}
+		return weights, nil
+	}
+	return w.lastTrace.Checkpoints[idx], nil
+}
+
+// LastTrace exposes the worker's private trace for experiments that measure
+// reproduction errors directly.
+func (w *HonestWorker) LastTrace() *Trace { return w.lastTrace }

@@ -1,0 +1,84 @@
+package rpol
+
+import (
+	"testing"
+
+	"rpol/internal/checkpoint"
+	"rpol/internal/gpu"
+	"rpol/internal/tensor"
+)
+
+func TestHonestWorkerWithDiskStore(t *testing.T) {
+	net, ds := testTask(t, 12)
+	worker, err := NewHonestWorker("w", gpu.GA10, 5, net, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := checkpoint.NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker.SetStore(store)
+
+	p := testParams(net.ParamVector())
+	result, err := worker.RunEpoch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != result.NumCheckpoints {
+		t.Errorf("store holds %d of %d checkpoints", store.Len(), result.NumCheckpoints)
+	}
+	if worker.StorageBytes() != int64(result.NumCheckpoints*tensor.EncodedSize(len(p.Global))) {
+		t.Errorf("StorageBytes = %d", worker.StorageBytes())
+	}
+
+	// Verification works end-to-end through the disk round trip.
+	netV, _ := testTask(t, 12)
+	device, err := gpu.NewDevice(gpu.G3090, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier := &Verifier{
+		Scheme: SchemeV1, Net: netV, Device: device,
+		Beta: 0.05, Samples: 3, Sampler: tensor.NewRNG(7),
+	}
+	out, err := verifier.VerifySubmission(worker, ds, result, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Fatalf("disk-stored worker rejected: %s", out.FailReason)
+	}
+
+	// A new epoch clears the previous epoch's proofs.
+	p2 := p
+	p2.Epoch = 1
+	p2.Global = worker.LastTrace().Final()
+	result2, err := worker.RunEpoch(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != result2.NumCheckpoints {
+		t.Errorf("store holds %d after second epoch", store.Len())
+	}
+}
+
+func TestStorageBytesWithoutStore(t *testing.T) {
+	net, ds := testTask(t, 13)
+	worker, err := NewHonestWorker("w", gpu.GA10, 5, net, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worker.StorageBytes() != 0 {
+		t.Error("fresh worker should report zero storage")
+	}
+	p := testParams(net.ParamVector())
+	result, err := worker.RunEpoch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(result.NumCheckpoints * tensor.EncodedSize(len(p.Global)))
+	if worker.StorageBytes() != want {
+		t.Errorf("StorageBytes = %d, want %d", worker.StorageBytes(), want)
+	}
+}

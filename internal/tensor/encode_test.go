@@ -1,0 +1,118 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	v := Vector{1.5, -2.25, 0, 3e100}
+	buf := v.Encode()
+	if len(buf) != EncodedSize(len(v)) {
+		t.Errorf("encoded size = %d, want %d", len(buf), EncodedSize(len(v)))
+	}
+	got, err := DecodeVector(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v, 0) {
+		t.Errorf("round trip = %v, want %v", got, v)
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	v := Vector{}
+	got, err := DecodeVector(v.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("decoded empty = %v", got)
+	}
+}
+
+func TestDecodeShortHeader(t *testing.T) {
+	if _, err := DecodeVector([]byte{1, 2, 3}); err == nil {
+		t.Error("want error for short header")
+	}
+}
+
+func TestDecodeTruncatedBody(t *testing.T) {
+	buf := (Vector{1, 2, 3}).Encode()
+	if _, err := DecodeVector(buf[:len(buf)-4]); err == nil {
+		t.Error("want error for truncated body")
+	}
+}
+
+func TestDecodeOversizedClaim(t *testing.T) {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf, 1<<40)
+	if _, err := DecodeVector(buf); err == nil {
+		t.Error("want error for oversized element claim")
+	}
+}
+
+func TestDecodeTrailingGarbage(t *testing.T) {
+	buf := append((Vector{1}).Encode(), 0xFF)
+	if _, err := DecodeVector(buf); err == nil {
+		t.Error("want error for trailing bytes")
+	}
+}
+
+// Property: Encode/Decode round-trips bit-exactly for arbitrary vectors.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(a []float64) bool {
+		v := Vector(a)
+		got, err := DecodeVector(v.Encode())
+		if err != nil {
+			return false
+		}
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			// Bit-exact comparison, NaN-safe.
+			if v[i] != got[i] && !(v[i] != v[i] && got[i] != got[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(99).NormalVector(16, 0, 1)
+	b := NewRNG(99).NormalVector(16, 0, 1)
+	if !a.Equal(b, 0) {
+		t.Error("same seed must give identical vectors")
+	}
+	c := NewRNG(100).NormalVector(16, 0, 1)
+	if a.Equal(c, 0) {
+		t.Error("different seeds should give different vectors")
+	}
+}
+
+func TestRNGUniformRange(t *testing.T) {
+	rng := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		x := rng.Uniform(2, 5)
+		if x < 2 || x >= 5 {
+			t.Fatalf("Uniform out of range: %v", x)
+		}
+	}
+}
+
+func TestXavierMatrixBounds(t *testing.T) {
+	rng := NewRNG(3)
+	m := rng.XavierMatrix(8, 4)
+	limit := 0.70710678119 // sqrt(6/12)
+	for _, x := range m.Data {
+		if x < -limit || x > limit {
+			t.Fatalf("Xavier weight out of bounds: %v", x)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package tensor
+
+import "testing"
+
+// FuzzDecodeVector drives the wire decoder with arbitrary bytes: it must
+// never panic or return a vector inconsistent with a re-encode.
+func FuzzDecodeVector(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((Vector{1.5, -2.5}).Encode())
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(append((Vector{1}).Encode(), 0x00))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeVector(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must round-trip to the identical bytes.
+		re := v.Encode()
+		if len(re) != len(data) {
+			t.Fatalf("round trip length %d != %d", len(re), len(data))
+		}
+		for i := range re {
+			if re[i] != data[i] {
+				t.Fatalf("round trip byte %d differs", i)
+			}
+		}
+	})
+}

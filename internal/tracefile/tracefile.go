@@ -1,0 +1,159 @@
+// Package tracefile defines a portable on-disk format for worker training
+// traces, so that a proof of learning can be recorded by one process and
+// verified by another (the cmd/rpolverify workflow). A trace file carries
+// everything the verification needs to be self-contained: the task identity
+// and seed (from which the verifier reconstructs the architecture and the
+// shard deterministically), the epoch parameters, and the raw checkpoint
+// snapshots.
+package tracefile
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"rpol/internal/prf"
+	"rpol/internal/rpol"
+	"rpol/internal/tensor"
+)
+
+// FormatVersion identifies the trace-file schema.
+const FormatVersion = 1
+
+// Params mirrors rpol.TaskParams in a serialization-friendly shape.
+type Params struct {
+	Epoch           int     `json:"epoch"`
+	Steps           int     `json:"steps"`
+	CheckpointEvery int     `json:"checkpointEvery"`
+	BatchSize       int     `json:"batchSize"`
+	LR              float64 `json:"lr"`
+	Optimizer       string  `json:"optimizer"`
+	Nonce           uint64  `json:"nonce"`
+}
+
+// File is the on-disk trace.
+type File struct {
+	Version  int    `json:"version"`
+	Task     string `json:"task"`
+	Seed     int64  `json:"seed"`
+	WorkerID string `json:"workerId"`
+	GPU      string `json:"gpu"`
+	Params   Params `json:"params"`
+	// Checkpoints are the base64-encoded binary snapshots (tensor.Encode).
+	Checkpoints []string `json:"checkpoints"`
+	// StepsAt are the training steps of each snapshot.
+	StepsAt []int `json:"stepsAt"`
+}
+
+// Errors returned by trace-file operations.
+var (
+	ErrBadVersion = errors.New("tracefile: unsupported version")
+	ErrCorrupt    = errors.New("tracefile: corrupt trace")
+)
+
+// FromTrace builds a File from a recorded trace.
+func FromTrace(task string, seed int64, workerID, gpuName string, p rpol.TaskParams, trace *rpol.Trace) (*File, error) {
+	if trace == nil || len(trace.Checkpoints) == 0 {
+		return nil, fmt.Errorf("empty trace: %w", ErrCorrupt)
+	}
+	if len(trace.Checkpoints) != len(trace.Steps) {
+		return nil, fmt.Errorf("checkpoints %d vs steps %d: %w",
+			len(trace.Checkpoints), len(trace.Steps), ErrCorrupt)
+	}
+	f := &File{
+		Version:  FormatVersion,
+		Task:     task,
+		Seed:     seed,
+		WorkerID: workerID,
+		GPU:      gpuName,
+		Params: Params{
+			Epoch:           p.Epoch,
+			Steps:           p.Steps,
+			CheckpointEvery: p.CheckpointEvery,
+			BatchSize:       p.Hyper.BatchSize,
+			LR:              p.Hyper.LR,
+			Optimizer:       p.Hyper.Optimizer,
+			Nonce:           uint64(p.Nonce),
+		},
+		StepsAt: append([]int(nil), trace.Steps...),
+	}
+	for _, w := range trace.Checkpoints {
+		f.Checkpoints = append(f.Checkpoints, base64.StdEncoding.EncodeToString(w.Encode()))
+	}
+	return f, nil
+}
+
+// TaskParams reconstructs the epoch parameters. The global model is the
+// first checkpoint.
+func (f *File) TaskParams() (rpol.TaskParams, error) {
+	trace, err := f.Trace()
+	if err != nil {
+		return rpol.TaskParams{}, err
+	}
+	p := rpol.TaskParams{
+		Epoch:           f.Params.Epoch,
+		Global:          trace.Checkpoints[0],
+		Hyper:           rpol.Hyper{Optimizer: f.Params.Optimizer, LR: f.Params.LR, BatchSize: f.Params.BatchSize},
+		Nonce:           prf.Nonce(f.Params.Nonce),
+		Steps:           f.Params.Steps,
+		CheckpointEvery: f.Params.CheckpointEvery,
+	}
+	if err := p.Validate(); err != nil {
+		return rpol.TaskParams{}, fmt.Errorf("tracefile: %w", err)
+	}
+	return p, nil
+}
+
+// Trace decodes the checkpoint snapshots.
+func (f *File) Trace() (*rpol.Trace, error) {
+	if f.Version != FormatVersion {
+		return nil, fmt.Errorf("version %d: %w", f.Version, ErrBadVersion)
+	}
+	if len(f.Checkpoints) == 0 || len(f.Checkpoints) != len(f.StepsAt) {
+		return nil, fmt.Errorf("checkpoints %d vs steps %d: %w",
+			len(f.Checkpoints), len(f.StepsAt), ErrCorrupt)
+	}
+	trace := &rpol.Trace{Steps: append([]int(nil), f.StepsAt...)}
+	for i, enc := range f.Checkpoints {
+		raw, err := base64.StdEncoding.DecodeString(enc)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint %d: %w", i, ErrCorrupt)
+		}
+		w, err := tensor.DecodeVector(raw)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint %d: %w", i, err)
+		}
+		trace.Checkpoints = append(trace.Checkpoints, w)
+	}
+	return trace, nil
+}
+
+// Write serializes the trace file to path.
+func (f *File) Write(path string) error {
+	data, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return fmt.Errorf("tracefile write: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("tracefile write: %w", err)
+	}
+	return nil
+}
+
+// Read parses a trace file from path.
+func Read(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tracefile read: %w", err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("tracefile parse: %w", err)
+	}
+	if f.Version != FormatVersion {
+		return nil, fmt.Errorf("version %d: %w", f.Version, ErrBadVersion)
+	}
+	return &f, nil
+}

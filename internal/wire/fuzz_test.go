@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"testing"
+
+	"rpol/internal/lsh"
+	"rpol/internal/rpol"
+	"rpol/internal/tensor"
+)
+
+// FuzzDecodeTask feeds arbitrary bytes to the task decoder: it must never
+// panic and every accepted task must validate.
+func FuzzDecodeTask(f *testing.F) {
+	good := rpol.TaskParams{
+		Global:          tensor.Vector{1, 2, 3, 4},
+		Hyper:           rpol.Hyper{Optimizer: "sgdm", LR: 0.02, BatchSize: 4},
+		Nonce:           7,
+		Steps:           10,
+		CheckpointEvery: 5,
+	}
+	if data, err := EncodeTask(good); err == nil {
+		f.Add(data)
+	}
+	fam, err := lsh.NewFamily(4, lsh.Params{R: 1, K: 2, L: 2}, 3)
+	if err == nil {
+		withLSH := good
+		withLSH.LSH = fam
+		if data, err := EncodeTask(withLSH); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"lsh":{"dim":-1}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeTask(data)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid task: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeResult feeds arbitrary bytes to the result decoder.
+func FuzzDecodeResult(f *testing.F) {
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"update":"AAAAAAAAAAA=","commit":""}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeResult(data)
+		if err != nil {
+			return
+		}
+		if res.Commit == nil {
+			t.Fatal("decoder accepted result without commitment")
+		}
+	})
+}

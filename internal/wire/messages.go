@@ -1,0 +1,183 @@
+// Package wire runs the RPoL protocol over a message fabric: it defines the
+// wire encoding of every protocol message (task assignment, epoch result,
+// checkpoint opening) and provides the two halves of a remote worker —
+// a WorkerServer that hosts a worker behind a netsim endpoint, and a
+// RemoteWorker proxy that satisfies rpol.Worker on the manager's side by
+// exchanging messages. With these, the exact same rpol.Manager that drives
+// in-process workers drives workers living behind the (metered) network,
+// and every byte the protocol moves is accounted by the bus meter.
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"rpol/internal/commitment"
+	"rpol/internal/lsh"
+	"rpol/internal/prf"
+	"rpol/internal/rpol"
+	"rpol/internal/tensor"
+)
+
+// Message kinds on the bus.
+const (
+	KindTask         = "task"
+	KindResult       = "result"
+	KindOpenRequest  = "open-request"
+	KindOpenResponse = "open-response"
+	KindError        = "error"
+)
+
+// ErrRemote wraps failures reported by the peer.
+var ErrRemote = errors.New("wire: remote error")
+
+// LSHMsg carries an LSH family by derivation inputs — the family is a pure
+// function of (dim, params, seed), so only those travel.
+type LSHMsg struct {
+	Dim  int     `json:"dim"`
+	R    float64 `json:"r"`
+	K    int     `json:"k"`
+	L    int     `json:"l"`
+	Seed int64   `json:"seed"`
+}
+
+// TaskMsg is the manager's epoch assignment (step ① of Fig. 2).
+type TaskMsg struct {
+	Epoch           int     `json:"epoch"`
+	Global          []byte  `json:"global"` // tensor.Encode of θ_t
+	Optimizer       string  `json:"optimizer"`
+	LR              float64 `json:"lr"`
+	BatchSize       int     `json:"batchSize"`
+	Steps           int     `json:"steps"`
+	CheckpointEvery int     `json:"checkpointEvery"`
+	Nonce           uint64  `json:"nonce"`
+	LSH             *LSHMsg `json:"lsh,omitempty"`
+}
+
+// EncodeTask marshals the task parameters.
+func EncodeTask(p rpol.TaskParams) ([]byte, error) {
+	msg := TaskMsg{
+		Epoch:           p.Epoch,
+		Global:          p.Global.Encode(),
+		Optimizer:       p.Hyper.Optimizer,
+		LR:              p.Hyper.LR,
+		BatchSize:       p.Hyper.BatchSize,
+		Steps:           p.Steps,
+		CheckpointEvery: p.CheckpointEvery,
+		Nonce:           uint64(p.Nonce),
+	}
+	if p.LSH != nil {
+		params := p.LSH.Params()
+		msg.LSH = &LSHMsg{
+			Dim: p.LSH.Dim(), R: params.R, K: params.K, L: params.L, Seed: p.LSH.Seed(),
+		}
+	}
+	return json.Marshal(msg)
+}
+
+// DecodeTask reconstructs the task parameters, rebuilding the LSH family
+// from its derivation inputs.
+func DecodeTask(data []byte) (rpol.TaskParams, error) {
+	var msg TaskMsg
+	if err := json.Unmarshal(data, &msg); err != nil {
+		return rpol.TaskParams{}, fmt.Errorf("wire task: %w", err)
+	}
+	global, err := tensor.DecodeVector(msg.Global)
+	if err != nil {
+		return rpol.TaskParams{}, fmt.Errorf("wire task global: %w", err)
+	}
+	p := rpol.TaskParams{
+		Epoch:           msg.Epoch,
+		Global:          global,
+		Hyper:           rpol.Hyper{Optimizer: msg.Optimizer, LR: msg.LR, BatchSize: msg.BatchSize},
+		Nonce:           prf.Nonce(msg.Nonce),
+		Steps:           msg.Steps,
+		CheckpointEvery: msg.CheckpointEvery,
+	}
+	if msg.LSH != nil {
+		fam, err := lsh.NewFamily(msg.LSH.Dim, lsh.Params{R: msg.LSH.R, K: msg.LSH.K, L: msg.LSH.L}, msg.LSH.Seed)
+		if err != nil {
+			return rpol.TaskParams{}, fmt.Errorf("wire task lsh: %w", err)
+		}
+		p.LSH = fam
+	}
+	if err := p.Validate(); err != nil {
+		return rpol.TaskParams{}, fmt.Errorf("wire task: %w", err)
+	}
+	return p, nil
+}
+
+// ResultMsg is the worker's epoch submission (step ③ of Fig. 2).
+type ResultMsg struct {
+	WorkerID       string   `json:"workerId"`
+	Epoch          int      `json:"epoch"`
+	Update         []byte   `json:"update"`
+	DataSize       int      `json:"dataSize"`
+	Commit         []byte   `json:"commit"`
+	Digests        [][]byte `json:"digests,omitempty"`
+	NumCheckpoints int      `json:"numCheckpoints"`
+}
+
+// EncodeResult marshals an epoch result.
+func EncodeResult(r *rpol.EpochResult) ([]byte, error) {
+	if r == nil || r.Commit == nil {
+		return nil, errors.New("wire: result needs a commitment")
+	}
+	msg := ResultMsg{
+		WorkerID:       r.WorkerID,
+		Epoch:          r.Epoch,
+		Update:         r.Update.Encode(),
+		DataSize:       r.DataSize,
+		Commit:         r.Commit.Encode(),
+		NumCheckpoints: r.NumCheckpoints,
+	}
+	for _, d := range r.LSHDigests {
+		msg.Digests = append(msg.Digests, d.Encode())
+	}
+	return json.Marshal(msg)
+}
+
+// DecodeResult unmarshals an epoch result.
+func DecodeResult(data []byte) (*rpol.EpochResult, error) {
+	var msg ResultMsg
+	if err := json.Unmarshal(data, &msg); err != nil {
+		return nil, fmt.Errorf("wire result: %w", err)
+	}
+	update, err := tensor.DecodeVector(msg.Update)
+	if err != nil {
+		return nil, fmt.Errorf("wire result update: %w", err)
+	}
+	commit, err := commitment.DecodeHashList(msg.Commit)
+	if err != nil {
+		return nil, fmt.Errorf("wire result commit: %w", err)
+	}
+	out := &rpol.EpochResult{
+		WorkerID:       msg.WorkerID,
+		Epoch:          msg.Epoch,
+		Update:         update,
+		DataSize:       msg.DataSize,
+		Commit:         commit,
+		NumCheckpoints: msg.NumCheckpoints,
+	}
+	for i, raw := range msg.Digests {
+		d, err := lsh.DecodeDigest(raw)
+		if err != nil {
+			return nil, fmt.Errorf("wire result digest %d: %w", i, err)
+		}
+		out.LSHDigests = append(out.LSHDigests, d)
+	}
+	return out, nil
+}
+
+// OpenRequestMsg asks a worker to open checkpoint Idx.
+type OpenRequestMsg struct {
+	Idx int `json:"idx"`
+}
+
+// OpenResponseMsg returns the opened raw weights or an error.
+type OpenResponseMsg struct {
+	Idx     int    `json:"idx"`
+	Weights []byte `json:"weights,omitempty"`
+	Err     string `json:"err,omitempty"`
+}

@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"rpol/internal/gpu"
+	"rpol/internal/netsim"
+	"rpol/internal/rpol"
+	"rpol/internal/tensor"
+)
+
+// ManagerPort is the manager's single bus endpoint, shared by all of its
+// RemoteWorker proxies. The manager drives the protocol sequentially (one
+// outstanding request at a time), so a simple matched request/response
+// exchange suffices; an unexpected interleaved message is a protocol error.
+type ManagerPort struct {
+	ep Transport
+}
+
+// NewManagerPort registers the manager's endpoint on the in-memory bus.
+func NewManagerPort(bus *netsim.Bus, name string) (*ManagerPort, error) {
+	ep, err := bus.Register(name)
+	if err != nil {
+		return nil, fmt.Errorf("wire manager: %w", err)
+	}
+	return &ManagerPort{ep: ep}, nil
+}
+
+// NewManagerPortOver wraps an already-connected transport (e.g. a
+// netsim.TCPEndpoint dialed into a hub).
+func NewManagerPortOver(t Transport) (*ManagerPort, error) {
+	if t == nil {
+		return nil, errors.New("wire: nil transport")
+	}
+	return &ManagerPort{ep: t}, nil
+}
+
+// call sends a request to the peer and waits for its reply of wantKind.
+func (mp *ManagerPort) call(to, kind string, payload []byte, wantKind string) ([]byte, error) {
+	if err := mp.ep.Send(to, kind, payload); err != nil {
+		return nil, fmt.Errorf("wire call %s/%s: %w", to, kind, err)
+	}
+	msg, err := mp.ep.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("wire call %s/%s: %w", to, kind, err)
+	}
+	if msg.From != to {
+		return nil, fmt.Errorf("wire call %s/%s: reply from %s: %w", to, kind, msg.From, ErrRemote)
+	}
+	if msg.Kind == KindError {
+		return nil, fmt.Errorf("wire call %s/%s: %s: %w", to, kind, msg.Payload, ErrRemote)
+	}
+	if msg.Kind != wantKind {
+		return nil, fmt.Errorf("wire call %s/%s: got kind %q: %w", to, kind, msg.Kind, ErrRemote)
+	}
+	return msg.Payload, nil
+}
+
+// RemoteWorker satisfies rpol.Worker by proxying every interaction over the
+// bus to a WorkerServer. The manager plugs RemoteWorkers into rpol.Manager
+// unchanged.
+type RemoteWorker struct {
+	id      string
+	profile gpu.Profile
+	port    *ManagerPort
+}
+
+var _ rpol.Worker = (*RemoteWorker)(nil)
+
+// NewRemoteWorker builds a proxy to the worker registered as id, with the
+// hardware profile the worker declared at registration.
+func NewRemoteWorker(id string, profile gpu.Profile, port *ManagerPort) (*RemoteWorker, error) {
+	if port == nil {
+		return nil, errors.New("wire: nil manager port")
+	}
+	if id == "" {
+		return nil, errors.New("wire: empty worker id")
+	}
+	return &RemoteWorker{id: id, profile: profile, port: port}, nil
+}
+
+// ID returns the remote worker's identifier.
+func (r *RemoteWorker) ID() string { return r.id }
+
+// GPUProfile returns the hardware profile the worker registered.
+func (r *RemoteWorker) GPUProfile() gpu.Profile { return r.profile }
+
+// RunEpoch ships the task assignment and waits for the submission.
+func (r *RemoteWorker) RunEpoch(p rpol.TaskParams) (*rpol.EpochResult, error) {
+	payload, err := EncodeTask(p)
+	if err != nil {
+		return nil, fmt.Errorf("wire remote %s: %w", r.id, err)
+	}
+	reply, err := r.port.call(r.id, KindTask, payload, KindResult)
+	if err != nil {
+		return nil, fmt.Errorf("wire remote %s: %w", r.id, err)
+	}
+	result, err := DecodeResult(reply)
+	if err != nil {
+		return nil, fmt.Errorf("wire remote %s: %w", r.id, err)
+	}
+	if result.WorkerID != r.id {
+		return nil, fmt.Errorf("wire remote %s: result claims %s: %w", r.id, result.WorkerID, ErrRemote)
+	}
+	return result, nil
+}
+
+// OpenCheckpoint requests one raw snapshot during verification.
+func (r *RemoteWorker) OpenCheckpoint(idx int) (tensor.Vector, error) {
+	payload, err := json.Marshal(OpenRequestMsg{Idx: idx})
+	if err != nil {
+		return nil, fmt.Errorf("wire remote %s: %w", r.id, err)
+	}
+	reply, err := r.port.call(r.id, KindOpenRequest, payload, KindOpenResponse)
+	if err != nil {
+		return nil, fmt.Errorf("wire remote %s: %w", r.id, err)
+	}
+	var resp OpenResponseMsg
+	if err := json.Unmarshal(reply, &resp); err != nil {
+		return nil, fmt.Errorf("wire remote %s: %w", r.id, err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("wire remote %s: %s: %w", r.id, resp.Err, ErrRemote)
+	}
+	weights, err := tensor.DecodeVector(resp.Weights)
+	if err != nil {
+		return nil, fmt.Errorf("wire remote %s: %w", r.id, err)
+	}
+	return weights, nil
+}

@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"rpol/internal/netsim"
+	"rpol/internal/rpol"
+)
+
+// WorkerServer hosts an rpol.Worker behind a bus endpoint: it receives task
+// assignments and checkpoint-opening requests and answers them. Run it in
+// its own goroutine; it returns when the bus closes.
+type WorkerServer struct {
+	worker rpol.Worker
+	ep     Transport
+}
+
+// NewWorkerServer registers the worker's endpoint on the in-memory bus
+// under the worker's ID.
+func NewWorkerServer(bus *netsim.Bus, worker rpol.Worker) (*WorkerServer, error) {
+	if worker == nil {
+		return nil, errors.New("wire: nil worker")
+	}
+	ep, err := bus.Register(worker.ID())
+	if err != nil {
+		return nil, fmt.Errorf("wire server: %w", err)
+	}
+	return &WorkerServer{worker: worker, ep: ep}, nil
+}
+
+// NewWorkerServerOver hosts the worker behind an already-connected
+// transport (e.g. a netsim.TCPEndpoint dialed into a hub under the worker's
+// ID).
+func NewWorkerServerOver(t Transport, worker rpol.Worker) (*WorkerServer, error) {
+	if worker == nil {
+		return nil, errors.New("wire: nil worker")
+	}
+	if t == nil {
+		return nil, errors.New("wire: nil transport")
+	}
+	return &WorkerServer{worker: worker, ep: t}, nil
+}
+
+// Run serves requests until the bus closes. Malformed requests are answered
+// with error messages rather than terminating the loop — a misbehaving
+// manager must not be able to wedge a worker.
+func (s *WorkerServer) Run() error {
+	for {
+		msg, err := s.ep.Recv()
+		if err != nil {
+			// Fabric shutdown (bus closed, socket closed, EOF) ends the
+			// serving loop gracefully.
+			if errors.Is(err, netsim.ErrClosed) || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("wire server %s: %w", s.worker.ID(), err)
+		}
+		if err := s.handle(msg); err != nil {
+			// Reply with the error; keep serving.
+			_ = s.ep.Send(msg.From, KindError, []byte(err.Error()))
+		}
+	}
+}
+
+func (s *WorkerServer) handle(msg netsim.Message) error {
+	switch msg.Kind {
+	case KindTask:
+		p, err := DecodeTask(msg.Payload)
+		if err != nil {
+			return err
+		}
+		result, err := s.worker.RunEpoch(p)
+		if err != nil {
+			return fmt.Errorf("run epoch: %w", err)
+		}
+		payload, err := EncodeResult(result)
+		if err != nil {
+			return err
+		}
+		return s.ep.Send(msg.From, KindResult, payload)
+	case KindOpenRequest:
+		var req OpenRequestMsg
+		if err := json.Unmarshal(msg.Payload, &req); err != nil {
+			return fmt.Errorf("open request: %w", err)
+		}
+		resp := OpenResponseMsg{Idx: req.Idx}
+		weights, err := s.worker.OpenCheckpoint(req.Idx)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Weights = weights.Encode()
+		}
+		payload, err := json.Marshal(resp)
+		if err != nil {
+			return err
+		}
+		return s.ep.Send(msg.From, KindOpenResponse, payload)
+	default:
+		return fmt.Errorf("unknown message kind %q", msg.Kind)
+	}
+}

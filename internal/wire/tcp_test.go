@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"sync"
+	"testing"
+
+	"rpol/internal/dataset"
+	"rpol/internal/gpu"
+	"rpol/internal/netsim"
+	"rpol/internal/rpol"
+)
+
+// TestManagerOverTCPEndToEnd runs the full manager/worker protocol through
+// the real TCP hub: the same rpol.Manager, the same WorkerServer, just a
+// socket fabric instead of the in-memory bus.
+func TestManagerOverTCPEndToEnd(t *testing.T) {
+	hub, err := netsim.NewTCPHub("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+
+	const n = 2
+	_, fullDS := wireTask(t, 50)
+	shards, err := fullDS.Partition(n + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	workers := make([]rpol.Worker, 0, n)
+	shardMap := make(map[string]*dataset.Dataset, n)
+	managerConn, err := netsim.DialHub(hub.Addr(), "manager")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = managerConn.Close() }()
+	port, err := NewManagerPortOver(managerConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < n; i++ {
+		net, _ := wireTask(t, 50)
+		id := "tcp-w" + string(rune('0'+i))
+		local, err := rpol.NewHonestWorker(id, gpu.GA10, int64(200+i), net, shards[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := netsim.DialHub(hub.Addr(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		server, err := NewWorkerServerOver(conn, local)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			if err := server.Run(); err != nil {
+				t.Errorf("server %s: %v", id, err)
+			}
+		}(id)
+		t.Cleanup(func() { _ = conn.Close() })
+
+		remote, err := NewRemoteWorker(id, gpu.GA10, port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, remote)
+		shardMap[id] = shards[i]
+	}
+
+	managerNet, _ := wireTask(t, 50)
+	manager, err := rpol.NewManager(rpol.ManagerConfig{
+		Address:         "tcp-manager",
+		Scheme:          rpol.SchemeV1,
+		Hyper:           rpol.Hyper{Optimizer: "sgdm", LR: 0.02, BatchSize: 8},
+		StepsPerEpoch:   10,
+		CheckpointEvery: 5,
+		Samples:         2,
+		GPU:             gpu.G3090,
+		MasterKey:       []byte("tcp"),
+		Seed:            60,
+	}, managerNet, workers, shardMap, shards[n])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := manager.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Accepted != n || report.Rejected != 0 {
+		for _, o := range report.Outcomes {
+			if !o.Accepted {
+				t.Logf("%s: %s", o.WorkerID, o.FailReason)
+			}
+		}
+		t.Fatalf("accepted %d rejected %d", report.Accepted, report.Rejected)
+	}
+	if hub.Meter().Total() == 0 {
+		t.Error("no bytes metered over TCP")
+	}
+
+	// Shut the servers down cleanly.
+	hub.Close()
+	wg.Wait()
+}

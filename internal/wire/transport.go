@@ -1,0 +1,19 @@
+package wire
+
+import "rpol/internal/netsim"
+
+// Transport is the endpoint surface the wire layer needs. Both the
+// in-memory bus endpoint (netsim.Endpoint) and the TCP hub endpoint
+// (netsim.TCPEndpoint) satisfy it, so the same manager and worker code runs
+// over either fabric.
+type Transport interface {
+	// Send delivers a message to the named peer.
+	Send(to, kind string, payload []byte) error
+	// Recv blocks until a message arrives or the fabric closes.
+	Recv() (netsim.Message, error)
+}
+
+var (
+	_ Transport = (*netsim.Endpoint)(nil)
+	_ Transport = (*netsim.TCPEndpoint)(nil)
+)

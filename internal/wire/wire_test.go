@@ -1,0 +1,453 @@
+package wire
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"rpol/internal/adversary"
+	"rpol/internal/dataset"
+	"rpol/internal/gpu"
+	"rpol/internal/lsh"
+	"rpol/internal/netsim"
+	"rpol/internal/nn"
+	"rpol/internal/prf"
+	"rpol/internal/rpol"
+	"rpol/internal/tensor"
+)
+
+func wireTask(t *testing.T, netSeed int64) (*nn.Network, *dataset.Dataset) {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Config{
+		Name: "wire-test", NumClasses: 4, Dim: 8, Size: 400, ClusterStd: 0.4, Seed: 66,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(netSeed)
+	net, err := nn.NewNetwork(
+		nn.NewDense(8, 16, rng),
+		nn.NewReLU(16),
+		nn.NewDense(16, 4, rng),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, ds
+}
+
+func wireParams(global tensor.Vector) rpol.TaskParams {
+	return rpol.TaskParams{
+		Global:          global,
+		Hyper:           rpol.Hyper{Optimizer: "sgdm", LR: 0.02, BatchSize: 8},
+		Nonce:           999,
+		Steps:           10,
+		CheckpointEvery: 5,
+	}
+}
+
+func TestTaskRoundTrip(t *testing.T) {
+	net, _ := wireTask(t, 1)
+	p := wireParams(net.ParamVector())
+	fam, err := lsh.NewFamily(len(p.Global), lsh.Params{R: 0.5, K: 4, L: 4}, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.LSH = fam
+	data, err := EncodeTask(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTask(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Global.Equal(p.Global, 0) {
+		t.Error("global weights changed")
+	}
+	if got.Hyper != p.Hyper || got.Nonce != p.Nonce || got.Steps != p.Steps ||
+		got.CheckpointEvery != p.CheckpointEvery || got.Epoch != p.Epoch {
+		t.Errorf("params changed: %+v", got)
+	}
+	if got.LSH == nil {
+		t.Fatal("LSH family lost")
+	}
+	// The reconstructed family must hash identically (pure function of
+	// dim/params/seed).
+	x := tensor.NewRNG(5).NormalVector(len(p.Global), 0, 1)
+	d1, err := p.LSH.Hash(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := got.LSH.Hash(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatal("reconstructed LSH family hashes differently")
+		}
+	}
+}
+
+func TestTaskDecodeErrors(t *testing.T) {
+	if _, err := DecodeTask([]byte("{")); err == nil {
+		t.Error("want error for bad JSON")
+	}
+	if _, err := DecodeTask([]byte(`{"global":"AAA"}`)); err == nil {
+		t.Error("want error for bad global encoding")
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	net, ds := wireTask(t, 2)
+	worker, err := rpol.NewHonestWorker("w1", gpu.GA10, 3, net, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := wireParams(net.ParamVector())
+	fam, err := lsh.NewFamily(len(p.Global), lsh.Params{R: 0.5, K: 2, L: 2}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.LSH = fam
+	result, err := worker.RunEpoch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeResult(result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WorkerID != result.WorkerID || got.DataSize != result.DataSize ||
+		got.NumCheckpoints != result.NumCheckpoints {
+		t.Errorf("metadata changed: %+v", got)
+	}
+	if !got.Update.Equal(result.Update, 0) {
+		t.Error("update changed")
+	}
+	if got.Commit.Root() != result.Commit.Root() {
+		t.Error("commitment changed")
+	}
+	if len(got.LSHDigests) != len(result.LSHDigests) {
+		t.Fatal("digests lost")
+	}
+	for i := range got.LSHDigests {
+		if got.LSHDigests[i].Size() != result.LSHDigests[i].Size() {
+			t.Errorf("digest %d changed", i)
+		}
+	}
+}
+
+func TestEncodeResultValidation(t *testing.T) {
+	if _, err := EncodeResult(nil); err == nil {
+		t.Error("want error for nil result")
+	}
+	if _, err := EncodeResult(&rpol.EpochResult{}); err == nil {
+		t.Error("want error for missing commitment")
+	}
+}
+
+// startServedWorker registers a worker server on the bus and runs it.
+func startServedWorker(t *testing.T, bus *netsim.Bus, wg *sync.WaitGroup, w rpol.Worker) {
+	t.Helper()
+	server, err := NewWorkerServer(bus, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := server.Run(); err != nil {
+			t.Errorf("server %s: %v", w.ID(), err)
+		}
+	}()
+}
+
+func TestManagerOverBusEndToEnd(t *testing.T) {
+	bus := netsim.NewBus()
+	var wg sync.WaitGroup
+	defer func() {
+		bus.Close()
+		wg.Wait()
+	}()
+
+	// Three honest workers behind the bus.
+	const n = 3
+	shardsNet, fullDS := wireTask(t, 30)
+	_ = shardsNet
+	shards, err := fullDS.Partition(n + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, err := NewManagerPort(bus, "manager")
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := make([]rpol.Worker, 0, n)
+	shardMap := make(map[string]*dataset.Dataset, n)
+	for i := 0; i < n; i++ {
+		net, _ := wireTask(t, 30)
+		id := "w" + string(rune('0'+i))
+		local, err := rpol.NewHonestWorker(id, gpu.GA10, int64(70+i), net, shards[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		startServedWorker(t, bus, &wg, local)
+		remote, err := NewRemoteWorker(id, gpu.GA10, port)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, remote)
+		shardMap[id] = shards[i]
+	}
+
+	managerNet, _ := wireTask(t, 30)
+	manager, err := rpol.NewManager(rpol.ManagerConfig{
+		Address:         "wire-manager",
+		Scheme:          rpol.SchemeV2,
+		Hyper:           rpol.Hyper{Optimizer: "sgdm", LR: 0.02, BatchSize: 8},
+		StepsPerEpoch:   10,
+		CheckpointEvery: 5,
+		Samples:         2,
+		GPU:             gpu.G3090,
+		MasterKey:       []byte("wire"),
+		Seed:            55,
+	}, managerNet, workers, shardMap, shards[n])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := manager.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Accepted != n || report.Rejected != 0 {
+		for _, o := range report.Outcomes {
+			if !o.Accepted {
+				t.Logf("%s: %s", o.WorkerID, o.FailReason)
+			}
+		}
+		t.Fatalf("accepted %d rejected %d", report.Accepted, report.Rejected)
+	}
+
+	// The meter must have recorded real traffic in both directions.
+	meter := bus.Meter()
+	if meter.Total() == 0 {
+		t.Fatal("no bytes metered")
+	}
+	if meter.SentBy("manager") == 0 || meter.ReceivedBy("manager") == 0 {
+		t.Error("manager traffic not metered")
+	}
+	byKind := meter.ByKind()
+	for _, kind := range []string{KindTask, KindResult, KindOpenRequest, KindOpenResponse} {
+		if byKind[kind] == 0 {
+			t.Errorf("no %s traffic metered", kind)
+		}
+	}
+}
+
+func TestAdversaryOverBusRejected(t *testing.T) {
+	bus := netsim.NewBus()
+	var wg sync.WaitGroup
+	defer func() {
+		bus.Close()
+		wg.Wait()
+	}()
+
+	net, ds := wireTask(t, 31)
+	shards, err := ds.Partition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, err := NewManagerPort(bus, "manager")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	honestNet, _ := wireTask(t, 31)
+	honest, err := rpol.NewHonestWorker("honest", gpu.GA10, 80, honestNet, shards[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	startServedWorker(t, bus, &wg, honest)
+	cheater := adversary.NewAdv1("cheater", gpu.GT4, shards[1].Len())
+	startServedWorker(t, bus, &wg, cheater)
+
+	remoteHonest, err := NewRemoteWorker("honest", gpu.GA10, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteCheater, err := NewRemoteWorker("cheater", gpu.GT4, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	managerNet, _ := wireTask(t, 31)
+	manager, err := rpol.NewManager(rpol.ManagerConfig{
+		Address:         "wire-manager",
+		Scheme:          rpol.SchemeV1,
+		Hyper:           rpol.Hyper{Optimizer: "sgdm", LR: 0.02, BatchSize: 8},
+		StepsPerEpoch:   10,
+		CheckpointEvery: 5,
+		Samples:         2,
+		GPU:             gpu.G3090,
+		MasterKey:       []byte("wire"),
+		Seed:            56,
+	}, managerNet,
+		[]rpol.Worker{remoteHonest, remoteCheater},
+		map[string]*dataset.Dataset{"honest": shards[0], "cheater": shards[1]},
+		shards[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = net
+
+	report, err := manager.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range report.Outcomes {
+		switch o.WorkerID {
+		case "honest":
+			if !o.Accepted {
+				t.Errorf("honest remote worker rejected: %s", o.FailReason)
+			}
+		case "cheater":
+			if o.Accepted {
+				t.Error("replay attacker accepted over the wire")
+			}
+		}
+	}
+}
+
+func TestRemoteWorkerErrorPropagation(t *testing.T) {
+	bus := netsim.NewBus()
+	var wg sync.WaitGroup
+	defer func() {
+		bus.Close()
+		wg.Wait()
+	}()
+	net, ds := wireTask(t, 32)
+	local, err := rpol.NewHonestWorker("w", gpu.GA10, 90, net, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startServedWorker(t, bus, &wg, local)
+	port, err := NewManagerPort(bus, "manager")
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := NewRemoteWorker("w", gpu.GA10, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invalid task (zero steps) must surface the remote error.
+	bad := wireParams(net.ParamVector())
+	bad.Steps = 0
+	if _, err := remote.RunEpoch(bad); err == nil {
+		t.Error("want remote error for invalid task")
+	}
+	// Opening before any epoch must surface the remote error.
+	if _, err := remote.OpenCheckpoint(0); !errors.Is(err, ErrRemote) {
+		t.Errorf("err = %v, want ErrRemote", err)
+	}
+}
+
+func TestRemoteWorkerValidation(t *testing.T) {
+	bus := netsim.NewBus()
+	defer bus.Close()
+	port, err := NewManagerPort(bus, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRemoteWorker("", gpu.GA10, port); err == nil {
+		t.Error("want error for empty id")
+	}
+	if _, err := NewRemoteWorker("w", gpu.GA10, nil); err == nil {
+		t.Error("want error for nil port")
+	}
+	if _, err := NewWorkerServer(bus, nil); err == nil {
+		t.Error("want error for nil worker")
+	}
+}
+
+// keep prf import meaningful: nonce identity across the wire.
+func TestNonceSurvivesWire(t *testing.T) {
+	net, _ := wireTask(t, 34)
+	p := wireParams(net.ParamVector())
+	p.Nonce = prf.DeriveNonce([]byte("k"), "w", 3)
+	data, err := EncodeTask(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTask(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nonce != p.Nonce {
+		t.Error("nonce changed across the wire")
+	}
+}
+
+func TestMeteredTrafficMatchesProtocolAccounting(t *testing.T) {
+	// The verifier's CommBytes counts raw proof payloads; the bus meters
+	// the JSON/base64-framed bytes actually moved. The metered
+	// open-response traffic must be the accounted payloads inflated only by
+	// the encoding overhead (≈4/3 for base64) plus small headers.
+	bus := netsim.NewBus()
+	var wg sync.WaitGroup
+	defer func() {
+		bus.Close()
+		wg.Wait()
+	}()
+
+	net, ds := wireTask(t, 35)
+	local, err := rpol.NewHonestWorker("w", gpu.GA10, 95, net, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startServedWorker(t, bus, &wg, local)
+	port, err := NewManagerPort(bus, "manager")
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := NewRemoteWorker("w", gpu.GA10, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := wireParams(net.ParamVector())
+	result, err := remote.RunEpoch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyNet, _ := wireTask(t, 35)
+	device, err := gpu.NewDevice(gpu.G3090, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier := &rpol.Verifier{
+		Scheme: rpol.SchemeV1, Net: verifyNet, Device: device,
+		Beta: 0.05, Samples: 2, Sampler: tensor.NewRNG(97),
+	}
+	out, err := verifier.VerifySubmission(remote, ds, result, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Fatalf("rejected: %s", out.FailReason)
+	}
+
+	metered := bus.Meter().ByKind()[KindOpenResponse]
+	if metered < out.CommBytes {
+		t.Errorf("metered %d below accounted payloads %d", metered, out.CommBytes)
+	}
+	if metered > out.CommBytes*3/2+4096 {
+		t.Errorf("metered %d far above accounted payloads %d (+encoding)", metered, out.CommBytes)
+	}
+}

@@ -1,0 +1,107 @@
+package rpol
+
+import (
+	"rpol/internal/checkpoint"
+	"rpol/internal/dataset"
+	"rpol/internal/gpu"
+	"rpol/internal/netsim"
+	"rpol/internal/nn"
+	"rpol/internal/rpol"
+	"rpol/internal/wire"
+)
+
+// This file exposes the building blocks for custom and distributed
+// deployments: the protocol roles (manager, workers, verifiers), the data
+// substrate, and the two message fabrics (in-memory bus and TCP hub) with
+// the wire adapters that let the unmodified manager drive workers behind a
+// network.
+
+// Protocol roles and data types.
+type (
+	// Manager coordinates a pool of workers: calibration, task
+	// distribution, commitment collection, sampling-based verification,
+	// and aggregation.
+	Manager = rpol.Manager
+	// ManagerConfig assembles a Manager.
+	ManagerConfig = rpol.ManagerConfig
+	// ProtocolWorker is the worker interface the manager drives; implement
+	// it for custom participants.
+	ProtocolWorker = rpol.Worker
+	// HonestWorker is the protocol-abiding worker implementation.
+	HonestWorker = rpol.HonestWorker
+	// TaskParams is one epoch's training assignment.
+	TaskParams = rpol.TaskParams
+	// Hyper bundles the training hyper-parameters the manager distributes.
+	Hyper = rpol.Hyper
+	// EpochResult is a worker's submission for one epoch.
+	EpochResult = rpol.EpochResult
+	// VerifyOutcome reports one submission's verification.
+	VerifyOutcome = rpol.VerifyOutcome
+	// Dataset is an indexable labelled dataset.
+	Dataset = dataset.Dataset
+	// GPUProfile describes one accelerator model.
+	GPUProfile = gpu.Profile
+	// Network is a trainable model (the internal/nn sequential stack).
+	Network = nn.Network
+	// CheckpointStore persists a worker's training proofs.
+	CheckpointStore = checkpoint.Store
+)
+
+// Message fabrics.
+type (
+	// Bus is the in-memory metered message fabric.
+	Bus = netsim.Bus
+	// TCPHub is the sockets-backed fabric with the same semantics.
+	TCPHub = netsim.TCPHub
+	// TCPEndpoint is a client connection to a TCPHub.
+	TCPEndpoint = netsim.TCPEndpoint
+	// Transport is the endpoint surface shared by both fabrics.
+	Transport = wire.Transport
+	// ManagerPort is the manager's endpoint shared by its remote-worker
+	// proxies.
+	ManagerPort = wire.ManagerPort
+	// RemoteWorker proxies a worker living behind the fabric; it satisfies
+	// ProtocolWorker.
+	RemoteWorker = wire.RemoteWorker
+	// WorkerServer hosts a worker behind an endpoint.
+	WorkerServer = wire.WorkerServer
+)
+
+// NewManager builds a pool manager over pre-constructed workers. See
+// rpol.ManagerConfig for the knobs (scheme, sampling count q, calibration
+// factors, decentralized verification).
+func NewManager(cfg ManagerConfig, net *Network, workers []ProtocolWorker, shards map[string]*Dataset, probe *Dataset) (*Manager, error) {
+	return rpol.NewManager(cfg, net, workers, shards, probe)
+}
+
+// NewHonestWorker builds a protocol-abiding worker on the given simulated
+// GPU profile.
+func NewHonestWorker(id string, profile GPUProfile, runSeed int64, net *Network, shard *Dataset) (*HonestWorker, error) {
+	return rpol.NewHonestWorker(id, profile, runSeed, net, shard)
+}
+
+// NewBus returns an in-memory metered message fabric.
+func NewBus() *Bus { return netsim.NewBus() }
+
+// NewTCPHub starts a TCP message hub on addr (e.g. "127.0.0.1:0").
+func NewTCPHub(addr string) (*TCPHub, error) { return netsim.NewTCPHub(addr) }
+
+// DialHub connects to a TCP hub and registers under name.
+func DialHub(addr, name string) (*TCPEndpoint, error) { return netsim.DialHub(addr, name) }
+
+// NewManagerPort wraps a connected transport as the manager's port.
+func NewManagerPort(t Transport) (*ManagerPort, error) { return wire.NewManagerPortOver(t) }
+
+// NewRemoteWorker builds a proxy to the worker registered as id.
+func NewRemoteWorker(id string, profile GPUProfile, port *ManagerPort) (*RemoteWorker, error) {
+	return wire.NewRemoteWorker(id, profile, port)
+}
+
+// NewWorkerServer hosts a worker behind a connected transport.
+func NewWorkerServer(t Transport, worker ProtocolWorker) (*WorkerServer, error) {
+	return wire.NewWorkerServerOver(t, worker)
+}
+
+// GPUProfiles returns the paper's four simulated accelerator profiles in
+// descending performance order.
+func GPUProfiles() []GPUProfile { return gpu.Profiles() }
