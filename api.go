@@ -1,12 +1,16 @@
 package rpol
 
 import (
+	"io"
+	"time"
+
 	"rpol/internal/blockchain"
 	"rpol/internal/economics"
 	"rpol/internal/experiments"
 	"rpol/internal/lsh"
 	"rpol/internal/mining"
 	"rpol/internal/modelzoo"
+	"rpol/internal/obs"
 	"rpol/internal/pool"
 	"rpol/internal/rpol"
 )
@@ -80,6 +84,52 @@ func RunCompetition(cfg CompetitionConfig, contenders []Contender, chain *Chain)
 // derived from measured reproduction errors and the optimized LSH
 // parameters.
 type Calibration = rpol.Calibration
+
+// Observability types: the stdlib-only metrics registry and span tracer the
+// protocol hot paths report through, plus the per-phase cost breakdown each
+// epoch's EpochStats/EpochReport carries.
+type (
+	// Observer bundles a metrics Registry and a span Tracer; a nil Observer
+	// (and nil instruments) no-op, so instrumentation is free when disabled.
+	Observer = obs.Observer
+	// Registry holds named counters, gauges, and histograms with
+	// snapshot/reset and text/JSON exposition.
+	Registry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a Registry's values.
+	MetricsSnapshot = obs.Snapshot
+	// Tracer emits span start/end events as JSONL to a sink.
+	Tracer = obs.Tracer
+	// Clock supplies monotonic timestamps to a Tracer; the deterministic
+	// SimClock is the default, WallClock is opt-in.
+	Clock = obs.Clock
+	// PhaseTotals is one protocol phase's accumulated cost.
+	PhaseTotals = obs.PhaseTotals
+	// PhaseBreakdown maps protocol phase names to their costs for one epoch.
+	PhaseBreakdown = obs.PhaseBreakdown
+	// EpochReport is the manager-level epoch outcome, including Phases.
+	EpochReport = rpol.EpochReport
+)
+
+// NewObserver bundles a registry and tracer into an Observer.
+func NewObserver(reg *Registry, tr *Tracer) *Observer { return obs.NewObserver(reg, tr) }
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewTracer writes span events as JSON lines to w, timestamped by clock
+// (nil clock selects a deterministic SimClock).
+func NewTracer(w io.Writer, clock Clock) *Tracer { return obs.NewTracer(w, clock) }
+
+// NewSimClock returns a deterministic logical clock advancing by tick per
+// reading (tick <= 0 selects 1µs).
+func NewSimClock(tick time.Duration) Clock { return obs.NewSimClock(tick) }
+
+// NewWallClock returns a monotonic wall-time clock.
+func NewWallClock() Clock { return obs.NewWallClock() }
+
+// SetDefaultObserver installs o as the process-wide default observer that
+// pools and managers constructed without an explicit Observer fall back to.
+func SetDefaultObserver(o *Observer) { obs.SetDefault(o) }
 
 // LSHParams are the tunable {r, k, l} of the p-stable LSH family.
 type LSHParams = lsh.Params

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"rpol/internal/experiments"
+	"rpol/internal/obscli"
 )
 
 func main() {
@@ -31,9 +32,22 @@ func main() {
 		workers = flag.Int("workers", 0, "override pool size for fig6 (0 = default)")
 		seed    = flag.Int64("seed", 1, "experiment seed")
 		csvDir  = flag.String("csv", "", "also write each experiment's rows to <dir>/<id>.csv")
+		obsOpts obscli.Options
 	)
+	obsOpts.Register(flag.CommandLine)
 	flag.Parse()
+	// The observer is installed as the process default before any experiment
+	// runs, so the pools each runner constructs internally record into it.
+	_, finishObs, err := obsOpts.Setup(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpolbench:", err)
+		os.Exit(1)
+	}
 	if err := run(*exp, *epochs, *workers, *seed, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "rpolbench:", err)
+		os.Exit(1)
+	}
+	if err := finishObs(); err != nil {
 		fmt.Fprintln(os.Stderr, "rpolbench:", err)
 		os.Exit(1)
 	}

@@ -14,6 +14,8 @@ import (
 	"os"
 	"sort"
 
+	"rpol/internal/obs"
+	"rpol/internal/obscli"
 	"rpol/internal/pool"
 	"rpol/internal/rpol"
 )
@@ -29,9 +31,20 @@ func main() {
 		steps   = flag.Int("steps", 10, "training steps per epoch per worker")
 		amlayer = flag.Bool("amlayer", true, "prepend the address-encoded mapping layer")
 		seed    = flag.Int64("seed", 1, "simulation seed")
+		obsOpts obscli.Options
 	)
+	obsOpts.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(*task, *scheme, *workers, *adv1, *adv2, *epochs, *steps, *amlayer, *seed); err != nil {
+	observer, finishObs, err := obsOpts.Setup(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpolsim:", err)
+		os.Exit(1)
+	}
+	if err := run(*task, *scheme, *workers, *adv1, *adv2, *epochs, *steps, *amlayer, *seed, observer, obsOpts.Table); err != nil {
+		fmt.Fprintln(os.Stderr, "rpolsim:", err)
+		os.Exit(1)
+	}
+	if err := finishObs(); err != nil {
 		fmt.Fprintln(os.Stderr, "rpolsim:", err)
 		os.Exit(1)
 	}
@@ -50,7 +63,7 @@ func parseScheme(s string) (rpol.Scheme, error) {
 	}
 }
 
-func run(task, schemeName string, workers int, adv1, adv2 float64, epochs, steps int, useAMLayer bool, seed int64) error {
+func run(task, schemeName string, workers int, adv1, adv2 float64, epochs, steps int, useAMLayer bool, seed int64, observer *obs.Observer, phaseTable bool) error {
 	scheme, err := parseScheme(schemeName)
 	if err != nil {
 		return err
@@ -64,6 +77,7 @@ func run(task, schemeName string, workers int, adv1, adv2 float64, epochs, steps
 		StepsPerEpoch: steps,
 		UseAMLayer:    useAMLayer,
 		Seed:          seed,
+		Obs:           observer,
 	})
 	if err != nil {
 		return err
@@ -72,6 +86,7 @@ func run(task, schemeName string, workers int, adv1, adv2 float64, epochs, steps
 	fmt.Printf("pool: task=%s scheme=%s workers=%d adv1=%.0f%% adv2=%.0f%%\n\n",
 		task, scheme, workers, adv1*100, adv2*100)
 	fmt.Println("epoch  accuracy  accepted  rejected  detected  missed  false-rej  verify-comm")
+	phases := obs.PhaseBreakdown{}
 	for e := 0; e < epochs; e++ {
 		s, err := p.RunEpoch()
 		if err != nil {
@@ -81,6 +96,11 @@ func run(task, schemeName string, workers int, adv1, adv2 float64, epochs, steps
 			s.Epoch, s.TestAccuracy, s.Accepted, s.Rejected,
 			s.DetectedAdversaries, s.MissedAdversaries, s.FalseRejections,
 			float64(s.VerifyCommBytes)/1024)
+		phases.Merge(s.Phases)
+	}
+	if phaseTable {
+		fmt.Println("\nper-phase totals:")
+		fmt.Print(obs.PhaseTable(phases))
 	}
 
 	fmt.Println("\nrewards (accepted epochs):")

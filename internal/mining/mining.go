@@ -15,6 +15,7 @@ import (
 	"rpol/internal/amlayer"
 	"rpol/internal/blockchain"
 	"rpol/internal/dataset"
+	"rpol/internal/obs"
 	"rpol/internal/pool"
 )
 
@@ -43,6 +44,10 @@ type CompetitionConfig struct {
 	// Entropy sources wallet keys (crypto/rand.Reader in production;
 	// deterministic readers in tests).
 	Entropy io.Reader
+	// Obs receives the competition's metrics and spans. Nil falls back to
+	// the process default observer (and is forwarded into each contender's
+	// pool config, unless the contender set its own).
+	Obs *obs.Observer
 }
 
 // ContenderResult is one pool's outcome.
@@ -93,6 +98,12 @@ func Run(cfg CompetitionConfig, contenders []Contender, chain *blockchain.Chain)
 	}
 	round.AMLDepth = depth
 
+	observer := cfg.Obs.OrDefault()
+	compSpan := observer.Start(nil, "mining.competition",
+		obs.String("task", cfg.Task.ModelSpec), obs.Int("contenders", int64(len(contenders))))
+	defer compSpan.End()
+	observer.Counter("mining_competitions_total").Inc()
+
 	res := &Result{}
 	var test *dataset.Dataset
 	// settlers maps a contender's address to its pool for reward
@@ -107,24 +118,32 @@ func Run(cfg CompetitionConfig, contenders []Contender, chain *blockchain.Chain)
 		poolCfg.TaskName = cfg.Task.ModelSpec
 		poolCfg.UseAMLayer = true
 		poolCfg.ManagerAddress = wallet.Address()
+		if poolCfg.Obs == nil {
+			poolCfg.Obs = observer
+		}
 		p, err := pool.New(poolCfg)
 		if err != nil {
 			return nil, fmt.Errorf("mining %s: %w", c.Name, err)
 		}
 
+		contSpan := observer.Start(compSpan, "mining.contender", obs.String("name", c.Name))
 		cr := ContenderResult{Name: c.Name, Address: wallet.Address()}
 		for cr.EpochsRun < cfg.MaxEpochs {
 			stats, err := p.RunEpoch()
 			if err != nil {
+				contSpan.End(obs.String("error", err.Error()))
 				return nil, fmt.Errorf("mining %s: %w", c.Name, err)
 			}
 			cr.EpochsRun++
+			observer.Counter("mining_epochs_total").Inc()
 			cr.Detected += stats.DetectedAdversaries
 			cr.FinalAccuracy = stats.TestAccuracy
 			if stats.TestAccuracy >= cfg.Task.TargetAccuracy {
 				break
 			}
 		}
+		contSpan.End(obs.Int("epochs", int64(cr.EpochsRun)),
+			obs.Float("accuracy", cr.FinalAccuracy), obs.Int("detected", int64(cr.Detected)))
 		res.Contenders = append(res.Contenders, cr)
 
 		candidateNet, err := p.CandidateNet()
@@ -139,6 +158,7 @@ func Run(cfg CompetitionConfig, contenders []Contender, chain *blockchain.Chain)
 		}); err != nil {
 			return nil, fmt.Errorf("mining %s: %w", c.Name, err)
 		}
+		observer.Counter("mining_proposals_total").Inc()
 
 		// All contenders train the same published task (same proxy seed),
 		// so any contender's held-out split is the canonical test set.
@@ -166,6 +186,11 @@ func Run(cfg CompetitionConfig, contenders []Contender, chain *blockchain.Chain)
 
 	// Settle the mining reward through the winner's escrow: one credit per
 	// accepted epoch per worker.
+	settleSpan := observer.Start(compSpan, "mining.settlement", obs.String("winner", res.Winner))
+	defer func() {
+		settleSpan.End(obs.Float("managerReward", res.ManagerReward),
+			obs.Int("payouts", int64(len(res.Payouts))))
+	}()
 	s, ok := settlers[outcome.Winner.Proposer]
 	if !ok {
 		return nil, errors.New("mining: winner has no settler")

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"rpol/internal/obs"
 )
 
 // Message is one payload in flight on the Bus.
@@ -50,6 +52,9 @@ func NewBus() *Bus {
 
 // Meter returns the bus's byte meter.
 func (b *Bus) Meter() *Meter { return b.meter }
+
+// Observe mirrors the bus's traffic into reg under net_bus_* counters.
+func (b *Bus) Observe(reg *obs.Registry) { b.meter.Attach(reg, "bus") }
 
 // Endpoint is one party's handle on the bus.
 type Endpoint struct {
@@ -108,6 +113,9 @@ func (e *Endpoint) Send(to, kind string, payload []byte) error {
 		e.bus.meter.Record(e.name, to, kind, msg.Size())
 		return nil
 	default:
+		// The send fails loudly (error below) but the attempted bytes must
+		// not vanish from the accounting either.
+		e.bus.meter.RecordDrop(e.name, to, kind, msg.Size())
 		return fmt.Errorf("netsim: inbox of %s full", to)
 	}
 }
@@ -134,14 +142,21 @@ func (e *Endpoint) TryRecv() (Message, bool) {
 	}
 }
 
-// Meter accumulates transferred bytes, grouped by endpoint and message kind.
-// It is safe for concurrent use.
+// Meter accumulates transferred bytes and message counts, grouped by
+// endpoint and message kind, and tallies dropped traffic so no send path
+// loses its size accounting silently. It is safe for concurrent use.
 type Meter struct {
-	mu       sync.Mutex
-	sent     map[string]int64 // by sender
-	received map[string]int64 // by receiver
-	byKind   map[string]int64
-	total    int64
+	mu           sync.Mutex
+	sent         map[string]int64 // bytes by sender
+	received     map[string]int64 // bytes by receiver
+	byKind       map[string]int64
+	total        int64
+	messages     int64
+	dropped      int64
+	droppedBytes int64
+
+	// Mirrored obs counters; nil until Attach.
+	cBytes, cMsgs, cDropped, cDroppedBytes *obs.Counter
 }
 
 // NewMeter returns an empty meter.
@@ -153,9 +168,25 @@ func NewMeter() *Meter {
 	}
 }
 
-// Record accounts one transfer.
+// Attach mirrors the meter's totals into reg under the transport name:
+// net_<transport>_bytes_total, net_<transport>_messages_total,
+// net_<transport>_dropped_total, net_<transport>_dropped_bytes_total.
+// Traffic recorded before Attach is not backfilled.
+func (m *Meter) Attach(reg *obs.Registry, transport string) {
+	if reg == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cBytes = reg.Counter("net_" + transport + "_bytes_total")
+	m.cMsgs = reg.Counter("net_" + transport + "_messages_total")
+	m.cDropped = reg.Counter("net_" + transport + "_dropped_total")
+	m.cDroppedBytes = reg.Counter("net_" + transport + "_dropped_bytes_total")
+}
+
+// Record accounts one delivered transfer.
 func (m *Meter) Record(from, to, kind string, bytes int64) {
-	if bytes <= 0 {
+	if bytes < 0 {
 		return
 	}
 	m.mu.Lock()
@@ -164,6 +195,24 @@ func (m *Meter) Record(from, to, kind string, bytes int64) {
 	m.received[to] += bytes
 	m.byKind[kind] += bytes
 	m.total += bytes
+	m.messages++
+	m.cBytes.Add(bytes)
+	m.cMsgs.Inc()
+}
+
+// RecordDrop accounts one message that could not be delivered (unknown
+// destination, full queue), so dropped traffic shows up in the accounting
+// instead of vanishing.
+func (m *Meter) RecordDrop(from, to, kind string, bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dropped++
+	m.droppedBytes += bytes
+	m.cDropped.Inc()
+	m.cDroppedBytes.Add(bytes)
 }
 
 // Total returns all bytes transferred.
@@ -187,6 +236,20 @@ func (m *Meter) ReceivedBy(name string) int64 {
 	return m.received[name]
 }
 
+// Messages returns the number of delivered messages.
+func (m *Meter) Messages() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.messages
+}
+
+// Dropped returns the number of undeliverable messages and their bytes.
+func (m *Meter) Dropped() (msgs, bytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped, m.droppedBytes
+}
+
 // ByKind returns a copy of the per-message-kind byte totals.
 func (m *Meter) ByKind() map[string]int64 {
 	m.mu.Lock()
@@ -198,7 +261,8 @@ func (m *Meter) ByKind() map[string]int64 {
 	return out
 }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters (attached obs counters are cumulative and are
+// left untouched — reset those through their registry).
 func (m *Meter) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -206,4 +270,7 @@ func (m *Meter) Reset() {
 	m.received = make(map[string]int64)
 	m.byKind = make(map[string]int64)
 	m.total = 0
+	m.messages = 0
+	m.dropped = 0
+	m.droppedBytes = 0
 }

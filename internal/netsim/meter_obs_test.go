@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"testing"
+
+	"rpol/internal/obs"
+)
+
+func TestMeterDropAccounting(t *testing.T) {
+	m := NewMeter()
+	m.Record("a", "b", "k", 100)
+	m.RecordDrop("a", "ghost", "k", 50)
+	m.RecordDrop("a", "ghost", "k", -1) // clamped to 0 bytes, still one drop
+	if got := m.Messages(); got != 1 {
+		t.Errorf("Messages = %d, want 1", got)
+	}
+	if msgs, bytes := m.Dropped(); msgs != 2 || bytes != 50 {
+		t.Errorf("Dropped = %d msgs, %d bytes; want 2 and 50", msgs, bytes)
+	}
+	// Dropped traffic must not pollute the delivered totals.
+	if m.Total() != 100 {
+		t.Errorf("Total = %d, want 100", m.Total())
+	}
+	m.Reset()
+	if msgs, bytes := m.Dropped(); msgs != 0 || bytes != 0 || m.Messages() != 0 {
+		t.Errorf("Reset left drops: %d msgs, %d bytes", msgs, bytes)
+	}
+}
+
+func TestMeterAttachMirrorsToRegistry(t *testing.T) {
+	m := NewMeter()
+	reg := obs.NewRegistry()
+	m.Attach(reg, "bus")
+	m.Attach(nil, "ignored") // nil registry must not clear the counters
+	m.Attach(reg, "bus")
+	m.Record("a", "b", "k", 100)
+	m.Record("a", "b", "k", 28)
+	m.RecordDrop("a", "ghost", "k", 64)
+	s := reg.Snapshot()
+	if got := s.Counters["net_bus_bytes_total"]; got != 128 {
+		t.Errorf("net_bus_bytes_total = %d", got)
+	}
+	if got := s.Counters["net_bus_messages_total"]; got != 2 {
+		t.Errorf("net_bus_messages_total = %d", got)
+	}
+	if got := s.Counters["net_bus_dropped_total"]; got != 1 {
+		t.Errorf("net_bus_dropped_total = %d", got)
+	}
+	if got := s.Counters["net_bus_dropped_bytes_total"]; got != 64 {
+		t.Errorf("net_bus_dropped_bytes_total = %d", got)
+	}
+	// Meter.Reset leaves the cumulative obs counters alone.
+	m.Reset()
+	if got := reg.Counter("net_bus_bytes_total").Value(); got != 128 {
+		t.Errorf("obs counter reset by Meter.Reset: %d", got)
+	}
+}
+
+func TestBusFullInboxRecordsDrop(t *testing.T) {
+	bus := NewBus()
+	a, err := bus.Register("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bus.Register("sink"); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the sink's inbox (it never receives), then overflow it.
+	for i := 0; i < busQueueDepth; i++ {
+		if err := a.Send("sink", "k", nil); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := a.Send("sink", "k", nil); err == nil {
+		t.Fatal("overflow send did not fail")
+	}
+	if msgs, bytes := bus.Meter().Dropped(); msgs != 1 || bytes != 64 {
+		t.Errorf("Dropped = %d msgs, %d bytes; want 1 and 64", msgs, bytes)
+	}
+	if got := bus.Meter().Messages(); got != busQueueDepth {
+		t.Errorf("Messages = %d, want %d", got, busQueueDepth)
+	}
+}
+
+func TestTCPDropAccounting(t *testing.T) {
+	hub := startHub(t)
+	a := dial(t, hub, "a")
+	b := dial(t, hub, "b")
+	if err := a.Send("ghost", "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Synchronize on a routed follow-up: once b receives it, the ghost
+	// frame has been through route() too.
+	if err := a.Send("b", "y", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if msgs, bytes := hub.Meter().Dropped(); msgs != 1 || bytes != 64 {
+		t.Errorf("Dropped = %d msgs, %d bytes; want 1 and 64", msgs, bytes)
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"rpol/internal/obs"
 )
 
 // TCPHub is a real-sockets counterpart to the in-memory Bus: a star-topology
@@ -74,6 +76,9 @@ func (h *TCPHub) Addr() string { return h.listener.Addr().String() }
 // Meter returns the hub's byte meter.
 func (h *TCPHub) Meter() *Meter { return h.meter }
 
+// Observe mirrors the hub's traffic into reg under net_tcp_* counters.
+func (h *TCPHub) Observe(reg *obs.Registry) { h.meter.Attach(reg, "tcp") }
+
 // Close shuts the hub and all client connections down and waits for its
 // goroutines to exit.
 func (h *TCPHub) Close() {
@@ -115,6 +120,9 @@ func (h *TCPHub) serveConn(conn net.Conn) {
 		_ = conn.Close()
 		return
 	}
+	// The registration handshake is real traffic too: without this the
+	// hub's accounting silently understates every connection by two frames.
+	h.meter.Record(reg.From, "hub", KindRegister, reg.Size())
 	client := &hubClient{name: reg.From, conn: conn, out: make(chan Message, busQueueDepth)}
 	h.mu.Lock()
 	if h.closed {
@@ -125,9 +133,11 @@ func (h *TCPHub) serveConn(conn net.Conn) {
 	if _, exists := h.clients[client.name]; exists {
 		h.mu.Unlock()
 		// Refuse the duplicate explicitly so the dialer fails fast.
+		refusal := Message{To: reg.From, Kind: KindRegisterErr, Payload: []byte("name already registered")}
 		w := bufio.NewWriter(conn)
-		_ = writeFrame(w, Message{To: reg.From, Kind: KindRegisterErr, Payload: []byte("name already registered")})
+		_ = writeFrame(w, refusal)
 		_ = w.Flush()
+		h.meter.Record("hub", reg.From, KindRegisterErr, refusal.Size())
 		_ = conn.Close()
 		return
 	}
@@ -136,7 +146,9 @@ func (h *TCPHub) serveConn(conn net.Conn) {
 	// this ack arrives, so a message sent right after DialHub returns can
 	// never race the hub's routing table. Enqueued under the lock so a
 	// concurrent Close cannot close the queue first.
-	client.out <- Message{To: client.name, Kind: KindRegistered}
+	ack := Message{To: client.name, Kind: KindRegistered}
+	client.out <- ack
+	h.meter.Record("hub", client.name, KindRegistered, ack.Size())
 	h.mu.Unlock()
 
 	// Writer: drain the client's outbound queue onto the socket.
@@ -173,13 +185,18 @@ func (h *TCPHub) route(msg Message) {
 	defer h.mu.Unlock()
 	dst, ok := h.clients[msg.To]
 	if !ok {
-		return // unknown destination: drop (as a datagram fabric would)
+		// Unknown destination: drop (as a datagram fabric would), but keep
+		// the bytes in the accounting.
+		h.meter.RecordDrop(msg.From, msg.To, msg.Kind, msg.Size())
+		return
 	}
 	select {
 	case dst.out <- msg:
 		h.meter.Record(msg.From, msg.To, msg.Kind, msg.Size())
 	default:
-		// Destination queue full: drop rather than block the router.
+		// Destination queue full: drop rather than block the router — but
+		// never silently lose the size accounting.
+		h.meter.RecordDrop(msg.From, msg.To, msg.Kind, msg.Size())
 	}
 }
 

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies span timestamps in nanoseconds. Implementations must be
+// monotonic and safe for concurrent use.
+type Clock interface {
+	Now() int64
+}
+
+// SimClock is the deterministic default clock: logical time that advances by
+// a fixed tick on every reading. Two runs issuing the same sequence of
+// readings observe identical timestamps, so traces of seeded single-threaded
+// runs are byte-identical — and, crucially, reading it consumes no protocol
+// randomness, so instrumentation never perturbs results.
+type SimClock struct {
+	now  atomic.Int64
+	tick int64
+}
+
+// NewSimClock returns a logical clock advancing by tick per reading
+// (defaults to 1µs for a tick ≤ 0).
+func NewSimClock(tick time.Duration) *SimClock {
+	if tick <= 0 {
+		tick = time.Microsecond
+	}
+	return &SimClock{tick: int64(tick)}
+}
+
+// Now advances the logical time by one tick and returns it.
+func (c *SimClock) Now() int64 { return c.now.Add(c.tick) }
+
+// Advance moves logical time forward by d (for simulations that model
+// elapsed cost explicitly).
+func (c *SimClock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now.Add(int64(d))
+	}
+}
+
+// WallClock reads real elapsed time since its construction. Opt-in: wall
+// timestamps make traces non-reproducible across runs.
+type WallClock struct {
+	start time.Time
+}
+
+// NewWallClock anchors a wall clock at the current instant.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Now returns nanoseconds elapsed since the clock was created.
+func (c *WallClock) Now() int64 { return int64(time.Since(c.start)) }

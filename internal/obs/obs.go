@@ -1,0 +1,84 @@
+// Package obs is the protocol-wide observability layer: typed metrics
+// (counters, gauges, fixed-bucket histograms) in a Registry with snapshot,
+// reset, and text/JSON exposition, plus a span-style structured event Tracer
+// that records the RPoL pipeline phases (task publish, training, commitment,
+// challenge sampling, reproduction, LSH compare, verdicts, settlement) as
+// JSON Lines.
+//
+// The package is stdlib-only, deterministic, and allocation-light. Every
+// entry point is nil-safe: a nil *Registry returns nil instruments whose
+// methods no-op, and a nil *Tracer returns nil spans, so instrumented code
+// never branches on "is observability enabled". Timestamps are routed
+// through an injectable Clock whose default is simulated (logical) time, so
+// instrumenting a seeded run does not perturb its protocol results — wall
+// time is an explicit opt-in.
+package obs
+
+import "sync/atomic"
+
+// Observer bundles a metrics registry and a tracer so instrumented code
+// threads one handle. The zero value and nil are both valid (fully
+// disabled).
+type Observer struct {
+	registry *Registry
+	tracer   *Tracer
+}
+
+// NewObserver pairs a registry with a tracer; either may be nil.
+func NewObserver(reg *Registry, tr *Tracer) *Observer {
+	return &Observer{registry: reg, tracer: tr}
+}
+
+// Registry returns the observer's metrics registry (nil when disabled).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.registry
+}
+
+// Tracer returns the observer's tracer (nil when disabled).
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
+}
+
+// Counter resolves a counter by name; nil observer yields a no-op counter.
+func (o *Observer) Counter(name string) *Counter { return o.Registry().Counter(name) }
+
+// Gauge resolves a gauge by name; nil observer yields a no-op gauge.
+func (o *Observer) Gauge(name string) *Gauge { return o.Registry().Gauge(name) }
+
+// Histogram resolves a histogram by name; nil observer yields a no-op
+// histogram.
+func (o *Observer) Histogram(name string, buckets []float64) *Histogram {
+	return o.Registry().Histogram(name, buckets)
+}
+
+// Start opens a span under parent; nil observer (or tracer) yields nil,
+// which is safe to End.
+func (o *Observer) Start(parent *Span, name string, attrs ...Attr) *Span {
+	return o.Tracer().Start(parent, name, attrs...)
+}
+
+// defaultObserver is the process-wide fallback used by instrumented code
+// whose configuration carries no explicit observer. It starts nil
+// (disabled); commands like rpolbench install one before running so that
+// internally-constructed pools record into it.
+var defaultObserver atomic.Pointer[Observer]
+
+// Default returns the process-wide observer, nil when none was installed.
+func Default() *Observer { return defaultObserver.Load() }
+
+// SetDefault installs the process-wide observer; nil disables it.
+func SetDefault(o *Observer) { defaultObserver.Store(o) }
+
+// OrDefault returns o when non-nil and the process-wide observer otherwise.
+func (o *Observer) OrDefault() *Observer {
+	if o != nil {
+		return o
+	}
+	return Default()
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode/utf8"
+)
+
+// RenderTable draws headers and rows as a box-drawing table:
+//
+//	┌──────┬───────┐
+//	│ name │ value │
+//	├──────┼───────┤
+//	│ foo  │ 1     │
+//	└──────┴───────┘
+//
+// Ragged rows are padded to the header width; extra cells are dropped.
+func RenderTable(headers []string, rows [][]string) string {
+	cols := len(headers)
+	if cols == 0 {
+		return ""
+	}
+	widths := make([]int, cols)
+	for i, h := range headers {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	norm := make([][]string, len(rows))
+	for r, row := range rows {
+		cells := make([]string, cols)
+		for i := 0; i < cols && i < len(row); i++ {
+			cells[i] = row[i]
+			if w := utf8.RuneCountInString(row[i]); w > widths[i] {
+				widths[i] = w
+			}
+		}
+		norm[r] = cells
+	}
+
+	var sb strings.Builder
+	rule := func(left, mid, right string) {
+		sb.WriteString(left)
+		for i, w := range widths {
+			if i > 0 {
+				sb.WriteString(mid)
+			}
+			sb.WriteString(strings.Repeat("─", w+2))
+		}
+		sb.WriteString(right)
+		sb.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		sb.WriteString("│")
+		for i, cell := range cells {
+			pad := widths[i] - utf8.RuneCountInString(cell)
+			sb.WriteString(" ")
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", pad))
+			sb.WriteString(" │")
+		}
+		sb.WriteByte('\n')
+	}
+	rule("┌", "┬", "┐")
+	line(headers)
+	rule("├", "┼", "┤")
+	for _, row := range norm {
+		line(row)
+	}
+	rule("└", "┴", "┘")
+	return sb.String()
+}
+
+// PhaseTable renders a per-phase breakdown in protocol order.
+func PhaseTable(b PhaseBreakdown) string {
+	rows := make([][]string, 0, len(b))
+	for _, phase := range b.SortedPhases() {
+		t := b[phase]
+		rows = append(rows, []string{
+			phase,
+			fmt.Sprintf("%d", t.Count),
+			fmt.Sprintf("%d", t.Bytes),
+			fmt.Sprintf("%d", t.Steps),
+		})
+	}
+	return RenderTable([]string{"phase", "count", "bytes", "steps"}, rows)
+}
+
+// MetricsTable renders every instrument of a snapshot, sorted by kind and
+// name. Histograms show their count, sum, and per-bucket tallies.
+func MetricsTable(s Snapshot) string {
+	type row struct{ kind, name, value string }
+	rows := make([]row, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for name, v := range s.Counters {
+		rows = append(rows, row{"counter", name, fmt.Sprintf("%d", v)})
+	}
+	for name, v := range s.Gauges {
+		rows = append(rows, row{"gauge", name, fmt.Sprintf("%g", v)})
+	}
+	for name, h := range s.Histograms {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "count=%d sum=%g", h.Count, h.Sum)
+		for i, bound := range h.Bounds {
+			fmt.Fprintf(&sb, " le%g=%d", bound, h.Counts[i])
+		}
+		fmt.Fprintf(&sb, " leInf=%d", h.Counts[len(h.Counts)-1])
+		rows = append(rows, row{"histogram", name, sb.String()})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].kind != rows[j].kind {
+			return rows[i].kind < rows[j].kind
+		}
+		return rows[i].name < rows[j].name
+	})
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{r.kind, r.name, r.value}
+	}
+	return RenderTable([]string{"kind", "metric", "value"}, cells)
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, NewSimClock(time.Microsecond))
+
+	root := tr.Start(nil, "manager.epoch", Int("epoch", 1))
+	child := tr.Start(root, "worker.train", String("worker", "w0"))
+	child.End(Int("checkpoints", 10))
+	child.End() // idempotent: second End emits nothing
+	root.End(Bool("ok", true))
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4 (duplicate End must not emit)", len(events))
+	}
+	if events[0].Ev != "start" || events[0].Name != "manager.epoch" || events[0].Parent != 0 {
+		t.Errorf("root start = %+v", events[0])
+	}
+	if events[1].Parent != events[0].ID {
+		t.Errorf("child parent = %d, want %d", events[1].Parent, events[0].ID)
+	}
+	if got := events[1].Attrs["worker"]; got != "w0" {
+		t.Errorf("child attr worker = %v", got)
+	}
+	// JSON numbers decode as float64.
+	if got := events[2].Attrs["checkpoints"]; got != float64(10) {
+		t.Errorf("end attr checkpoints = %v (%T)", got, got)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].TS <= events[i-1].TS {
+			t.Errorf("timestamps not strictly increasing: %d then %d", events[i-1].TS, events[i].TS)
+		}
+	}
+}
+
+func TestSimClockDeterministic(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		tr := NewTracer(&buf, nil) // nil clock selects the SimClock
+		s := tr.Start(nil, "a")
+		tr.Start(s, "b").End()
+		s.End()
+		return buf.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same span sequence produced different traces:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestSimClockAdvance(t *testing.T) {
+	c := NewSimClock(time.Nanosecond)
+	first := c.Now()
+	c.Advance(100 * time.Nanosecond)
+	if second := c.Now(); second != first+101 {
+		t.Errorf("after Advance(100ns): %d, want %d", second, first+101)
+	}
+}
+
+func TestSpanTreeAncestry(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf, nil)
+	epoch := tr.Start(nil, "manager.epoch")
+	worker := tr.Start(epoch, "worker.epoch")
+	verify := tr.Start(worker, "verify.submission")
+	tr.Start(verify, "verify.reproduce").End()
+	verify.End()
+	worker.End()
+	epoch.End()
+
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := BuildSpanTree(events)
+	ids := tree.SpansNamed("verify.reproduce")
+	if len(ids) != 1 {
+		t.Fatalf("SpansNamed(verify.reproduce) = %v", ids)
+	}
+	got := tree.Ancestry(ids[0])
+	want := []string{"verify.reproduce", "verify.submission", "worker.epoch", "manager.epoch"}
+	if len(got) != len(want) {
+		t.Fatalf("ancestry = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ancestry = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTracerRecordsSinkError(t *testing.T) {
+	tr := NewTracer(failWriter{}, nil)
+	tr.Start(nil, "x").End()
+	if tr.Err() == nil {
+		t.Error("sink failure not surfaced via Err")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errSink }
+
+var errSink = &sinkError{}
+
+type sinkError struct{}
+
+func (*sinkError) Error() string { return "sink failed" }
+
+func TestReadEventsSkipsBlankLines(t *testing.T) {
+	in := `{"ev":"start","id":1,"name":"a","ts":1}` + "\n\n" + `{"ev":"end","id":1,"ts":2}` + "\n"
+	events, err := ReadEvents(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+}
+
+func TestReadEventsRejectsGarbage(t *testing.T) {
+	if _, err := ReadEvents(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+}
+
+func TestDefaultObserverInstallUninstall(t *testing.T) {
+	prev := Default()
+	defer SetDefault(prev)
+
+	SetDefault(nil)
+	if (*Observer)(nil).OrDefault() != nil {
+		t.Error("OrDefault with no default should stay nil")
+	}
+	o := NewObserver(NewRegistry(), nil)
+	SetDefault(o)
+	if (*Observer)(nil).OrDefault() != o {
+		t.Error("OrDefault did not pick up the installed default")
+	}
+	explicit := NewObserver(NewRegistry(), nil)
+	if explicit.OrDefault() != explicit {
+		t.Error("explicit observer overridden by default")
+	}
+}

@@ -1,0 +1,109 @@
+// Package obscli wires the observability flag surface shared by the
+// rpolbench and rpolsim commands: -metrics, -table, -trace, -pprof, and
+// -wallclock. It builds the obs.Observer those flags describe, installs it
+// as the process-wide default (so pools constructed deep inside experiment
+// runners record into it), and renders the snapshot when the run finishes.
+package obscli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // -pprof registers the profiling handlers
+	"os"
+
+	"rpol/internal/obs"
+)
+
+// Options holds the parsed observability flags.
+type Options struct {
+	// Metrics prints a text metrics snapshot after the run.
+	Metrics bool
+	// Table renders the snapshot (and per-phase counters) as a box-drawing
+	// table instead of the plain text exposition. Implies Metrics.
+	Table bool
+	// TraceFile receives the JSONL span trace when non-empty.
+	TraceFile string
+	// PprofAddr serves net/http/pprof when non-empty (e.g. "localhost:6060").
+	PprofAddr string
+	// WallClock timestamps trace spans with real elapsed time instead of the
+	// deterministic simulated clock.
+	WallClock bool
+}
+
+// Register declares the flags on fs (the default flag.CommandLine in main).
+func (o *Options) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&o.Metrics, "metrics", false, "print a metrics snapshot after the run")
+	fs.BoolVar(&o.Table, "table", false, "render the metrics snapshot as a box-drawing table (implies -metrics)")
+	fs.StringVar(&o.TraceFile, "trace", "", "write a JSONL span trace to this file")
+	fs.StringVar(&o.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.BoolVar(&o.WallClock, "wallclock", false, "timestamp trace spans with wall time (non-deterministic) instead of simulated time")
+}
+
+// enabled reports whether any flag asks for an observer.
+func (o *Options) enabled() bool {
+	return o.Metrics || o.Table || o.TraceFile != ""
+}
+
+// Setup builds the observer the options describe, installs it as the
+// process-wide default, and starts the pprof server if requested. The
+// returned finish func must run after the workload: it prints the snapshot
+// to out and closes the trace file, returning the first trace write error.
+// When no observability flag is set the observer is nil and finish only
+// serves pprof cleanup (a no-op).
+func (o *Options) Setup(out io.Writer) (*obs.Observer, func() error, error) {
+	if o.PprofAddr != "" {
+		ln := o.PprofAddr
+		go func() {
+			// The profiling server runs for the process lifetime; failure to
+			// bind is reported but never fatal to the workload.
+			if err := http.ListenAndServe(ln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+	}
+	if !o.enabled() {
+		return nil, func() error { return nil }, nil
+	}
+
+	reg := obs.NewRegistry()
+	var (
+		tracer    *obs.Tracer
+		traceSink *os.File
+	)
+	if o.TraceFile != "" {
+		f, err := os.Create(o.TraceFile)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace file: %w", err)
+		}
+		traceSink = f
+		var clock obs.Clock
+		if o.WallClock {
+			clock = obs.NewWallClock()
+		}
+		tracer = obs.NewTracer(f, clock) // nil clock selects the SimClock
+	}
+	observer := obs.NewObserver(reg, tracer)
+	obs.SetDefault(observer)
+
+	finish := func() error {
+		if o.Table {
+			fmt.Fprint(out, obs.MetricsTable(reg.Snapshot()))
+		} else if o.Metrics {
+			if err := reg.Snapshot().WriteText(out); err != nil {
+				return err
+			}
+		}
+		if traceSink != nil {
+			if err := traceSink.Close(); err != nil {
+				return err
+			}
+			if err := tracer.Err(); err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+		}
+		return nil
+	}
+	return observer, finish, nil
+}

@@ -1,0 +1,98 @@
+package obscli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rpol/internal/obs"
+)
+
+func TestRegisterDeclaresFlags(t *testing.T) {
+	var o Options
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	o.Register(fs)
+	err := fs.Parse([]string{"-metrics", "-table", "-trace", "t.jsonl", "-pprof", "localhost:0", "-wallclock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Metrics || !o.Table || o.TraceFile != "t.jsonl" || o.PprofAddr != "localhost:0" || !o.WallClock {
+		t.Errorf("parsed options: %+v", o)
+	}
+}
+
+func TestSetupDisabledIsNoOp(t *testing.T) {
+	prev := obs.Default()
+	defer obs.SetDefault(prev)
+	var o Options
+	observer, finish, err := o.Setup(os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observer != nil {
+		t.Error("disabled options built an observer")
+	}
+	if err := finish(); err != nil {
+		t.Errorf("finish: %v", err)
+	}
+}
+
+func TestSetupMetricsAndTrace(t *testing.T) {
+	prev := obs.Default()
+	defer obs.SetDefault(prev)
+
+	tracePath := filepath.Join(t.TempDir(), "out.jsonl")
+	o := Options{Metrics: true, TraceFile: tracePath}
+	var out strings.Builder
+	observer, finish, err := o.Setup(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observer == nil {
+		t.Fatal("no observer built")
+	}
+	if obs.Default() != observer {
+		t.Error("observer not installed as process default")
+	}
+	observer.Counter("demo_total").Add(3)
+	observer.Start(nil, "demo").End()
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "counter demo_total 3") {
+		t.Errorf("snapshot output missing counter:\n%s", out.String())
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Errorf("trace has %d events, want 2", len(events))
+	}
+}
+
+func TestSetupTableOutput(t *testing.T) {
+	prev := obs.Default()
+	defer obs.SetDefault(prev)
+
+	o := Options{Table: true}
+	var out strings.Builder
+	observer, finish, err := o.Setup(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observer.Counter("x_total").Inc()
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "┌") || !strings.Contains(out.String(), "x_total") {
+		t.Errorf("table output missing:\n%s", out.String())
+	}
+}

@@ -1,0 +1,138 @@
+package pool
+
+import (
+	"bytes"
+	"testing"
+
+	"rpol/internal/obs"
+	"rpol/internal/rpol"
+)
+
+// runEpochs runs a fresh pool from cfg for n epochs and returns the stats.
+func runEpochs(t *testing.T, cfg Config, n int) []*EpochStats {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*EpochStats, n)
+	for i := range out {
+		s, err := p.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TestInstrumentationPreservesDeterminism is the observability layer's core
+// contract: a fully instrumented same-seed run must yield byte-identical
+// protocol results to an uninstrumented one. Metrics, spans, and the
+// simulated clock may consume no protocol randomness and perturb no state.
+func TestInstrumentationPreservesDeterminism(t *testing.T) {
+	cfg := baseConfig(rpol.SchemeV2)
+	cfg.NumWorkers = 6
+	cfg.Adv1Fraction = 0.34
+	cfg.Adv2Fraction = 0.34
+
+	plain := runEpochs(t, cfg, 2)
+
+	instrumented := cfg
+	var trace bytes.Buffer
+	reg := obs.NewRegistry()
+	instrumented.Obs = obs.NewObserver(reg, obs.NewTracer(&trace, nil))
+	traced := runEpochs(t, instrumented, 2)
+
+	for i := range plain {
+		a, b := plain[i], traced[i]
+		if a.Epoch != b.Epoch || a.TestAccuracy != b.TestAccuracy ||
+			a.Accepted != b.Accepted || a.Rejected != b.Rejected ||
+			a.DetectedAdversaries != b.DetectedAdversaries ||
+			a.MissedAdversaries != b.MissedAdversaries ||
+			a.FalseRejections != b.FalseRejections ||
+			a.VerifyCommBytes != b.VerifyCommBytes ||
+			a.ReexecSteps != b.ReexecSteps {
+			t.Errorf("epoch %d: instrumented stats diverged\nplain: %+v\ntraced: %+v", i, a, b)
+		}
+	}
+	// And the instrumentation must actually have recorded something.
+	if reg.Snapshot().Empty() {
+		t.Error("instrumented run recorded no metrics")
+	}
+	if trace.Len() == 0 {
+		t.Error("instrumented run emitted no trace")
+	}
+}
+
+// TestEpochPhaseBreakdown checks that an instrumented epoch reports costs
+// for the pipeline's load-bearing phases.
+func TestEpochPhaseBreakdown(t *testing.T) {
+	cfg := baseConfig(rpol.SchemeV2)
+	cfg.Obs = obs.NewObserver(obs.NewRegistry(), nil)
+	stats := runEpochs(t, cfg, 1)[0]
+	if stats.Phases == nil {
+		t.Fatal("epoch stats carry no phase breakdown")
+	}
+	for _, phase := range []string{
+		obs.PhaseTaskPublish, obs.PhaseTraining, obs.PhaseCommitment,
+		obs.PhaseChallenge, obs.PhaseReproduction, obs.PhaseVerdict,
+		obs.PhaseAggregation, obs.PhaseSettlement,
+	} {
+		if stats.Phases[phase].Count == 0 {
+			t.Errorf("phase %q has zero count: %+v", phase, stats.Phases[phase])
+		}
+	}
+	if stats.Phases[obs.PhaseTraining].Steps == 0 {
+		t.Error("training phase reports no steps")
+	}
+	if stats.Phases[obs.PhaseCommitment].Bytes == 0 {
+		t.Error("commitment phase reports no bytes")
+	}
+	// The breakdown is also mirrored into the registry as counters.
+	reg := cfg.Obs.Registry()
+	if got := reg.Counter("rpol_phase_training_steps_total").Value(); got == 0 {
+		t.Error("mirrored phase counter is zero")
+	}
+}
+
+// TestTraceSpansNest checks the acceptance criterion that trace spans nest
+// manager → worker → verify.
+func TestTraceSpansNest(t *testing.T) {
+	cfg := baseConfig(rpol.SchemeV2)
+	var trace bytes.Buffer
+	cfg.Obs = obs.NewObserver(nil, obs.NewTracer(&trace, nil))
+	runEpochs(t, cfg, 1)
+
+	events, err := obs.ReadEvents(&trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := obs.BuildSpanTree(events)
+	verifies := tree.SpansNamed("verify.submission")
+	if len(verifies) != cfg.NumWorkers {
+		t.Fatalf("got %d verify.submission spans, want %d", len(verifies), cfg.NumWorkers)
+	}
+	for _, id := range verifies {
+		anc := tree.Ancestry(id)
+		var hasWorker, hasEpoch bool
+		for _, name := range anc {
+			if name == "worker.epoch" {
+				hasWorker = true
+			}
+			if name == "manager.epoch" {
+				hasEpoch = true
+			}
+		}
+		if !hasWorker || !hasEpoch {
+			t.Errorf("verify.submission ancestry = %v, want worker.epoch and manager.epoch above it", anc)
+		}
+	}
+	// Worker-side training and verifier-side reproduction also appear.
+	if len(tree.SpansNamed("worker.train")) == 0 {
+		t.Error("no worker.train spans")
+	}
+	if len(tree.SpansNamed("verify.reproduce")) == 0 {
+		t.Error("no verify.reproduce spans")
+	}
+}

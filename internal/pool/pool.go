@@ -17,6 +17,7 @@ import (
 	"rpol/internal/gpu"
 	"rpol/internal/modelzoo"
 	"rpol/internal/nn"
+	"rpol/internal/obs"
 	"rpol/internal/rpol"
 	"rpol/internal/tensor"
 )
@@ -52,6 +53,11 @@ type Config struct {
 	Verifiers int
 	// Seed makes the whole pool construction and run reproducible.
 	Seed int64
+	// Obs routes the pool's metrics and spans (nil falls back to the
+	// process-wide default observer, disabled unless a command installed
+	// one). Instrumentation does not change protocol results: a seeded run
+	// with and without an observer produces identical EpochStats.
+	Obs *obs.Observer
 }
 
 func (c *Config) applyDefaults() {
@@ -129,6 +135,7 @@ type Pool struct {
 	testXs   []tensor.Vector
 	testYs   []int
 	rewards  map[string]float64
+	obs      *obs.Observer
 }
 
 // EpochStats records one epoch's outcome for the experiment harness.
@@ -149,6 +156,9 @@ type EpochStats struct {
 	Calibration     *rpol.Calibration
 	VerifyCommBytes int64
 	ReexecSteps     int
+	// Phases is the epoch's per-phase cost breakdown (counts, bytes,
+	// training steps), including the pool-level settlement phase.
+	Phases obs.PhaseBreakdown
 }
 
 // New builds the pool: dataset generation and sharding, per-worker model
@@ -159,6 +169,7 @@ func New(cfg Config) (*Pool, error) {
 		return nil, err
 	}
 	cfg.applyDefaults()
+	observer := cfg.Obs.OrDefault()
 	spec, err := modelzoo.Get(cfg.TaskName)
 	if err != nil {
 		return nil, err
@@ -175,6 +186,15 @@ func New(cfg Config) (*Pool, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pool: %w", err)
 	}
+	// Shard assignment is a construction-time phase: record the data moved
+	// to workers (the manager keeps the probe shard, so it is excluded).
+	var shardBytes int64
+	for _, shard := range shards[:cfg.NumWorkers] {
+		shardBytes += int64(shard.Len()) * int64(tensor.EncodedSize(spec.ProxyDim)+8)
+	}
+	obs.PhaseBreakdown{
+		obs.PhaseShardAssign: {Count: int64(cfg.NumWorkers), Bytes: shardBytes},
+	}.MirrorTo(observer.Registry())
 
 	buildNet := func() (*nn.Network, error) {
 		net, err := spec.BuildProxyNet(cfg.Seed + 1)
@@ -236,10 +256,12 @@ func New(cfg Config) (*Pool, error) {
 			if err != nil {
 				return nil, err
 			}
-			w, err = rpol.NewHonestWorker(fmt.Sprintf("worker-%02d", i), profile, runSeed, net, shard)
+			hw, err := rpol.NewHonestWorker(fmt.Sprintf("worker-%02d", i), profile, runSeed, net, shard)
 			if err != nil {
 				return nil, err
 			}
+			hw.SetObserver(observer)
+			w = hw
 		}
 		members = append(members, member{worker: w, role: role})
 		workers = append(workers, w)
@@ -262,6 +284,7 @@ func New(cfg Config) (*Pool, error) {
 		Seed:              cfg.Seed + 7,
 		ParallelVerifiers: cfg.Verifiers,
 		NetBuilder:        buildNet,
+		Obs:               observer,
 		// In-process workers each own their network and trainer, so the
 		// collection phase can safely run them concurrently.
 		ConcurrentCollection: true,
@@ -290,6 +313,7 @@ func New(cfg Config) (*Pool, error) {
 		testXs:   testXs,
 		testYs:   testYs,
 		rewards:  make(map[string]float64),
+		obs:      observer,
 	}, nil
 }
 
@@ -363,6 +387,7 @@ func (p *Pool) RunEpoch() (*EpochStats, error) {
 		Calibration:     report.Calibration,
 		VerifyCommBytes: report.VerifyCommBytes,
 		ReexecSteps:     report.ReexecSteps,
+		Phases:          report.Phases.Clone(),
 	}
 	for _, o := range report.Outcomes {
 		role := roles[o.WorkerID]
@@ -378,11 +403,20 @@ func (p *Pool) RunEpoch() (*EpochStats, error) {
 			stats.DetectedAdversaries++
 		}
 	}
+	// Settlement: one reward credit per accepted submission.
+	settlement := obs.PhaseBreakdown{obs.PhaseSettlement: {Count: int64(report.Accepted)}}
+	stats.Phases.Merge(settlement)
+	settlement.MirrorTo(p.obs.Registry())
+	p.obs.Counter("pool_epochs_total").Inc()
+	p.obs.Counter("pool_detected_adversaries_total").Add(int64(stats.DetectedAdversaries))
+	p.obs.Counter("pool_missed_adversaries_total").Add(int64(stats.MissedAdversaries))
+	p.obs.Counter("pool_false_rejections_total").Add(int64(stats.FalseRejections))
 	acc, err := p.TestAccuracy()
 	if err != nil {
 		return nil, err
 	}
 	stats.TestAccuracy = acc
+	p.obs.Gauge("pool_test_accuracy").Set(acc)
 	return stats, nil
 }
 

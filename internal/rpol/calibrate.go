@@ -8,6 +8,7 @@ import (
 	"rpol/internal/gpu"
 	"rpol/internal/lsh"
 	"rpol/internal/nn"
+	"rpol/internal/obs"
 	"rpol/internal/stats"
 	"rpol/internal/tensor"
 )
@@ -35,7 +36,16 @@ type Calibrator struct {
 	YOffset float64
 	// KLsh is the computational budget k·l ≤ K_lsh (16 in the evaluation).
 	KLsh int
+	// Obs routes calibration metrics and spans; nil falls back to the
+	// process default observer. Trace is the parent span (typically the
+	// manager's epoch span) and may be nil.
+	Obs   *obs.Observer
+	Trace *obs.Span
 }
+
+// reproErrorBuckets are the fixed histogram bounds for measured
+// reproduction errors (log-spaced decades).
+var reproErrorBuckets = []float64{1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
 
 // ErrNoErrors is returned when a probe run produces no comparable
 // checkpoints.
@@ -48,9 +58,16 @@ func (c *Calibrator) Calibrate(p TaskParams, top1, top2 gpu.Profile, probeSeeds 
 	if c.Net == nil || c.Shard == nil {
 		return nil, nil, errors.New("rpol: calibrator needs a network and a probe shard")
 	}
+	o := c.Obs.OrDefault()
+	span := o.Start(c.Trace, "manager.calibrate", obs.Int("epoch", int64(p.Epoch)))
+	defer span.End()
 	errsList, err := c.MeasureErrors(p, top1, top2, probeSeeds)
 	if err != nil {
 		return nil, nil, err
+	}
+	errHist := o.Histogram("rpol_repro_error", reproErrorBuckets)
+	for _, e := range errsList {
+		errHist.Observe(e)
 	}
 	summary, err := stats.Summarize(errsList)
 	if err != nil {
@@ -80,6 +97,9 @@ func (c *Calibrator) Calibrate(p TaskParams, top1, top2 gpu.Profile, probeSeeds 
 		MaxError:  summary.Max,
 		NumProbes: summary.N,
 	}
+	o.Counter("rpol_calibrations_total").Inc()
+	o.Gauge("rpol_alpha").Set(alpha)
+	o.Gauge("rpol_beta").Set(beta)
 	fam, err := lsh.NewFamily(len(p.Global), params, lshSeed)
 	if err != nil {
 		return nil, nil, fmt.Errorf("rpol calibrate: %w", err)
@@ -90,12 +110,16 @@ func (c *Calibrator) Calibrate(p TaskParams, top1, top2 gpu.Profile, probeSeeds 
 // MeasureErrors runs the probe sub-task twice (once per profile) and
 // returns the Euclidean reproduction errors of all comparable checkpoints.
 func (c *Calibrator) MeasureErrors(p TaskParams, top1, top2 gpu.Profile, probeSeeds [2]int64) ([]float64, error) {
+	o := c.Obs.OrDefault()
 	run := func(profile gpu.Profile, seed int64) (*Trace, error) {
 		device, err := gpu.NewDevice(profile, seed)
 		if err != nil {
 			return nil, fmt.Errorf("rpol calibrate: %w", err)
 		}
-		trainer := &Trainer{Net: c.Net, Shard: c.Shard, Device: device}
+		probeSpan := o.Start(c.Trace, "calibrate.probe", obs.String("gpu", profile.Name))
+		defer probeSpan.End()
+		trainer := &Trainer{Net: c.Net, Shard: c.Shard, Device: device,
+			Steps: o.Counter("rpol_probe_steps_total")}
 		return trainer.RunEpoch(p)
 	}
 	t1, err := run(top1, probeSeeds[0])

@@ -9,6 +9,7 @@ import (
 	"rpol/internal/gpu"
 	"rpol/internal/lsh"
 	"rpol/internal/nn"
+	"rpol/internal/obs"
 	"rpol/internal/prf"
 	"rpol/internal/tensor"
 )
@@ -53,6 +54,12 @@ type ManagerConfig struct {
 	// and trainer); leave it off for workers multiplexed over a single
 	// sequential transport (e.g. one wire.ManagerPort).
 	ConcurrentCollection bool
+	// Obs routes the manager's metrics and spans. Nil falls back to the
+	// process-wide default observer (disabled unless a command installed
+	// one); instrumentation never changes protocol results because it
+	// consumes no protocol randomness and timestamps flow through the
+	// observer's deterministic clock.
+	Obs *obs.Observer
 }
 
 // Manager coordinates the pool's distributed learning and verifies worker
@@ -67,6 +74,7 @@ type Manager struct {
 	device  *gpu.Device
 	rng     *tensor.RNG
 	epoch   int
+	obs     *obs.Observer
 
 	// lastCal is the most recent calibration (nil before the first
 	// calibrated epoch or under the baseline scheme).
@@ -84,6 +92,9 @@ type EpochReport struct {
 	VerifyCommBytes int64
 	// ReexecSteps totals the manager's re-executed training steps.
 	ReexecSteps int
+	// Phases breaks the epoch down by protocol phase: how often each phase
+	// ran, the bytes it moved, and the training steps it executed.
+	Phases obs.PhaseBreakdown
 }
 
 // NewManager builds a manager over pre-constructed workers.
@@ -124,6 +135,7 @@ func NewManager(cfg ManagerConfig, net *nn.Network, workers []Worker, shards map
 		probe:   probe,
 		device:  device,
 		rng:     tensor.NewRNG(cfg.Seed),
+		obs:     cfg.Obs.OrDefault(),
 	}, nil
 }
 
@@ -156,7 +168,10 @@ func (m *Manager) topTwoProfiles() (gpu.Profile, gpu.Profile) {
 // schemes), distribute the task, collect submissions, verify, aggregate.
 func (m *Manager) RunEpoch() (*EpochReport, error) {
 	epoch := m.epoch
-	report := &EpochReport{Epoch: epoch}
+	report := &EpochReport{Epoch: epoch, Phases: make(obs.PhaseBreakdown)}
+	epochSpan := m.obs.Start(nil, "manager.epoch",
+		obs.Int("epoch", int64(epoch)), obs.String("scheme", m.cfg.Scheme.String()))
+	defer epochSpan.End()
 
 	baseParams := TaskParams{
 		Epoch:           epoch,
@@ -172,10 +187,11 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 		Device:  m.device,
 		Samples: m.cfg.Samples,
 		Sampler: m.rng,
+		Obs:     m.obs,
 	}
 
 	if m.cfg.Scheme != SchemeBaseline {
-		cal, fam, err := m.calibrate(baseParams)
+		cal, fam, err := m.calibrate(baseParams, epochSpan)
 		if err != nil {
 			return nil, err
 		}
@@ -186,18 +202,27 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 			verifier.LSH = fam
 			baseParams.LSH = fam
 		}
+		// The probe sub-task runs a full epoch on each of the top-2
+		// profiles.
+		report.Phases.Add(obs.PhaseCalibration,
+			obs.PhaseTotals{Count: 1, Steps: 2 * int64(baseParams.Steps)})
 	}
 
 	// Distribute and collect. Nonces are issued per (worker, epoch);
 	// sampling decisions are not revealed until after ALL commitments have
 	// arrived — verification is a separate phase after collection
 	// (commit-and-prove, Sec. V-B).
+	taskBytes := int64(tensor.EncodedSize(len(m.global)))
+	report.Phases.Add(obs.PhaseTaskPublish,
+		obs.PhaseTotals{Count: int64(len(m.workers)), Bytes: taskBytes * int64(len(m.workers))})
 	subs := make([]Submission, len(m.workers))
 	results := make([]*EpochResult, len(m.workers))
+	workerSpans := make([]*obs.Span, len(m.workers))
 	collect := func(i int, w Worker) error {
 		params := baseParams
 		params.Global = m.global.Clone()
 		params.Nonce = prf.DeriveNonce(m.cfg.MasterKey, w.ID(), epoch)
+		params.Trace = workerSpans[i]
 		result, err := w.RunEpoch(params)
 		if err != nil {
 			return fmt.Errorf("rpol manager: worker %s: %w", w.ID(), err)
@@ -207,6 +232,9 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 		}
 		results[i] = result
 		return nil
+	}
+	for i, w := range m.workers {
+		workerSpans[i] = m.obs.Start(epochSpan, "worker.epoch", obs.String("worker", w.ID()))
 	}
 	if m.cfg.ConcurrentCollection {
 		errs := make([]error, len(m.workers))
@@ -231,6 +259,16 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 			}
 		}
 	}
+	report.Phases.Add(obs.PhaseTraining, obs.PhaseTotals{
+		Count: int64(len(m.workers)),
+		Steps: int64(len(m.workers)) * int64(m.cfg.StepsPerEpoch),
+	})
+	for _, result := range results {
+		report.Phases.Add(obs.PhaseCommitment, obs.PhaseTotals{Count: 1, Bytes: submissionBytes(result)})
+		if n := len(result.LSHDigests); n > 0 {
+			report.Phases.Add(obs.PhaseLSH, obs.PhaseTotals{Count: int64(n)})
+		}
+	}
 
 	outcomes, err := m.verifyAll(verifier, subs)
 	if err != nil {
@@ -241,23 +279,57 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 		report.Outcomes = append(report.Outcomes, outcome)
 		report.VerifyCommBytes += outcome.CommBytes
 		report.ReexecSteps += outcome.ReexecSteps
+		report.Phases.Add(obs.PhaseChallenge, obs.PhaseTotals{Count: int64(len(outcome.SampledCheckpoints))})
+		report.Phases.Add(obs.PhaseReproduction, obs.PhaseTotals{
+			Count: int64(len(outcome.SampledCheckpoints)),
+			Bytes: outcome.CommBytes,
+			Steps: int64(outcome.ReexecSteps),
+		})
+		if outcome.LSHMisses > 0 || outcome.DoubleChecks > 0 {
+			report.Phases.Add(obs.PhaseLSH, obs.PhaseTotals{Count: int64(outcome.LSHMisses)})
+		}
 		if outcome.Accepted {
 			report.Accepted++
 			accepted = append(accepted, results[i])
 		} else {
 			report.Rejected++
 		}
+		workerSpans[i].End(obs.Bool("accepted", outcome.Accepted))
 	}
+	report.Phases.Add(obs.PhaseVerdict, obs.PhaseTotals{Count: int64(len(outcomes))})
+	m.obs.Counter("rpol_accepted_total").Add(int64(report.Accepted))
+	m.obs.Counter("rpol_rejected_total").Add(int64(report.Rejected))
 
 	if len(accepted) > 0 {
+		aggSpan := m.obs.Start(epochSpan, "manager.aggregate", obs.Int("accepted", int64(len(accepted))))
 		next, err := Aggregate(m.global, accepted, 1.0)
+		aggSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("rpol manager: %w", err)
 		}
 		m.global = next
+		report.Phases.Add(obs.PhaseAggregation, obs.PhaseTotals{Count: int64(len(accepted))})
 	}
 	m.epoch++
+	m.obs.Counter("rpol_epochs_total").Inc()
+	report.Phases.MirrorTo(m.obs.Registry())
 	return report, nil
+}
+
+// submissionBytes is the modelled fan-in size of one epoch submission: the
+// update vector, the checkpoint commitment, and any LSH digests.
+func submissionBytes(r *EpochResult) int64 {
+	if r == nil {
+		return 0
+	}
+	total := int64(tensor.EncodedSize(len(r.Update)))
+	if r.Commit != nil {
+		total += int64(r.Commit.Size())
+	}
+	for _, d := range r.LSHDigests {
+		total += int64(d.Size())
+	}
+	return total
 }
 
 // verifyAll checks every submission: concurrently through a VerifierPool
@@ -270,6 +342,7 @@ func (m *Manager) verifyAll(verifier *Verifier, subs []Submission) ([]*VerifyOut
 		if err != nil {
 			return nil, err
 		}
+		vp.SetObserver(m.obs)
 		return vp.VerifyAll(subs)
 	}
 	outcomes := make([]*VerifyOutcome, 0, len(subs))
@@ -285,8 +358,9 @@ func (m *Manager) verifyAll(verifier *Verifier, subs []Submission) ([]*VerifyOut
 
 // calibrate runs the adaptive calibration for the upcoming epoch. The probe
 // sub-task's results could be aggregated too (the paper notes the probe is
-// not wasted work); here it is used purely for measurement.
-func (m *Manager) calibrate(p TaskParams) (*Calibration, *lsh.Family, error) {
+// not wasted work); here it is used purely for measurement. parent is the
+// epoch span the calibration spans nest under.
+func (m *Manager) calibrate(p TaskParams, parent *obs.Span) (*Calibration, *lsh.Family, error) {
 	top1, top2 := m.topTwoProfiles()
 	calibrator := &Calibrator{
 		Net:     m.net,
@@ -294,6 +368,8 @@ func (m *Manager) calibrate(p TaskParams) (*Calibration, *lsh.Family, error) {
 		XFactor: m.cfg.XFactor,
 		YOffset: m.cfg.YOffset,
 		KLsh:    m.cfg.KLsh,
+		Obs:     m.obs,
+		Trace:   parent,
 	}
 	probeSeeds := [2]int64{m.rng.Int63(), m.rng.Int63()}
 	lshSeed := m.rng.Int63()

@@ -6,6 +6,7 @@ import (
 	"rpol/internal/dataset"
 	"rpol/internal/gpu"
 	"rpol/internal/nn"
+	"rpol/internal/obs"
 	"rpol/internal/prf"
 	"rpol/internal/tensor"
 )
@@ -29,6 +30,12 @@ type Trainer struct {
 	// Device injects per-step hardware noise; nil trains noiselessly (used
 	// in tests).
 	Device *gpu.Device
+	// Steps, when set, counts every executed training step. The owner wires
+	// the counter that names the work correctly — rpol_train_steps_total for
+	// workers, rpol_reexec_steps_total for verification re-execution,
+	// rpol_probe_steps_total for calibration probes — so one trainer type
+	// serves all three without double counting.
+	Steps *obs.Counter
 }
 
 // batch materializes the deterministic batch for the given step.
@@ -77,6 +84,7 @@ func (t *Trainer) ExecuteInterval(start tensor.Vector, startStep, steps int, h H
 			}
 		}
 	}
+	t.Steps.Add(int64(steps))
 	return t.Net.ParamVector(), nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"rpol/internal/commitment"
 	"rpol/internal/gpu"
 	"rpol/internal/lsh"
+	"rpol/internal/obs"
 	"rpol/internal/prf"
 	"rpol/internal/tensor"
 )
@@ -80,6 +81,12 @@ type TaskParams struct {
 	// LSH carries the calibrated family for RPoLv2 commitments; nil under
 	// RPoLv1 or the baseline.
 	LSH *lsh.Family
+	// Trace is the observability span covering this worker's epoch — a
+	// process-local handle, never transmitted (the wire encoding drops it).
+	// Workers nest their training and commitment spans under it; the
+	// verifier nests the submission's verification under it too, giving the
+	// manager → worker → verify span hierarchy.
+	Trace *obs.Span
 }
 
 // Validate checks the parameters a worker must refuse to train under.

@@ -9,6 +9,7 @@ import (
 	"rpol/internal/gpu"
 	"rpol/internal/lsh"
 	"rpol/internal/nn"
+	"rpol/internal/obs"
 	"rpol/internal/tensor"
 )
 
@@ -61,6 +62,15 @@ func NewVerifierPool(n int, scheme Scheme, buildNet func() (*nn.Network, error),
 
 // Size returns the number of parallel verifiers.
 func (vp *VerifierPool) Size() int { return len(vp.verifiers) }
+
+// SetObserver routes every verifier's metrics and spans through o. The
+// obs instruments are concurrency-safe, so parallel verifiers may share
+// them.
+func (vp *VerifierPool) SetObserver(o *obs.Observer) {
+	for _, v := range vp.verifiers {
+		v.Obs = o
+	}
+}
 
 // Submission bundles one worker's verification inputs.
 type Submission struct {

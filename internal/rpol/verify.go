@@ -8,6 +8,7 @@ import (
 	"rpol/internal/gpu"
 	"rpol/internal/lsh"
 	"rpol/internal/nn"
+	"rpol/internal/obs"
 	"rpol/internal/tensor"
 )
 
@@ -39,7 +40,13 @@ type Verifier struct {
 	// rewards for honesty; this switch exists for the ablation that
 	// quantifies exactly that.
 	DisableDoubleCheck bool
+	// Obs routes verification metrics and spans; nil falls back to the
+	// process default observer.
+	Obs *obs.Observer
 }
+
+// observer resolves the verifier's observer against the process default.
+func (v *Verifier) observer() *obs.Observer { return v.Obs.OrDefault() }
 
 // Errors surfaced by verification configuration.
 var (
@@ -75,8 +82,24 @@ func (v *Verifier) sampleIntervals(numCheckpoints int) []int {
 
 // VerifySubmission checks one worker's epoch submission. shard must be the
 // worker's sub-dataset (the manager partitioned the data, so it has it).
+// The verification span nests under p.Trace (the worker's epoch span).
 func (v *Verifier) VerifySubmission(opener ProofOpener, shard *dataset.Dataset, result *EpochResult, p TaskParams) (*VerifyOutcome, error) {
 	out := &VerifyOutcome{WorkerID: result.WorkerID, Epoch: result.Epoch}
+	span := v.observer().Start(p.Trace, "verify.submission",
+		obs.String("worker", result.WorkerID), obs.String("scheme", v.Scheme.String()))
+	defer func() {
+		v.observer().Counter("rpol_submissions_verified_total").Inc()
+		if out.Accepted {
+			v.observer().Counter("rpol_verify_accept_total").Inc()
+		} else {
+			v.observer().Counter("rpol_verify_reject_total").Inc()
+		}
+		v.observer().Counter("rpol_verify_comm_bytes_total").Add(out.CommBytes)
+		v.observer().Histogram("rpol_verify_sampled_checkpoints",
+			[]float64{0, 1, 2, 3, 5, 8, 13}).Observe(float64(len(out.SampledCheckpoints)))
+		span.End(obs.Bool("accepted", out.Accepted), obs.String("fail", out.FailReason),
+			obs.Int("commBytes", out.CommBytes), obs.Int("reexecSteps", int64(out.ReexecSteps)))
+	}()
 	if v.Scheme == SchemeBaseline {
 		out.Accepted = true
 		return out, nil
@@ -130,15 +153,20 @@ func (v *Verifier) VerifySubmission(opener ProofOpener, shard *dataset.Dataset, 
 		return out, nil
 	}
 
-	trainer := &Trainer{Net: v.Net, Shard: shard, Device: v.Device}
+	trainer := &Trainer{Net: v.Net, Shard: shard, Device: v.Device,
+		Steps: v.observer().Counter("rpol_reexec_steps_total")}
+	challengeSpan := v.observer().Start(span, "verify.challenge",
+		obs.Int("checkpoints", int64(result.NumCheckpoints)))
 	out.SampledCheckpoints = v.sampleIntervals(result.NumCheckpoints)
+	challengeSpan.End(obs.Int("sampled", int64(len(out.SampledCheckpoints))))
+	v.observer().Counter("rpol_challenges_total").Add(int64(len(out.SampledCheckpoints)))
 	if len(out.SampledCheckpoints) == 0 {
 		out.FailReason = "no checkpoint intervals to sample"
 		return out, nil
 	}
 
 	for _, c := range out.SampledCheckpoints {
-		ok, err := v.verifyInterval(trainer, opener, result, p, c, out)
+		ok, err := v.verifyInterval(trainer, opener, result, p, c, out, span)
 		if err != nil {
 			return nil, err
 		}
@@ -153,8 +181,8 @@ func (v *Verifier) VerifySubmission(opener ProofOpener, shard *dataset.Dataset, 
 
 // verifyInterval checks the single sampled interval c → c+1. It returns
 // (false, nil) with out.FailReason set on a protocol-level rejection and an
-// error only on internal failures.
-func (v *Verifier) verifyInterval(trainer *Trainer, opener ProofOpener, result *EpochResult, p TaskParams, c int, out *VerifyOutcome) (bool, error) {
+// error only on internal failures. parent is the submission's span.
+func (v *Verifier) verifyInterval(trainer *Trainer, opener ProofOpener, result *EpochResult, p TaskParams, c int, out *VerifyOutcome, parent *obs.Span) (bool, error) {
 	// 1. Obtain and validate the interval's input weights against the
 	// commitment.
 	input, err := opener.OpenCheckpoint(c)
@@ -178,13 +206,18 @@ func (v *Verifier) verifyInterval(trainer *Trainer, opener ProofOpener, result *
 		out.FailReason = fmt.Sprintf("checkpoint %d maps past the epoch's steps", c)
 		return false, nil
 	}
+	reexecSpan := v.observer().Start(parent, "verify.reproduce",
+		obs.Int("checkpoint", int64(c)), obs.Int("steps", int64(steps)))
 	reexec, err := trainer.ExecuteInterval(input, startStep, steps, p.Hyper, p.Nonce)
+	reexecSpan.End()
 	if err != nil {
 		return false, fmt.Errorf("rpol verify re-execution: %w", err)
 	}
 	out.ReexecSteps += steps
 
 	// 3. Compare outcomes.
+	compareSpan := v.observer().Start(parent, "verify.compare", obs.Int("checkpoint", int64(c)))
+	defer compareSpan.End()
 	if v.Scheme == SchemeV1 {
 		return v.compareRaw(opener, result, c, reexec, out)
 	}
@@ -237,10 +270,12 @@ func (v *Verifier) compareLSH(opener ProofOpener, result *EpochResult, c int, re
 	if err != nil {
 		return false, fmt.Errorf("rpol verify lsh: %w", err)
 	}
+	v.observer().Counter("rpol_lsh_compares_total").Inc()
 	if lsh.Match(mine, committed) {
 		return true, nil
 	}
 	out.LSHMisses++
+	v.observer().Counter("rpol_lsh_misses_total").Inc()
 	if v.DisableDoubleCheck {
 		out.FailReason = fmt.Sprintf("checkpoint %d: LSH mismatch (double-check disabled)", c)
 		return false, nil
@@ -258,6 +293,7 @@ func (v *Verifier) compareLSH(opener ProofOpener, result *EpochResult, c int, re
 		return false, nil
 	}
 	out.DoubleChecks++
+	v.observer().Counter("rpol_double_checks_total").Inc()
 	dist, err := tensor.Distance(reexec, output)
 	if err != nil {
 		return false, fmt.Errorf("rpol verify distance: %w", err)

@@ -7,6 +7,7 @@ import (
 	"rpol/internal/dataset"
 	"rpol/internal/gpu"
 	"rpol/internal/nn"
+	"rpol/internal/obs"
 	"rpol/internal/tensor"
 )
 
@@ -18,6 +19,7 @@ type HonestWorker struct {
 	profile gpu.Profile
 	trainer *Trainer
 	store   checkpoint.Store
+	obs     *obs.Observer
 
 	lastTrace  *Trace
 	lastResult *EpochResult
@@ -57,6 +59,12 @@ func (w *HonestWorker) ShardSize() int { return w.trainer.Shard.Len() }
 // a real worker whose checkpoints exceed RAM does.
 func (w *HonestWorker) SetStore(st checkpoint.Store) { w.store = st }
 
+// SetObserver routes the worker's training metrics and spans through o.
+func (w *HonestWorker) SetObserver(o *obs.Observer) {
+	w.obs = o
+	w.trainer.Steps = o.Counter("rpol_train_steps_total")
+}
+
 // StorageBytes reports the bytes the worker's current proofs occupy.
 func (w *HonestWorker) StorageBytes() int64 {
 	if w.store != nil {
@@ -74,17 +82,31 @@ func (w *HonestWorker) StorageBytes() int64 {
 
 // RunEpoch trains the sub-task and submits the update with its commitment.
 func (w *HonestWorker) RunEpoch(p TaskParams) (*EpochResult, error) {
+	trainSpan := w.obs.Start(p.Trace, "worker.train",
+		obs.String("worker", w.id), obs.Int("steps", int64(p.Steps)))
 	trace, err := w.trainer.RunEpoch(p)
 	if err != nil {
+		trainSpan.End(obs.String("error", err.Error()))
 		return nil, fmt.Errorf("rpol worker %s: %w", w.id, err)
 	}
+	trainSpan.End(obs.Int("checkpoints", int64(len(trace.Checkpoints))))
+	w.obs.Counter("rpol_checkpoints_total").Add(int64(len(trace.Checkpoints)))
 	update, err := BindFinalCheckpoint(trace, p.Global)
 	if err != nil {
 		return nil, fmt.Errorf("rpol worker %s: %w", w.id, err)
 	}
+	commitSpan := w.obs.Start(p.Trace, "worker.commit", obs.String("worker", w.id))
 	commit, digests, err := BuildCommitment(trace.Checkpoints, p.LSH)
+	commitSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("rpol worker %s: %w", w.id, err)
+	}
+	w.obs.Counter("rpol_commitments_total").Inc()
+	if commit != nil {
+		w.obs.Counter("rpol_commit_bytes_total").Add(int64(commit.Size()))
+	}
+	if len(digests) > 0 {
+		w.obs.Counter("rpol_lsh_digests_total").Add(int64(len(digests)))
 	}
 	if w.store != nil {
 		if err := w.store.Clear(); err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"rpol/internal/gpu"
 	"rpol/internal/netsim"
+	"rpol/internal/obs"
 	"rpol/internal/rpol"
 	"rpol/internal/tensor"
 )
@@ -16,7 +17,8 @@ import (
 // outstanding request at a time), so a simple matched request/response
 // exchange suffices; an unexpected interleaved message is a protocol error.
 type ManagerPort struct {
-	ep Transport
+	ep  Transport
+	obs *obs.Observer
 }
 
 // NewManagerPort registers the manager's endpoint on the in-memory bus.
@@ -37,15 +39,25 @@ func NewManagerPortOver(t Transport) (*ManagerPort, error) {
 	return &ManagerPort{ep: t}, nil
 }
 
+// SetObserver routes the port's request/response accounting through o. The
+// counters are wire_manager_messages_sent_total / _recv_total and
+// wire_manager_bytes_sent_total / _recv_total; payload sizes use the same
+// netsim.Message framing model the fabric meters use.
+func (mp *ManagerPort) SetObserver(o *obs.Observer) { mp.obs = o }
+
 // call sends a request to the peer and waits for its reply of wantKind.
 func (mp *ManagerPort) call(to, kind string, payload []byte, wantKind string) ([]byte, error) {
 	if err := mp.ep.Send(to, kind, payload); err != nil {
 		return nil, fmt.Errorf("wire call %s/%s: %w", to, kind, err)
 	}
+	mp.obs.Counter("wire_manager_messages_sent_total").Inc()
+	mp.obs.Counter("wire_manager_bytes_sent_total").Add(netsim.Message{Kind: kind, Payload: payload}.Size())
 	msg, err := mp.ep.Recv()
 	if err != nil {
 		return nil, fmt.Errorf("wire call %s/%s: %w", to, kind, err)
 	}
+	mp.obs.Counter("wire_manager_messages_recv_total").Inc()
+	mp.obs.Counter("wire_manager_bytes_recv_total").Add(msg.Size())
 	if msg.From != to {
 		return nil, fmt.Errorf("wire call %s/%s: reply from %s: %w", to, kind, msg.From, ErrRemote)
 	}

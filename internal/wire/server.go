@@ -8,6 +8,7 @@ import (
 	"net"
 
 	"rpol/internal/netsim"
+	"rpol/internal/obs"
 	"rpol/internal/rpol"
 )
 
@@ -17,6 +18,7 @@ import (
 type WorkerServer struct {
 	worker rpol.Worker
 	ep     Transport
+	obs    *obs.Observer
 }
 
 // NewWorkerServer registers the worker's endpoint on the in-memory bus
@@ -45,6 +47,20 @@ func NewWorkerServerOver(t Transport, worker rpol.Worker) (*WorkerServer, error)
 	return &WorkerServer{worker: worker, ep: t}, nil
 }
 
+// SetObserver routes the server's request/response accounting through o
+// under wire_worker_{messages,bytes}_{sent,recv}_total counters.
+func (s *WorkerServer) SetObserver(o *obs.Observer) { s.obs = o }
+
+// send delivers a reply and accounts it.
+func (s *WorkerServer) send(to, kind string, payload []byte) error {
+	err := s.ep.Send(to, kind, payload)
+	if err == nil {
+		s.obs.Counter("wire_worker_messages_sent_total").Inc()
+		s.obs.Counter("wire_worker_bytes_sent_total").Add(netsim.Message{Kind: kind, Payload: payload}.Size())
+	}
+	return err
+}
+
 // Run serves requests until the bus closes. Malformed requests are answered
 // with error messages rather than terminating the loop — a misbehaving
 // manager must not be able to wedge a worker.
@@ -59,9 +75,11 @@ func (s *WorkerServer) Run() error {
 			}
 			return fmt.Errorf("wire server %s: %w", s.worker.ID(), err)
 		}
+		s.obs.Counter("wire_worker_messages_recv_total").Inc()
+		s.obs.Counter("wire_worker_bytes_recv_total").Add(msg.Size())
 		if err := s.handle(msg); err != nil {
 			// Reply with the error; keep serving.
-			_ = s.ep.Send(msg.From, KindError, []byte(err.Error()))
+			_ = s.send(msg.From, KindError, []byte(err.Error()))
 		}
 	}
 }
@@ -81,7 +99,7 @@ func (s *WorkerServer) handle(msg netsim.Message) error {
 		if err != nil {
 			return err
 		}
-		return s.ep.Send(msg.From, KindResult, payload)
+		return s.send(msg.From, KindResult, payload)
 	case KindOpenRequest:
 		var req OpenRequestMsg
 		if err := json.Unmarshal(msg.Payload, &req); err != nil {
@@ -98,7 +116,7 @@ func (s *WorkerServer) handle(msg netsim.Message) error {
 		if err != nil {
 			return err
 		}
-		return s.ep.Send(msg.From, KindOpenResponse, payload)
+		return s.send(msg.From, KindOpenResponse, payload)
 	default:
 		return fmt.Errorf("unknown message kind %q", msg.Kind)
 	}
