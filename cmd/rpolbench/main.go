@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"rpol/internal/experiments"
+	"rpol/internal/obs"
 	"rpol/internal/obscli"
 )
 
@@ -43,7 +44,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rpolbench:", err)
 		os.Exit(1)
 	}
-	if err := run(*exp, *epochs, *workers, *seed, *csvDir); err != nil {
+	if err := run(*exp, *epochs, *workers, *seed, *csvDir, obsOpts.ProtocolClock()); err != nil {
 		fmt.Fprintln(os.Stderr, "rpolbench:", err)
 		os.Exit(1)
 	}
@@ -53,7 +54,10 @@ func main() {
 	}
 }
 
-func run(exp string, epochs, workers int, seed int64, csvDir string) error {
+// run executes the selected experiments. clock times the measured
+// experiments (nil keeps the deterministic default; -wallclock passes an
+// obs.WallClock).
+func run(exp string, epochs, workers int, seed int64, csvDir string, clock obs.Clock) error {
 	ids := []string{exp}
 	if exp == "all" {
 		ids = []string{
@@ -69,7 +73,7 @@ func run(exp string, epochs, workers int, seed int64, csvDir string) error {
 		}
 	}
 	for _, id := range ids {
-		table, err := runOne(id, epochs, workers, seed)
+		table, err := runOne(id, epochs, workers, seed, clock)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
@@ -101,7 +105,7 @@ func writeCSV(path string, table *experiments.Table) error {
 	return w.Error()
 }
 
-func runOne(id string, epochs, workers int, seed int64) (*experiments.Table, error) {
+func runOne(id string, epochs, workers int, seed int64, clock obs.Clock) (*experiments.Table, error) {
 	switch strings.ToLower(id) {
 	case "fig1":
 		res, err := experiments.Fig1(experiments.Fig1Options{})
@@ -110,7 +114,7 @@ func runOne(id string, epochs, workers int, seed int64) (*experiments.Table, err
 		}
 		return &res.Table, nil
 	case "fig3":
-		res, err := experiments.Fig3(experiments.Fig3Options{Epochs: epochs, Seed: seed})
+		res, err := experiments.Fig3(experiments.Fig3Options{Epochs: epochs, Seed: seed, Clock: clock})
 		if err != nil {
 			return nil, err
 		}

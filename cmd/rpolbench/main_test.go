@@ -11,7 +11,7 @@ func TestRunOneKnownIds(t *testing.T) {
 	// The fast experiments run end-to-end; training-heavy ones are covered
 	// by internal/experiments tests and the bench suite.
 	for _, id := range []string{"fig1", "table2", "table3", "soundness", "ablation-commitment"} {
-		table, err := runOne(id, 0, 0, 1)
+		table, err := runOne(id, 0, 0, 1, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -23,19 +23,19 @@ func TestRunOneKnownIds(t *testing.T) {
 }
 
 func TestRunOneUnknownId(t *testing.T) {
-	if _, err := runOne("fig99", 0, 0, 1); err == nil {
+	if _, err := runOne("fig99", 0, 0, 1, nil); err == nil {
 		t.Error("want error for unknown experiment")
 	}
 }
 
 func TestRunOneCaseInsensitive(t *testing.T) {
-	if _, err := runOne("FIG1", 0, 0, 1); err != nil {
+	if _, err := runOne("FIG1", 0, 0, 1, nil); err != nil {
 		t.Errorf("upper-case id rejected: %v", err)
 	}
 }
 
 func TestRunSingleTrainingExperiment(t *testing.T) {
-	table, err := runOne("ablation-doublecheck", 2, 0, 1)
+	table, err := runOne("ablation-doublecheck", 2, 0, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestRunSingleTrainingExperiment(t *testing.T) {
 
 func TestCSVExport(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("soundness", 0, 0, 1, dir); err != nil {
+	if err := run("soundness", 0, 0, 1, dir, nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(filepath.Join(dir, "soundness.csv"))

@@ -1,0 +1,170 @@
+// Command rpolvet runs the repository's static-analysis suite
+// (internal/lint): project-specific determinism and protocol-invariant
+// checks built on the standard library's go/ast and go/types.
+//
+// Usage:
+//
+//	rpolvet ./...
+//	rpolvet -json ./internal/commitment ./internal/wire
+//
+// rpolvet loads every non-test package of the enclosing module, runs the
+// analyzers on the packages matching the given patterns (default ./...),
+// and prints findings as file:line:col lines, or as a JSON report with
+// -json. It exits 1 when there are findings, 2 on load errors, and 0 on a
+// clean run. Deliberate exceptions are annotated in the source:
+//
+//	//rpolvet:ignore <analyzer> <reason>
+//
+// on the offending line or the line above it; suppressed findings stay
+// visible in the report but do not affect the exit code.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"rpol/internal/lint"
+)
+
+func main() {
+	os.Exit(rpolvet(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// report is the -json output shape.
+type report struct {
+	Module     string            `json:"module"`
+	Analyzers  []analyzerInfo    `json:"analyzers"`
+	Findings   []lint.Diagnostic `json:"findings"`
+	Suppressed []lint.Diagnostic `json:"suppressed"`
+}
+
+type analyzerInfo struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+func rpolvet(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rpolvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit a JSON report instead of text lines")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "rpolvet:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "rpolvet:", err)
+		return 2
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "rpolvet:", err)
+		return 2
+	}
+
+	var pkgs []*lint.Package
+	for _, pkg := range mod.Packages {
+		if matchesAny(patterns, mod.Path, pkg.PkgPath) {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(stderr, "rpolvet: no packages match %s\n", strings.Join(patterns, " "))
+		return 2
+	}
+
+	analyzers := lint.All()
+	findings, suppressed := lint.Run(pkgs, analyzers)
+	relativize(findings, cwd)
+	relativize(suppressed, cwd)
+
+	if *jsonOut {
+		r := report{
+			Module:     mod.Path,
+			Analyzers:  make([]analyzerInfo, 0, len(analyzers)),
+			Findings:   findings,
+			Suppressed: suppressed,
+		}
+		if r.Findings == nil {
+			r.Findings = []lint.Diagnostic{}
+		}
+		if r.Suppressed == nil {
+			r.Suppressed = []lint.Diagnostic{}
+		}
+		for _, a := range analyzers {
+			r.Analyzers = append(r.Analyzers, analyzerInfo{Name: a.Name, Doc: a.Doc})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(stderr, "rpolvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range findings {
+			fmt.Fprintln(stdout, d)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(stdout, "rpolvet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relativize rewrites absolute file positions relative to the working
+// directory for stable, readable output.
+func relativize(ds []lint.Diagnostic, cwd string) {
+	for i := range ds {
+		if rel, err := filepath.Rel(cwd, ds[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			ds[i].File = rel
+		}
+	}
+}
+
+// matchesAny reports whether pkgPath matches one of the go-style patterns:
+// "./..." (everything), "./dir", "./dir/...", or absolute import paths with
+// the same optional /... suffix.
+func matchesAny(patterns []string, modPath, pkgPath string) bool {
+	for _, p := range patterns {
+		if matchPattern(p, modPath, pkgPath) {
+			return true
+		}
+	}
+	return false
+}
+
+func matchPattern(pattern, modPath, pkgPath string) bool {
+	pattern = strings.TrimSuffix(pattern, "/")
+	if pattern == "./..." || pattern == "..." || pattern == "all" {
+		return true
+	}
+	if rel, ok := strings.CutPrefix(pattern, "./"); ok {
+		if rel == "" {
+			return pkgPath == modPath
+		}
+		pattern = modPath + "/" + rel
+	} else if pattern == "." {
+		return pkgPath == modPath
+	}
+	if sub, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return pkgPath == sub || strings.HasPrefix(pkgPath, sub+"/")
+	}
+	return pkgPath == pattern
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		pattern, pkgPath string
+		want             bool
+	}{
+		{"./...", "rpol/internal/wire", true},
+		{"./...", "rpol", true},
+		{".", "rpol", true},
+		{".", "rpol/internal/wire", false},
+		{"./internal/wire", "rpol/internal/wire", true},
+		{"./internal/wire", "rpol/internal/wireless", false},
+		{"./internal/...", "rpol/internal/wire", true},
+		{"./internal/...", "rpol/examples/quickstart", false},
+		{"rpol/internal/wire", "rpol/internal/wire", true},
+		{"rpol/internal/...", "rpol/internal/lsh", true},
+		{"./cmd/rpolvet/", "rpol/cmd/rpolvet", true},
+	}
+	for _, tc := range cases {
+		if got := matchPattern(tc.pattern, "rpol", tc.pkgPath); got != tc.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", tc.pattern, tc.pkgPath, got, tc.want)
+		}
+	}
+}
+
+// TestSelfScanJSON runs the driver over the repository in JSON mode: the
+// run must be clean (exit 0) and the report must list the full analyzer
+// suite, which is the machine-readable surface CI and tooling consume.
+func TestSelfScanJSON(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := rpolvet([]string{"-json", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s, stdout: %s", code, stderr.String(), stdout.String())
+	}
+	var r report
+	if err := json.Unmarshal(stdout.Bytes(), &r); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, stdout.String())
+	}
+	if r.Module != "rpol" {
+		t.Errorf("module = %q", r.Module)
+	}
+	if len(r.Analyzers) < 5 {
+		t.Errorf("report lists %d analyzers, want >= 5", len(r.Analyzers))
+	}
+	names := make(map[string]bool)
+	for _, a := range r.Analyzers {
+		names[a.Name] = true
+	}
+	for _, want := range []string{"nowallclock", "norandglobal", "maporder", "floateq", "nilsafeobs"} {
+		if !names[want] {
+			t.Errorf("analyzer %q missing from report", want)
+		}
+	}
+	if len(r.Findings) != 0 {
+		t.Errorf("self-scan found %d findings: %v", len(r.Findings), r.Findings)
+	}
+}
+
+func TestPackageFilter(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := rpolvet([]string{"./internal/lint"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if code := rpolvet([]string{"./no/such/package"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown pattern: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "no packages match") {
+		t.Errorf("stderr = %q", stderr.String())
+	}
+}

@@ -74,6 +74,7 @@ func (s *MemoryStore) Len() int { return len(s.snaps) }
 // Bytes returns the in-memory footprint at wire-encoding size.
 func (s *MemoryStore) Bytes() int64 {
 	var total int64
+	//rpolvet:ignore maporder commutative sum over values; iteration order never reaches a hash or encoder
 	for _, w := range s.snaps {
 		total += int64(tensor.EncodedSize(len(w)))
 	}

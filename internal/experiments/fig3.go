@@ -8,6 +8,7 @@ import (
 	"rpol/internal/gpu"
 	"rpol/internal/modelzoo"
 	"rpol/internal/nn"
+	"rpol/internal/obs"
 	"rpol/internal/prf"
 	"rpol/internal/rpol"
 	"rpol/internal/tensor"
@@ -15,9 +16,9 @@ import (
 
 // centralRun trains a proxy task centrally (one trainer, the full training
 // shard) and records test accuracy after every epoch. It returns the
-// accuracy curve, the measured wall-clock per epoch, and the trained
+// accuracy curve, the per-epoch time as measured by clock, and the trained
 // network.
-func centralRun(spec modelzoo.TaskSpec, withAMLayer bool, address string, epochs, stepsPerEpoch int, seed int64) ([]float64, time.Duration, *nn.Network, error) {
+func centralRun(spec modelzoo.TaskSpec, withAMLayer bool, address string, epochs, stepsPerEpoch int, seed int64, clock obs.Clock) ([]float64, time.Duration, *nn.Network, error) {
 	net, train, test, err := spec.BuildProxy(seed)
 	if err != nil {
 		return nil, 0, nil, err
@@ -47,7 +48,7 @@ func centralRun(spec modelzoo.TaskSpec, withAMLayer bool, address string, epochs
 
 	weights := net.ParamVector()
 	accs := make([]float64, 0, epochs)
-	start := time.Now()
+	start := clock.Now()
 	for e := 0; e < epochs; e++ {
 		p := rpol.TaskParams{
 			Epoch:           e,
@@ -71,7 +72,7 @@ func centralRun(spec modelzoo.TaskSpec, withAMLayer bool, address string, epochs
 		}
 		accs = append(accs, acc)
 	}
-	perEpoch := time.Duration(int64(time.Since(start)) / int64(epochs))
+	perEpoch := time.Duration((clock.Now() - start) / int64(epochs))
 	return accs, perEpoch, net, nil
 }
 
@@ -84,6 +85,10 @@ type Fig3Options struct {
 	// StepsPerEpoch of the proxy run.
 	StepsPerEpoch int
 	Seed          int64
+	// Clock times the per-epoch measurement. It defaults to a deterministic
+	// obs.SimClock so figure-3 runs are bit-reproducible; rpolbench's
+	// -wallclock flag injects an obs.WallClock for real timings.
+	Clock obs.Clock
 }
 
 func (o *Fig3Options) defaults() {
@@ -98,6 +103,9 @@ func (o *Fig3Options) defaults() {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Clock == nil {
+		o.Clock = obs.NewSimClock(0)
 	}
 }
 
@@ -126,11 +134,11 @@ func Fig3(opts Fig3Options) (*Fig3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		origin, _, _, err := centralRun(spec, false, "", opts.Epochs, opts.StepsPerEpoch, opts.Seed)
+		origin, _, _, err := centralRun(spec, false, "", opts.Epochs, opts.StepsPerEpoch, opts.Seed, opts.Clock)
 		if err != nil {
 			return nil, fmt.Errorf("fig3 %s origin: %w", name, err)
 		}
-		withAML, _, _, err := centralRun(spec, true, "fig3-manager", opts.Epochs, opts.StepsPerEpoch, opts.Seed)
+		withAML, _, _, err := centralRun(spec, true, "fig3-manager", opts.Epochs, opts.StepsPerEpoch, opts.Seed, opts.Clock)
 		if err != nil {
 			return nil, fmt.Errorf("fig3 %s amlayer: %w", name, err)
 		}

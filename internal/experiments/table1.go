@@ -6,6 +6,7 @@ import (
 	"rpol/internal/amlayer"
 	"rpol/internal/gpu"
 	"rpol/internal/modelzoo"
+	"rpol/internal/obs"
 	"rpol/internal/stats"
 	"rpol/internal/tensor"
 )
@@ -74,11 +75,14 @@ func Table1(opts Table1Options) (*Table1Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		originAccs, _, _, err := centralRun(spec, false, "", opts.Epochs, opts.StepsPerEpoch, opts.Seed)
+		// Table I derives epoch times analytically from the device model, so
+		// the measured timings are discarded and a deterministic clock keeps
+		// the run reproducible.
+		originAccs, _, _, err := centralRun(spec, false, "", opts.Epochs, opts.StepsPerEpoch, opts.Seed, obs.NewSimClock(0))
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s origin: %w", name, err)
 		}
-		amlAccs, _, amlNet, err := centralRun(spec, true, "table1-manager", opts.Epochs, opts.StepsPerEpoch, opts.Seed)
+		amlAccs, _, amlNet, err := centralRun(spec, true, "table1-manager", opts.Epochs, opts.StepsPerEpoch, opts.Seed, obs.NewSimClock(0))
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s amlayer: %w", name, err)
 		}

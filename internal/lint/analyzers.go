@@ -1,0 +1,37 @@
+package lint
+
+import "strings"
+
+// All returns the project's analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoWallClock,
+		NoRandGlobal,
+		MapOrder,
+		FloatEq,
+		NilSafeObs,
+	}
+}
+
+// pathIn builds an Applies predicate matching exactly the given import
+// paths.
+func pathIn(paths ...string) func(string) bool {
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	return func(pkgPath string) bool { return set[pkgPath] }
+}
+
+// pathNotIn builds an Applies predicate matching every package except the
+// given import paths (and their subpackages).
+func pathNotIn(paths ...string) func(string) bool {
+	return func(pkgPath string) bool {
+		for _, p := range paths {
+			if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+				return false
+			}
+		}
+		return true
+	}
+}

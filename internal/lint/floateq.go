@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands in the numeric
+// packages (nn, tensor, lsh, stats). Accumulated rounding makes exact
+// equality between computed floats brittle — two mathematically equal
+// reductions can differ in the last ulp — so comparisons belong behind a
+// tolerance (tensor.Vector.Equal, or math.Abs(a-b) <= eps as
+// internal/stats does). The one idiom left alone is comparison against an
+// exact constant zero: IEEE 754 represents zero exactly, and `if sigma == 0`
+// division guards and unset-default sentinels are deliberate.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "no exact float ==/!= in numeric packages; compare with a tolerance (zero-sentinel guards excepted)",
+	Applies: pathIn(
+		"rpol/internal/nn",
+		"rpol/internal/tensor",
+		"rpol/internal/lsh",
+		"rpol/internal/stats",
+	),
+	Run: func(pass *Pass) {
+		info := pass.Pkg.TypesInfo
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(info.TypeOf(be.X)) && !isFloat(info.TypeOf(be.Y)) {
+					return true
+				}
+				// Constant-folded comparisons and exact-zero sentinels are
+				// well-defined; everything else is a rounding hazard.
+				xc, yc := constOf(info, be.X), constOf(info, be.Y)
+				if xc != nil && yc != nil {
+					return true
+				}
+				if isZeroConst(xc) || isZeroConst(yc) {
+					return true
+				}
+				pass.Reportf(be.OpPos, "exact floating-point %s comparison is brittle under rounding; compare with a tolerance (e.g. tensor.Vector.Equal or math.Abs(a-b) <= eps)", be.Op)
+				return true
+			})
+		}
+	},
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func constOf(info *types.Info, e ast.Expr) constant.Value {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Value
+	}
+	return nil
+}
+
+func isZeroConst(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	}
+	return false
+}

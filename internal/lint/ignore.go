@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignoreIndex records where rpolvet:ignore directives sit in a package's
+// files: (file, line, analyzer) -> reason. A directive suppresses matching
+// findings on its own line (trailing comment) and on the following line
+// (standalone comment above the offending statement).
+type ignoreIndex struct {
+	byKey map[ignoreKey]string
+}
+
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// match reports whether d is waived by a directive, returning the reason.
+func (ix ignoreIndex) match(d Diagnostic) (string, bool) {
+	if r, ok := ix.byKey[ignoreKey{d.File, d.Line, d.Analyzer}]; ok {
+		return r, true
+	}
+	if r, ok := ix.byKey[ignoreKey{d.File, d.Line - 1, d.Analyzer}]; ok {
+		return r, true
+	}
+	return "", false
+}
+
+// directiveIndex scans a package's comments for rpolvet:ignore directives.
+// Malformed directives (no analyzer, unknown analyzer, missing reason) are
+// returned as findings so stale or typo'd waivers cannot silently disable a
+// check.
+func directiveIndex(pkg *Package, known map[string]bool) (ignoreIndex, []Diagnostic) {
+	ix := ignoreIndex{byKey: make(map[ignoreKey]string)}
+	var bad []Diagnostic
+	report := func(pos int, file string, line int, msg string) {
+		bad = append(bad, Diagnostic{
+			Analyzer: "rpolvet",
+			File:     file,
+			Line:     line,
+			Col:      pos,
+			Message:  msg,
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "rpolvet:ignore")
+				if !ok {
+					continue
+				}
+				position := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(position.Column, position.Filename, position.Line,
+						"rpolvet:ignore needs an analyzer name and a reason")
+					continue
+				}
+				analyzer := fields[0]
+				if !known[analyzer] {
+					report(position.Column, position.Filename, position.Line,
+						"rpolvet:ignore names unknown analyzer "+analyzer)
+					continue
+				}
+				if len(fields) < 2 {
+					report(position.Column, position.Filename, position.Line,
+						"rpolvet:ignore "+analyzer+" needs a reason")
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+				ix.byKey[ignoreKey{position.Filename, position.Line, analyzer}] = reason
+			}
+		}
+	}
+	return ix, bad
+}

@@ -1,0 +1,146 @@
+// Package lint is rpol's from-scratch static-analysis framework, built on
+// the standard library's go/parser, go/ast, and go/types alone (no
+// golang.org/x/tools). It exists to make the protocol's determinism
+// invariants — no wall clock, no global randomness, no unordered map
+// iteration before hashing, no exact float equality, nil-safe
+// observability — compile-time facts instead of runtime hopes: the commit-
+// and-prove sampling verification (paper §4) is only sound if the manager's
+// re-execution is bit-identical to the worker's original run.
+//
+// Findings can be suppressed where a violation is deliberate:
+//
+//	//rpolvet:ignore <analyzer> <reason>
+//
+// placed on, or on the line above, the offending line. The reason is
+// mandatory; the driver rejects bare ignores.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and in rpolvet:ignore
+	// directives.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer protects.
+	Doc string
+	// Applies reports whether the analyzer runs on the package with the
+	// given import path. A nil Applies runs everywhere.
+	Applies func(pkgPath string) bool
+	// Run inspects one package, reporting findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass is the per-package, per-analyzer execution context handed to Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	// SuppressReason carries the rpolvet:ignore justification when the
+	// finding was deliberately waived (such findings are reported separately
+	// and do not fail the run).
+	SuppressReason string `json:"suppress_reason,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// Run executes the analyzers over the packages. It returns the active
+// findings (which should fail a CI run), the deliberately suppressed ones
+// (kept visible for auditing), and any malformed suppression directives
+// folded into the findings under the pseudo-analyzer name "rpolvet".
+func Run(pkgs []*Package, analyzers []*Analyzer) (findings, suppressed []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+
+	for _, pkg := range pkgs {
+		index, bad := directiveIndex(pkg, known)
+		findings = append(findings, bad...)
+
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.PkgPath) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			a.Run(pass)
+		}
+		for _, d := range diags {
+			if reason, ok := index.match(d); ok {
+				d.SuppressReason = reason
+				suppressed = append(suppressed, d)
+			} else {
+				findings = append(findings, d)
+			}
+		}
+	}
+	sortDiags(findings)
+	sortDiags(suppressed)
+	return findings, suppressed
+}
+
+// pkgFunc resolves sel to (package import path, member name) when it is a
+// qualified reference to another package's top-level declaration, like
+// time.Now or rand.Intn. It returns ok=false for field selections and
+// method values.
+func pkgFunc(info *types.Info, sel *ast.SelectorExpr) (pkgPath, name string, ok bool) {
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}

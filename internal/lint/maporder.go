@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder guards the packages whose outputs are hashed, committed, or put
+// on the wire: commitment (Merkle trees over checkpoint payloads),
+// checkpoint (serialized training snapshots), lsh (digests the manager
+// compares), wire (canonical message encoding), and prf (deterministic
+// challenge derivation). Go randomizes map iteration order on purpose, so
+// a `for range` over a map on any path that feeds a hash or an encoder
+// produces a different byte stream every run — the exact failure mode that
+// makes naive proof-of-learning verification fragile.
+//
+// The one shape allowed through is the canonical fix itself: a loop that
+// only collects the map's keys into a slice which a later statement in the
+// same block sorts (sort.Strings/Ints/Float64s/Slice or slices.Sort*).
+// Anything else — including genuinely order-free loops like commutative
+// sums — needs an rpolvet:ignore stating why order cannot leak.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "no raw map iteration in hashing/serialization packages; collect and sort keys first",
+	Applies: pathIn(
+		"rpol/internal/commitment",
+		"rpol/internal/checkpoint",
+		"rpol/internal/lsh",
+		"rpol/internal/wire",
+		"rpol/internal/prf",
+	),
+	Run: func(pass *Pass) {
+		info := pass.Pkg.TypesInfo
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				stmts := stmtList(n)
+				if stmts == nil {
+					return true
+				}
+				for i, stmt := range stmts {
+					rs, ok := stmt.(*ast.RangeStmt)
+					if !ok {
+						continue
+					}
+					t := info.TypeOf(rs.X)
+					if t == nil {
+						continue
+					}
+					if _, isMap := t.Underlying().(*types.Map); !isMap {
+						continue
+					}
+					if isSortedKeyCollection(info, rs, stmts[i+1:]) {
+						continue
+					}
+					pass.Reportf(rs.Pos(), "range over %s iterates in randomized order, which would poison hashed/serialized output; collect the keys into a slice and sort it first", types.TypeString(t, types.RelativeTo(pass.Pkg.Types)))
+				}
+				return true
+			})
+		}
+	},
+}
+
+// stmtList returns the statement list a node directly holds, covering every
+// construct that can contain a range statement: blocks, switch cases, and
+// select clauses.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch s := n.(type) {
+	case *ast.BlockStmt:
+		return s.List
+	case *ast.CaseClause:
+		return s.Body
+	case *ast.CommClause:
+		return s.Body
+	}
+	return nil
+}
+
+// isSortedKeyCollection recognizes the canonical deterministic-iteration
+// idiom:
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)
+//
+// The loop must bind only the key, its body must be exactly one append of
+// that key into a slice variable, and a later statement in the same block
+// must pass that variable to a sort (sort.* or slices.Sort*) call.
+func isSortedKeyCollection(info *types.Info, rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	keyIdent, ok := rs.Key.(*ast.Ident)
+	if !ok || keyIdent.Name == "_" {
+		return false
+	}
+	if v, ok := rs.Value.(*ast.Ident); ok && v.Name != "_" {
+		return false // binds values too: not a pure key collection
+	}
+	if rs.Body == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	dst, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	if arg0, ok := call.Args[0].(*ast.Ident); !ok || arg0.Name != dst.Name {
+		return false
+	}
+	keyObj := info.Defs[keyIdent]
+	if arg1, ok := call.Args[1].(*ast.Ident); !ok || keyObj == nil || info.Uses[arg1] != keyObj {
+		return false
+	}
+	dstObj := objectOf(info, dst)
+	if dstObj == nil {
+		return false
+	}
+	for _, stmt := range rest {
+		if sortsSlice(info, stmt, dstObj) {
+			return true
+		}
+	}
+	return false
+}
+
+// sortsSlice reports whether stmt is a sort.*/slices.Sort* call whose first
+// argument is the given slice variable.
+func sortsSlice(info *types.Info, stmt ast.Stmt, slice types.Object) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgPath, _, ok := pkgFunc(info, sel)
+	if !ok || (pkgPath != "sort" && pkgPath != "slices") {
+		return false
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	return ok && info.Uses[arg] == slice
+}
+
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}

@@ -1,0 +1,53 @@
+package lint
+
+import "go/ast"
+
+// globalRandFuncs lists, per rand package, the top-level functions that
+// draw from the shared process-wide source. Constructors (New, NewSource,
+// NewPCG, NewChaCha8, NewZipf) are exactly the approved escape hatch — they
+// build the injected *rand.Rand this codebase seeds explicitly — so they
+// are not flagged.
+var globalRandFuncs = map[string]map[string]bool{
+	"math/rand": {
+		"Seed": true, "Int": true, "Intn": true, "Int31": true, "Int31n": true,
+		"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+		"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+		"Perm": true, "Shuffle": true, "Read": true,
+	},
+	"math/rand/v2": {
+		"Int": true, "IntN": true, "Int32": true, "Int32N": true,
+		"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+		"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+		"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+		"Perm": true, "Shuffle": true, "N": true,
+	},
+}
+
+// NoRandGlobal enforces replayability of every randomized decision: shard
+// assignment, checkpoint sampling, adversary behaviour, LSH family draws,
+// and weight initialization must all flow from an explicitly seeded
+// generator (the pattern internal/tensor's RNG establishes), never from the
+// package-level math/rand state, which is process-global, shared across
+// goroutines, and auto-seeded since Go 1.20.
+var NoRandGlobal = &Analyzer{
+	Name: "norandglobal",
+	Doc:  "randomness must come from an injected, seeded *rand.Rand (see internal/tensor/rand.go), not package-level math/rand",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkgPath, name, ok := pkgFunc(pass.Pkg.TypesInfo, sel)
+				if !ok {
+					return true
+				}
+				if funcs, ok := globalRandFuncs[pkgPath]; ok && funcs[name] {
+					pass.Reportf(sel.Pos(), "%s.%s draws from the global rand source, which is unseeded shared state; draw from an injected *rand.Rand (see internal/tensor/rand.go)", pkgPath, name)
+				}
+				return true
+			})
+		}
+	},
+}

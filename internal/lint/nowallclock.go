@@ -1,0 +1,47 @@
+package lint
+
+import "go/ast"
+
+// wallClockFuncs are the time-package entry points that read or depend on
+// the process wall clock. time.Duration arithmetic and the time.Time type
+// itself are fine — it is the *sampling* of ambient time that breaks
+// same-seed byte-identical re-execution.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Sleep":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// NoWallClock enforces the determinism contract from DESIGN.md: protocol
+// code must take timestamps from an injected obs.Clock (simulated by
+// default, wall time only behind the explicit -wallclock opt-in), never
+// from the ambient time package. Verification soundness rests on the
+// manager's re-execution of a sampled training interval being bit-identical
+// to the worker's original run; a wall-clock read that leaks into hashed or
+// serialized state breaks that silently. internal/obs implements the Clock
+// abstraction and is the one place allowed to touch the real clock.
+var NoWallClock = &Analyzer{
+	Name:    "nowallclock",
+	Doc:     "protocol code must read time through an injected obs.Clock, never time.Now/Since/Sleep and friends",
+	Applies: pathNotIn("rpol/internal/obs"),
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if pkgPath, name, ok := pkgFunc(pass.Pkg.TypesInfo, sel); ok && pkgPath == "time" && wallClockFuncs[name] {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock, which breaks bit-reproducible re-execution; thread an injected obs.Clock (internal/obs/clock.go) instead", name)
+				}
+				return true
+			})
+		}
+	},
+}

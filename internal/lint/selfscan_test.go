@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRepositoryIsRPolvetClean loads the whole module and runs the full
+// analyzer suite over it: the repo must stay free of unsuppressed findings,
+// so any regression of the determinism invariants fails `go test` as well
+// as the dedicated CI step.
+func TestRepositoryIsRPolvetClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Path != "rpol" {
+		t.Fatalf("module path = %q, want rpol", mod.Path)
+	}
+	if len(mod.Packages) < 20 {
+		t.Fatalf("loaded only %d packages; the loader is missing most of the module", len(mod.Packages))
+	}
+	findings, suppressed := Run(mod.Packages, All())
+	for _, d := range findings {
+		t.Errorf("rpolvet finding: %s", d)
+	}
+	// The deliberate exceptions stay visible: every suppression must carry
+	// its reason.
+	for _, d := range suppressed {
+		if strings.TrimSpace(d.SuppressReason) == "" {
+			t.Errorf("suppressed finding without reason: %s", d)
+		}
+	}
+	if len(suppressed) == 0 {
+		t.Log("note: no suppressed findings; expected a few annotated exceptions")
+	}
+}
+
+// TestLoadModuleTypeInfo spot-checks that the loader produces real type
+// information, not best-effort partial data: rpol/internal/obs must resolve
+// with its exported instruments typed.
+func TestLoadModuleTypeInfo(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obsPkg *Package
+	for _, p := range mod.Packages {
+		if p.PkgPath == "rpol/internal/obs" {
+			obsPkg = p
+		}
+	}
+	if obsPkg == nil {
+		t.Fatal("rpol/internal/obs not loaded")
+	}
+	for _, name := range []string{"Counter", "Gauge", "Histogram", "Registry", "Tracer", "Span", "Observer", "Clock"} {
+		if obsPkg.Types.Scope().Lookup(name) == nil {
+			t.Errorf("obs.%s not in package scope", name)
+		}
+	}
+	if obsPkg.TypesInfo == nil || len(obsPkg.TypesInfo.Uses) == 0 {
+		t.Error("no Uses info recorded")
+	}
+}

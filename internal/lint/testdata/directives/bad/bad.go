@@ -1,0 +1,19 @@
+// Package fixture exercises malformed rpolvet:ignore directives, which must
+// themselves become findings so stale waivers cannot silently disable a
+// check.
+package fixture
+
+func a() {
+	//rpolvet:ignore
+	_ = 1
+}
+
+func b() {
+	//rpolvet:ignore nosuchanalyzer reason text here
+	_ = 2
+}
+
+func c() {
+	//rpolvet:ignore nowallclock
+	_ = 3
+}

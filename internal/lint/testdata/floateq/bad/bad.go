@@ -1,0 +1,20 @@
+// Package fixture exercises floateq true positives.
+package fixture
+
+func converged(prev, cur float64) bool {
+	return prev == cur // want "exact floating-point == comparison"
+}
+
+func changed(a, b float32) bool {
+	return a != b // want "exact floating-point != comparison"
+}
+
+func isHalf(x float64) bool {
+	return x == 0.5 // want "exact floating-point == comparison"
+}
+
+type score float64
+
+func sameScore(a, b score) bool {
+	return a == b // want "exact floating-point == comparison"
+}

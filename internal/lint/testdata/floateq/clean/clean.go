@@ -1,0 +1,27 @@
+// Package fixture exercises floateq-clean code: tolerance comparisons,
+// exact-zero sentinel guards, and integer equality.
+package fixture
+
+import "math"
+
+func converged(prev, cur, tol float64) bool {
+	return math.Abs(prev-cur) <= tol
+}
+
+func safeInverse(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return 1 / x
+}
+
+func unsetDefault(eps float64) float64 {
+	if eps == 0.0 {
+		eps = 1e-8
+	}
+	return eps
+}
+
+func sameCount(a, b int) bool {
+	return a == b
+}

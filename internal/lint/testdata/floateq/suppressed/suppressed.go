@@ -1,0 +1,8 @@
+// Package fixture exercises floateq suppression: a deliberate exact
+// comparison with its justification.
+package fixture
+
+func isDegenerate(lo, hi float64) bool {
+	//rpolvet:ignore floateq exact degenerate-range check; both bounds come from the same pass over the data
+	return lo == hi
+}

@@ -1,0 +1,26 @@
+// Package fixture exercises maporder true positives: raw map iteration on
+// paths that feed hashing or serialization.
+package fixture
+
+import "crypto/sha256"
+
+func hashAll(payloads map[string][]byte) [32]byte {
+	h := sha256.New()
+	for name, p := range payloads { // want "range over map"
+		h.Write([]byte(name))
+		h.Write(p)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+type digestSet map[uint64]struct{}
+
+func flatten(s digestSet) []uint64 {
+	var out []uint64
+	for d := range s { // want "range over"
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+// Package fixture exercises maporder-clean code: the canonical
+// collect-keys-then-sort idiom, which the analyzer recognizes without any
+// annotation, plus ordinary slice iteration.
+package fixture
+
+import (
+	"crypto/sha256"
+	"sort"
+)
+
+func hashAll(payloads map[string][]byte) [32]byte {
+	keys := make([]string, 0, len(payloads))
+	for k := range payloads {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	h := sha256.New()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write(payloads[k])
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func sumLengths(chunks [][]byte) int {
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+// Package fixture exercises maporder suppression: a commutative reduction
+// whose result is independent of iteration order.
+package fixture
+
+func footprint(sizes map[string]int64) int64 {
+	var total int64
+	//rpolvet:ignore maporder commutative sum over values; iteration order never observed
+	for _, n := range sizes {
+		total += n
+	}
+	return total
+}

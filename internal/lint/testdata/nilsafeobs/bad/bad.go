@@ -1,0 +1,36 @@
+// Package obs (fixture) exercises nilsafeobs true positives: exported
+// pointer-receiver methods on instrument types that dereference the
+// receiver without a nil guard.
+package obs
+
+import "sync/atomic"
+
+// Counter mirrors the real obs.Counter shape.
+type Counter struct {
+	v atomic.Int64
+}
+
+func (c *Counter) Add(n int64) { // want "must open with a nil-receiver guard"
+	c.v.Add(n)
+}
+
+// Value is guarded and must not be flagged.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Tracer mirrors the real obs.Tracer shape.
+type Tracer struct {
+	n atomic.Int64
+}
+
+func (t *Tracer) Start(name string) int64 { // want "must open with a nil-receiver guard"
+	_ = name
+	return t.n.Add(1)
+}
+
+// reset is unexported and exempt from the contract.
+func (t *Tracer) reset() { t.n.Store(0) }

@@ -1,0 +1,72 @@
+// Package obs (fixture) exercises nilsafeobs-clean code: every accepted
+// guard shape from the real internal/obs package.
+package obs
+
+import "sync/atomic"
+
+// Counter mirrors the real obs.Counter shape.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add opens with a compound guard.
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc delegates to a guarded method.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value opens with a plain guard.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Registry mirrors the guard-after-prologue shape of obs.Registry.Snapshot:
+// statements that do not touch the receiver may precede the guard.
+type Registry struct {
+	counters map[string]*Counter
+}
+
+// Snapshot guards after receiver-free setup.
+func (r *Registry) Snapshot() map[string]int64 {
+	out := make(map[string]int64)
+	if r == nil {
+		return out
+	}
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Observer mirrors the chained-delegation shape of obs.Observer.Counter and
+// the !=-guard shape of obs.Observer.OrDefault.
+type Observer struct {
+	registry *Registry
+}
+
+// Registry is guarded directly.
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.registry
+}
+
+// Snapshot delegates through a guarded chain.
+func (o *Observer) Snapshot() map[string]int64 { return o.Registry().Snapshot() }
+
+// OrDefault uses the inverted guard form.
+func (o *Observer) OrDefault() *Observer {
+	if o != nil {
+		return o
+	}
+	return &Observer{}
+}

@@ -1,0 +1,12 @@
+// Package obs (fixture) exercises nilsafeobs suppression.
+package obs
+
+// Span mirrors the real obs.Span shape.
+type Span struct {
+	id int64
+}
+
+//rpolvet:ignore nilsafeobs construction-time accessor; only reachable through a non-nil tracer in this fixture
+func (s *Span) ID() int64 {
+	return s.id
+}

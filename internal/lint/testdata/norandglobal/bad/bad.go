@@ -1,0 +1,16 @@
+// Package fixture exercises norandglobal true positives.
+package fixture
+
+import "math/rand"
+
+func draw() float64 {
+	return rand.Float64() // want "math/rand.Float64 draws from the global rand source"
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want "math/rand.Intn draws from the global rand source"
+}
+
+func mix(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "math/rand.Shuffle draws from the global rand source"
+}

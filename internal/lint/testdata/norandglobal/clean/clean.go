@@ -1,0 +1,18 @@
+// Package fixture exercises norandglobal-clean code: the injected-generator
+// pattern from internal/tensor/rand.go. Constructing a seeded source is the
+// approved route; only the package-level draws are banned.
+package fixture
+
+import "math/rand"
+
+type rng struct {
+	src *rand.Rand
+}
+
+func newRNG(seed int64) *rng {
+	return &rng{src: rand.New(rand.NewSource(seed))}
+}
+
+func (r *rng) draw() float64 { return r.src.Float64() }
+
+func (r *rng) pick(n int) int { return r.src.Intn(n) }

@@ -1,0 +1,9 @@
+// Package fixture exercises norandglobal suppression.
+package fixture
+
+import "math/rand"
+
+func jitter() float64 {
+	//rpolvet:ignore norandglobal demo-only jitter; never reaches protocol state
+	return rand.Float64()
+}

@@ -1,0 +1,20 @@
+// Package fixture exercises nowallclock true positives.
+package fixture
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func pause() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+func ticker() *time.Ticker {
+	return time.NewTicker(time.Second) // want "time.NewTicker reads the wall clock"
+}

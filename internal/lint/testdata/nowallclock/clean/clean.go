@@ -1,0 +1,22 @@
+// Package fixture exercises nowallclock-clean code: duration arithmetic,
+// time.Time values, and clock readings through an injected interface are
+// all fine.
+package fixture
+
+import "time"
+
+// Clock mirrors obs.Clock: the injectable time source protocol code must
+// use.
+type Clock interface {
+	Now() int64
+}
+
+func perEpoch(c Clock, epochs int) time.Duration {
+	start := c.Now()
+	end := c.Now()
+	return time.Duration((end - start) / int64(epochs))
+}
+
+func format(t time.Time) string {
+	return t.Format(time.RFC3339)
+}

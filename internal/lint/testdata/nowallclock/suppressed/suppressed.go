@@ -1,0 +1,14 @@
+// Package fixture exercises nowallclock suppression: a deliberate wall
+// reading carrying a justification.
+package fixture
+
+import "time"
+
+func bootBanner() string {
+	//rpolvet:ignore nowallclock boot banner only; the value never reaches hashed or serialized state
+	return time.Now().Format(time.RFC3339)
+}
+
+func trailing() int64 {
+	return time.Now().UnixNano() //rpolvet:ignore nowallclock same-line waiver for the fixture
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"rpol/internal/obs"
 )
@@ -155,6 +156,11 @@ type Meter struct {
 	dropped      int64
 	droppedBytes int64
 
+	// watch is closed (and replaced) on every recorded transfer while a
+	// WaitTotal caller is parked; nil when nobody is waiting, so the hot
+	// path pays one nil check.
+	watch chan struct{}
+
 	// Mirrored obs counters; nil until Attach.
 	cBytes, cMsgs, cDropped, cDroppedBytes *obs.Counter
 }
@@ -196,8 +202,17 @@ func (m *Meter) Record(from, to, kind string, bytes int64) {
 	m.byKind[kind] += bytes
 	m.total += bytes
 	m.messages++
+	m.signalLocked()
 	m.cBytes.Add(bytes)
 	m.cMsgs.Inc()
+}
+
+// signalLocked wakes WaitTotal callers; m.mu must be held.
+func (m *Meter) signalLocked() {
+	if m.watch != nil {
+		close(m.watch)
+		m.watch = nil
+	}
 }
 
 // RecordDrop accounts one message that could not be delivered (unknown
@@ -211,6 +226,7 @@ func (m *Meter) RecordDrop(from, to, kind string, bytes int64) {
 	defer m.mu.Unlock()
 	m.dropped++
 	m.droppedBytes += bytes
+	m.signalLocked()
 	m.cDropped.Inc()
 	m.cDroppedBytes.Add(bytes)
 }
@@ -220,6 +236,38 @@ func (m *Meter) Total() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.total
+}
+
+// WaitTotal blocks until the delivered byte total reaches at least min or
+// timeout elapses, and returns the total at that moment. The wait is
+// condition-signalled by Record, so callers (typically tests synchronizing
+// on asynchronous delivery) wake the instant the traffic lands instead of
+// sleep-polling.
+func (m *Meter) WaitTotal(min int64, timeout time.Duration) int64 {
+	//rpolvet:ignore nowallclock bounded wait for real-TCP delivery; the timeout never reaches protocol state
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		m.mu.Lock()
+		if m.total >= min {
+			t := m.total
+			m.mu.Unlock()
+			return t
+		}
+		if m.watch == nil {
+			m.watch = make(chan struct{})
+		}
+		ch := m.watch
+		m.mu.Unlock()
+		select {
+		case <-ch:
+		case <-timer.C:
+			m.mu.Lock()
+			t := m.total
+			m.mu.Unlock()
+			return t
+		}
+	}
 }
 
 // SentBy returns the bytes sent by the named endpoint.

@@ -240,3 +240,31 @@ func TestMeterIgnoresNonPositive(t *testing.T) {
 		t.Errorf("Total = %d", m.Total())
 	}
 }
+
+func TestMeterWaitTotal(t *testing.T) {
+	m := NewMeter()
+	m.Record("a", "b", "k", 100)
+	// Already satisfied: returns immediately without arming the watch.
+	if got := m.WaitTotal(100, time.Second); got != 100 {
+		t.Errorf("WaitTotal = %d, want 100", got)
+	}
+
+	// A parked waiter wakes the instant the threshold lands.
+	done := make(chan int64, 1)
+	go func() { done <- m.WaitTotal(250, 5*time.Second) }()
+	m.Record("a", "b", "k", 50)  // wakes, re-parks: still below threshold
+	m.Record("a", "b", "k", 100) // crosses 250
+	select {
+	case got := <-done:
+		if got < 250 {
+			t.Errorf("WaitTotal woke at %d, want >= 250", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitTotal never woke")
+	}
+
+	// Timeout path: returns the current (insufficient) total.
+	if got := m.WaitTotal(1<<40, 10*time.Millisecond); got != 250 {
+		t.Errorf("timed-out WaitTotal = %d, want 250", got)
+	}
+}

@@ -88,12 +88,10 @@ func TestTCPMeter(t *testing.T) {
 	}
 	// Each dial meters its two-frame registration handshake (register +
 	// registered ack, 64 bytes apiece), on top of the 564-byte transfer.
+	// Metering runs on the hub's relay goroutines, so wait for it with the
+	// meter's condition-signalled wait rather than sleep-polling.
 	const want = 2*2*64 + 564
-	deadline := time.Now().Add(2 * time.Second)
-	for hub.Meter().Total() < want && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
-	if got := hub.Meter().Total(); got != want {
+	if got := hub.Meter().WaitTotal(want, 2*time.Second); got != want {
 		t.Errorf("metered %d bytes, want %d", got, want)
 	}
 	if hub.Meter().SentBy("a") == 0 || hub.Meter().ReceivedBy("b") == 0 {

@@ -46,6 +46,18 @@ func (o *Options) enabled() bool {
 	return o.Metrics || o.Table || o.TraceFile != ""
 }
 
+// ProtocolClock returns the clock experiment timings should read: an
+// obs.WallClock when -wallclock was set, nil otherwise (callers fall back
+// to their deterministic SimClock default). This is the only sanctioned
+// route from real time into experiment measurements; rpolvet's nowallclock
+// analyzer rejects direct time.Now use in protocol code.
+func (o *Options) ProtocolClock() obs.Clock {
+	if o.WallClock {
+		return obs.NewWallClock()
+	}
+	return nil
+}
+
 // Setup builds the observer the options describe, installs it as the
 // process-wide default, and starts the pprof server if requested. The
 // returned finish func must run after the workload: it prints the snapshot

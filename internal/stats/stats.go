@@ -258,6 +258,7 @@ func Histogram(xs []float64, n int) (edges []float64, counts []int, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	//rpolvet:ignore floateq exact check for a fully degenerate range; any nonzero width avoids the division below
 	if hi == lo {
 		hi = lo + 1
 	}
