@@ -1,0 +1,93 @@
+package rpol_test
+
+// Guards the committed benchmark record BENCH_pr3.json: the file is the
+// evidence trail for the deterministic-parallelism PR's performance claims,
+// so it must stay parseable and structurally sound. The test uses only the
+// standard library and fails on a malformed file — missing fields, unknown
+// keys, non-positive measurements, or entries whose names no longer look
+// like Go benchmarks.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// benchMeasure is one benchmark measurement triple.
+type benchMeasure struct {
+	NsOp     int64 `json:"ns_op"`
+	BOp      int64 `json:"b_op"`
+	AllocsOp int64 `json:"allocs_op"`
+}
+
+// benchEntry pairs a benchmark with its before/after measurements; Before
+// is null for benchmarks introduced by the PR itself.
+type benchEntry struct {
+	Name   string        `json:"name"`
+	Before *benchMeasure `json:"before"`
+	After  *benchMeasure `json:"after"`
+}
+
+// benchRecord is the BENCH_pr3.json document.
+type benchRecord struct {
+	PR        int               `json:"pr"`
+	Benchtime string            `json:"benchtime"`
+	Units     map[string]string `json:"units"`
+	Host      struct {
+		GOOS   string `json:"goos"`
+		GOARCH string `json:"goarch"`
+		CPU    string `json:"cpu"`
+		NumCPU int    `json:"num_cpu"`
+		Note   string `json:"note"`
+	} `json:"host"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+func TestBenchRecordWellFormed(t *testing.T) {
+	data, err := os.ReadFile("BENCH_pr3.json")
+	if err != nil {
+		t.Fatalf("benchmark record missing: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rec benchRecord
+	if err := dec.Decode(&rec); err != nil {
+		t.Fatalf("BENCH_pr3.json malformed: %v", err)
+	}
+	if dec.More() {
+		t.Fatal("BENCH_pr3.json: trailing data after the record")
+	}
+	if rec.PR != 3 {
+		t.Errorf("pr = %d, want 3", rec.PR)
+	}
+	if rec.Host.NumCPU < 1 || rec.Host.CPU == "" || rec.Host.Note == "" {
+		t.Errorf("host block incomplete: %+v", rec.Host)
+	}
+	if len(rec.Benchmarks) == 0 {
+		t.Fatal("no benchmark entries")
+	}
+	seen := make(map[string]bool, len(rec.Benchmarks))
+	for _, b := range rec.Benchmarks {
+		if !strings.HasPrefix(b.Name, "Benchmark") {
+			t.Errorf("entry %q: name is not a Go benchmark", b.Name)
+		}
+		if seen[b.Name] {
+			t.Errorf("entry %q: duplicate", b.Name)
+		}
+		seen[b.Name] = true
+		if b.After == nil {
+			t.Errorf("entry %q: missing after measurement", b.Name)
+			continue
+		}
+		for _, m := range []*benchMeasure{b.Before, b.After} {
+			if m == nil {
+				continue // before is null for benchmarks the PR introduced
+			}
+			if m.NsOp <= 0 || m.BOp < 0 || m.AllocsOp < 0 {
+				t.Errorf("entry %q: implausible measurement %+v", b.Name, *m)
+			}
+		}
+	}
+}

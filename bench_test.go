@@ -14,6 +14,8 @@ package rpol_test
 //	go test -bench=BenchmarkFig5Calibration -benchmem
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	rpolapi "rpol"
@@ -21,6 +23,8 @@ import (
 	"rpol/internal/experiments"
 	"rpol/internal/gpu"
 	"rpol/internal/lsh"
+	"rpol/internal/nn"
+	"rpol/internal/parallel"
 	"rpol/internal/tensor"
 )
 
@@ -248,6 +252,117 @@ func BenchmarkVerifierPoolParallel(b *testing.B) {
 		StepsPerEpoch: 10,
 		Verifiers:     4,
 		Seed:          2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunEpoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainStep measures one batch optimization step: the historical
+// serial path ("serial") against the chunked deterministic runtime
+// (internal/parallel) at 1 and NumCPU workers. The chunked variants are
+// bit-identical to each other for any worker count; on a multi-core host the
+// per-example forward/backward work spreads across cores (up to the
+// 16-chunk-per-batch cap), while on a single-core host the delta is pure
+// scheduling overhead.
+func BenchmarkTrainStep(b *testing.B) {
+	const dim, hidden, classes, batch = 256, 512, 10, 32
+	build := func() *nn.Network {
+		rng := tensor.NewRNG(7)
+		net, err := nn.NewNetwork(
+			nn.NewDense(dim, hidden, rng),
+			nn.NewReLU(hidden),
+			nn.NewDense(hidden, classes, rng),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return net
+	}
+	rng := tensor.NewRNG(8)
+	xs := make([]tensor.Vector, batch)
+	labels := make([]int, batch)
+	for i := range xs {
+		xs[i] = rng.NormalVector(dim, 0, 1)
+		labels[i] = i % classes
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		net := build()
+		opt := &nn.SGDM{LR: 0.01, Momentum: 0.9}
+		if _, err := net.TrainBatch(xs, labels, opt); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := net.TrainBatch(xs, labels, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	variants := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		variants = append(variants, n)
+	}
+	for _, workers := range variants {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			net := build()
+			bt, err := nn.NewBatchTrainer(net, parallel.New(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			opt := &nn.SGDM{LR: 0.01, Momentum: 0.9}
+			// Warm up: the first step lazily builds the per-chunk replicas.
+			if _, err := bt.TrainBatch(xs, labels, opt); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bt.TrainBatch(xs, labels, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLSHHashWorkers is BenchmarkLSHHash through the group-parallel
+// path at NumCPU workers (bit-identical digests).
+func BenchmarkLSHHashWorkers(b *testing.B) {
+	const dim = 4096
+	fam, err := lsh.NewFamily(dim, lsh.Params{R: 1, K: 4, L: 4}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.NewRNG(2).NormalVector(dim, 0, 1)
+	p := parallel.New(runtime.NumCPU())
+	b.SetBytes(int64(8 * dim))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fam.HashPool(p, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoolEpochV2Workers is BenchmarkPoolEpochV2 with the deterministic
+// compute pool sized to the host: parallel batch training in every worker,
+// pooled commitment hashing, and interval-parallel verification. Protocol
+// results are bit-identical to any other worker count ≥ 1.
+func BenchmarkPoolEpochV2Workers(b *testing.B) {
+	p, err := rpolapi.NewPool(rpolapi.PoolConfig{
+		TaskName:      "resnet18-cifar10",
+		Scheme:        rpolapi.SchemeV2,
+		NumWorkers:    4,
+		StepsPerEpoch: 10,
+		Seed:          1,
+		Workers:       runtime.NumCPU(),
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -23,6 +23,8 @@ func TestMatchPattern(t *testing.T) {
 		{"rpol/internal/wire", "rpol/internal/wire", true},
 		{"rpol/internal/...", "rpol/internal/lsh", true},
 		{"./cmd/rpolvet/", "rpol/cmd/rpolvet", true},
+		{"./internal/parallel", "rpol/internal/parallel", true},
+		{"./...", "rpol/internal/parallel", true},
 	}
 	for _, tc := range cases {
 		if got := matchPattern(tc.pattern, "rpol", tc.pkgPath); got != tc.want {
@@ -68,6 +70,13 @@ func TestPackageFilter(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := rpolvet([]string{"./internal/lint"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	// The deterministic compute runtime must stay clean without a single
+	// //rpolvet:ignore — its determinism is structural, not suppressed.
+	stdout.Reset()
+	stderr.Reset()
+	if code := rpolvet([]string{"./internal/parallel"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("internal/parallel scan: exit %d: %s", code, stderr.String())
 	}
 	if code := rpolvet([]string{"./no/such/package"}, &stdout, &stderr); code != 2 {
 		t.Errorf("unknown pattern: exit %d, want 2", code)

@@ -89,8 +89,13 @@ func (s *MemoryStore) Clear() error {
 
 // DiskStore persists snapshots as one file per checkpoint under a
 // directory, using the canonical wire encoding.
+//
+// Put reuses an internal encode buffer (checkpoints land every interval, and
+// re-encoding a full weight vector per Put doubled the write's allocation
+// cost), so concurrent Puts are not safe; concurrent Gets are.
 type DiskStore struct {
-	dir string
+	dir    string
+	encBuf []byte
 }
 
 var _ Store = (*DiskStore)(nil)
@@ -115,7 +120,8 @@ func (s *DiskStore) Put(idx int, w tensor.Vector) error {
 	if idx < 0 {
 		return fmt.Errorf("index %d: %w", idx, ErrBadIndex)
 	}
-	if err := os.WriteFile(s.path(idx), w.Encode(), 0o644); err != nil {
+	s.encBuf = w.AppendEncode(s.encBuf[:0])
+	if err := os.WriteFile(s.path(idx), s.encBuf, 0o644); err != nil {
 		return fmt.Errorf("checkpoint put %d: %w", idx, err)
 	}
 	return nil

@@ -20,6 +20,8 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+
+	"rpol/internal/parallel"
 )
 
 // HashSize is the digest size in bytes (SHA-256).
@@ -63,14 +65,42 @@ type HashList struct {
 
 // NewHashList commits to the ordered payloads.
 func NewHashList(payloads [][]byte) (*HashList, error) {
+	return NewHashListPool(nil, payloads)
+}
+
+// NewHashListPool is NewHashList with leaf hashing chunked across the pool.
+// Leaf i's digest depends only on payload i and is written to slot i, so the
+// commitment is identical to the serial construction for any worker count. A
+// nil pool runs serially.
+func NewHashListPool(p *parallel.Pool, payloads [][]byte) (*HashList, error) {
 	if len(payloads) == 0 {
 		return nil, ErrEmpty
 	}
-	leaves := make([]Hash, len(payloads))
-	for i, p := range payloads {
-		leaves[i] = HashLeaf(p)
+	return &HashList{Leaves: hashLeaves(p, payloads)}, nil
+}
+
+// NewLeafList wraps pre-computed leaf digests as a HashList commitment.
+// Callers that stream payloads through a reused encode buffer hash each
+// leaf themselves with HashLeaf and commit the digests without ever
+// retaining a payload copy; the result is identical to NewHashList over
+// the same payload bytes.
+func NewLeafList(leaves []Hash) (*HashList, error) {
+	if len(leaves) == 0 {
+		return nil, ErrEmpty
 	}
 	return &HashList{Leaves: leaves}, nil
+}
+
+// hashLeaves digests every payload, chunked across the pool when one is
+// given.
+func hashLeaves(p *parallel.Pool, payloads [][]byte) []Hash {
+	leaves := make([]Hash, len(payloads))
+	p.For(len(payloads), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			leaves[i] = HashLeaf(payloads[i])
+		}
+	})
+	return leaves
 }
 
 // Len returns the number of committed leaves.
@@ -139,13 +169,18 @@ type MerkleProof struct {
 // NewMerkleTree builds the tree over the ordered payloads. Odd nodes are
 // paired with themselves.
 func NewMerkleTree(payloads [][]byte) (*MerkleTree, error) {
+	return NewMerkleTreePool(nil, payloads)
+}
+
+// NewMerkleTreePool is NewMerkleTree with leaf hashing chunked across the
+// pool (the leaves dominate the work: each one digests a full checkpoint
+// payload, while interior levels hash 64 bytes each). The tree is identical
+// to the serial construction for any worker count. A nil pool runs serially.
+func NewMerkleTreePool(p *parallel.Pool, payloads [][]byte) (*MerkleTree, error) {
 	if len(payloads) == 0 {
 		return nil, ErrEmpty
 	}
-	level := make([]Hash, len(payloads))
-	for i, p := range payloads {
-		level[i] = HashLeaf(p)
-	}
+	level := hashLeaves(p, payloads)
 	levels := [][]Hash{level}
 	for len(level) > 1 {
 		next := make([]Hash, (len(level)+1)/2)

@@ -75,6 +75,7 @@ var ErrBadProfile = errors.New("gpu: profile needs positive TFLOPS")
 type Device struct {
 	profile Profile
 	rng     *tensor.RNG
+	runSeed int64
 
 	devScale float64
 	runScale float64
@@ -82,6 +83,10 @@ type Device struct {
 	// Lazily built per-dimension bias vectors.
 	deviceBias map[int]tensor.Vector
 	runBias    map[int]tensor.Vector
+
+	// noiseBuf is the reusable white-noise scratch for Perturb, sized to the
+	// last weight dimension seen.
+	noiseBuf tensor.Vector
 }
 
 // NewDevice returns a Device for the profile. runSeed individualizes this
@@ -95,11 +100,30 @@ func NewDevice(profile Profile, runSeed int64) (*Device, error) {
 	return &Device{
 		profile:    profile,
 		rng:        tensor.NewRNG(runSeed),
+		runSeed:    runSeed,
 		devScale:   devNoiseBase * perf,
 		runScale:   runNoiseBase * perf,
 		deviceBias: make(map[int]tensor.Vector),
 		runBias:    make(map[int]tensor.Vector),
 	}, nil
+}
+
+// Fork returns a fresh Device on the same hardware profile whose run seed is
+// derived deterministically from (this device's run seed, salt). The fork
+// models an additional independent execution on the same GPU model: the
+// device-systematic bias is shared (it is a pure function of the profile)
+// while the run-specific components are re-drawn. Parallel interval
+// verification forks one device per interval so concurrent replays never
+// interleave draws from a shared RNG — the per-interval noise then depends
+// only on (runSeed, salt), not on scheduling.
+func (d *Device) Fork(salt int64) *Device {
+	seed := prf.SeedFromString(fmt.Sprintf("gpu-fork/%d/%d", d.runSeed, salt))
+	fork, err := NewDevice(d.profile, seed)
+	if err != nil {
+		// Unreachable: d was already validated with the same profile.
+		panic(err)
+	}
+	return fork
 }
 
 // Profile returns the device's hardware profile.
@@ -140,11 +164,22 @@ func (d *Device) StepNoise(dim int) tensor.Vector {
 	return noise
 }
 
-// Perturb applies one step of hardware noise to weights in place.
+// Perturb applies one step of hardware noise to weights in place. It draws
+// the identical noise sequence StepNoise produces but reuses an internal
+// scratch buffer, so the per-step cost is allocation-free after the first
+// call at a given dimension.
 func (d *Device) Perturb(weights tensor.Vector) {
-	noise := d.StepNoise(len(weights))
+	dim := len(weights)
+	if len(d.noiseBuf) != dim {
+		d.noiseBuf = tensor.NewVector(dim)
+	}
+	d.rng.FillNormal(d.noiseBuf, 0, d.runScale*whiteFraction)
+	dev := d.deviceBiasFor(dim)
+	run := d.runBiasFor(dim)
 	for i := range weights {
-		weights[i] += noise[i]
+		// Grouped exactly as StepNoise does (noise += dev + run, then
+		// weights += noise) so the float result is bit-identical.
+		weights[i] += d.noiseBuf[i] + (dev[i] + run[i])
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"rpol/internal/parallel"
 	"rpol/internal/tensor"
 )
 
@@ -87,16 +88,48 @@ func (f *Family) Seed() int64 { return f.seed }
 // Hash computes the digest of x: for each group, the k bucket indices
 // ⌊(a·x+b)/r⌋ are folded through SHA-256 into one 8-byte group hash.
 func (f *Family) Hash(x tensor.Vector) (Digest, error) {
+	return f.HashPool(nil, x)
+}
+
+// HashPool is Hash with the l groups chunked across the pool. Each group's
+// 8-byte hash is a pure function of (x, that group's projections) written to
+// its own digest slot, so the result is bit-identical to the serial Hash for
+// any worker count. A nil pool runs serially.
+func (f *Family) HashPool(p *parallel.Pool, x tensor.Vector) (Digest, error) {
 	if len(x) != f.dim {
 		return nil, fmt.Errorf("lsh: input %d, want %d: %w", len(x), f.dim, tensor.ErrShapeMismatch)
 	}
 	d := make(Digest, f.params.L)
-	buf := make([]byte, 8*f.params.K)
-	for g := 0; g < f.params.L; g++ {
+	if p.Workers() <= 1 {
+		// Serial fast path shares one bucket buffer across groups.
+		buf := make([]byte, 8*f.params.K)
+		if err := f.hashGroups(d, buf, x, 0, f.params.L); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	errs := make([]error, parallel.NumChunks(f.params.L, 1))
+	p.ForChunks(f.params.L, 1, func(c, lo, hi int) {
+		buf := make([]byte, 8*f.params.K)
+		errs[c] = f.hashGroups(d, buf, x, lo, hi)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// hashGroups fills digest slots lo..hi. Every group writes only its own
+// slot, and each group hash is a pure function of x and the family, so any
+// partition of the groups yields identical digests.
+func (f *Family) hashGroups(d Digest, buf []byte, x tensor.Vector, lo, hi int) error {
+	for g := lo; g < hi; g++ {
 		for fn := 0; fn < f.params.K; fn++ {
 			dot, err := f.projections[g][fn].Dot(x)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			bucket := int64(math.Floor((dot + f.offsets[g][fn]) / f.params.R))
 			binary.LittleEndian.PutUint64(buf[8*fn:], uint64(bucket))
@@ -104,7 +137,7 @@ func (f *Family) Hash(x tensor.Vector) (Digest, error) {
 		sum := sha256.Sum256(buf)
 		d[g] = binary.LittleEndian.Uint64(sum[:8])
 	}
-	return d, nil
+	return nil
 }
 
 // Match reports whether two digests agree in at least one group — the OR

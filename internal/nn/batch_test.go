@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"rpol/internal/parallel"
+	"rpol/internal/tensor"
+)
+
+// convNet builds a small conv→pool→dense stack covering every layer kind.
+func convNet(t *testing.T, seed int64) *Network {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	conv, err := NewConv2D(1, 8, 8, 2, 3, 1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := NewMaxPool2D(2, 8, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := NewLayerNorm(2 * 4 * 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := NewDense(2*4*4, 2*4*4, rng)
+	res, err := NewResidual(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork(conv, NewReLU(conv.OutputDim()), mp, ln, res, NewDense(2*4*4, 3, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func batchData(n, dim int, seed int64) ([]tensor.Vector, []int) {
+	rng := tensor.NewRNG(seed)
+	xs := make([]tensor.Vector, n)
+	labels := make([]int, n)
+	for i := range xs {
+		xs[i] = rng.NormalVector(dim, 0, 1)
+		labels[i] = rng.Intn(3)
+	}
+	return xs, labels
+}
+
+// TestBatchTrainerDeterministicAcrossWorkers is the nn-level half of the
+// repo's parallel-determinism guarantee: identical initial weights and data
+// must yield bit-identical parameters and losses at every worker count.
+func TestBatchTrainerDeterministicAcrossWorkers(t *testing.T) {
+	xs, labels := batchData(13, 64, 7)
+	var refParams tensor.Vector
+	var refLoss float64
+	for _, workers := range []int{1, 2, 8} {
+		net := convNet(t, 42)
+		bt, err := NewBatchTrainer(net, parallel.New(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := &SGDM{LR: 0.05, Momentum: 0.9}
+		var loss float64
+		for step := 0; step < 4; step++ {
+			loss, err = bt.TrainBatch(xs, labels, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		params := net.ParamVector()
+		if workers == 1 {
+			refParams, refLoss = params, loss
+			continue
+		}
+		if math.Float64bits(loss) != math.Float64bits(refLoss) {
+			t.Errorf("workers=%d: loss %x vs %x", workers, math.Float64bits(loss), math.Float64bits(refLoss))
+		}
+		for i := range params {
+			if math.Float64bits(params[i]) != math.Float64bits(refParams[i]) {
+				t.Fatalf("workers=%d: param %d bits %x vs %x",
+					workers, i, math.Float64bits(params[i]), math.Float64bits(refParams[i]))
+			}
+		}
+	}
+}
+
+// TestBatchTrainerMatchesSerialDense: for stacks whose layers accumulate one
+// gradient term per parameter per example (everything except Conv2D), the
+// chunked trainer reproduces the plain serial TrainBatch bit for bit.
+func TestBatchTrainerMatchesSerialDense(t *testing.T) {
+	build := func() *Network {
+		rng := tensor.NewRNG(3)
+		net, err := NewNetwork(
+			NewDense(20, 16, rng), NewReLU(16), NewDense(16, 4, rng),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	xs, labels := batchData(9, 20, 11)
+
+	serial := build()
+	optS := &Adam{LR: 0.01, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+	parallelNet := build()
+	bt, err := NewBatchTrainer(parallelNet, parallel.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	optP := &Adam{LR: 0.01, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+	for step := 0; step < 3; step++ {
+		lossS, err := serial.TrainBatch(xs, labels, optS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lossP, err := bt.TrainBatch(xs, labels, optP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(lossS) != math.Float64bits(lossP) {
+			t.Fatalf("step %d: loss %x vs %x", step, math.Float64bits(lossS), math.Float64bits(lossP))
+		}
+	}
+	ps, pp := serial.ParamVector(), parallelNet.ParamVector()
+	for i := range ps {
+		if math.Float64bits(ps[i]) != math.Float64bits(pp[i]) {
+			t.Fatalf("param %d: %x vs %x", i, math.Float64bits(ps[i]), math.Float64bits(pp[i]))
+		}
+	}
+}
+
+// TestReplicateShared: replicas alias parameter storage but own gradients.
+func TestReplicateShared(t *testing.T) {
+	net := convNet(t, 5)
+	rep, err := net.Replicate(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dup := net.Params(), rep.Params()
+	if len(src) != len(dup) {
+		t.Fatalf("param count %d vs %d", len(src), len(dup))
+	}
+	for i := range src {
+		if &src[i][0] != &dup[i][0] {
+			t.Errorf("param %d not shared", i)
+		}
+	}
+	sg, dg := net.Grads(), rep.Grads()
+	for i := range sg {
+		if &sg[i][0] == &dg[i][0] {
+			t.Errorf("grad %d shared, want private", i)
+		}
+	}
+	// Detached replica: nothing shared, training it leaves the source alone.
+	det, err := net.Replicate(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := det.Params()
+	for i := range src {
+		if &src[i][0] == &dp[i][0] {
+			t.Errorf("detached param %d shared", i)
+		}
+	}
+	before := net.ParamVector()
+	xs, labels := batchData(4, 64, 2)
+	if _, err := det.TrainBatch(xs, labels, &SGD{LR: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	after := net.ParamVector()
+	if !before.Equal(after, 0) {
+		t.Error("training a detached replica mutated the source network")
+	}
+	// Frozen layers stay frozen through replication.
+	frozen := &Dense{W: tensor.NewMatrix(2, 2), B: tensor.NewVector(2),
+		GradW: tensor.NewMatrix(2, 2), GradB: tensor.NewVector(2), Frozen: true}
+	fr := frozen.Replicate(true)
+	if fr.Params() != nil {
+		t.Error("frozen replica exposes params")
+	}
+}
+
+// TestBatchTrainerErrors: shape errors surface, in deterministic order.
+func TestBatchTrainerErrors(t *testing.T) {
+	net := convNet(t, 1)
+	bt, err := NewBatchTrainer(net, parallel.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bt.TrainBatch(nil, nil, &SGD{LR: 0.1}); err == nil {
+		t.Error("empty batch accepted")
+	}
+	xs, labels := batchData(4, 64, 2)
+	xs[2] = tensor.NewVector(3) // wrong dim mid-batch
+	if _, err := bt.TrainBatch(xs, labels, &SGD{LR: 0.1}); err == nil {
+		t.Error("bad example accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"rpol/internal/parallel"
 	"rpol/internal/tensor"
 )
 
@@ -22,7 +23,8 @@ type Conv2D struct {
 	GradW, GradB tensor.Vector
 	Frozen       bool
 
-	lastIn tensor.Vector
+	lastIn  tensor.Vector
+	scratch *parallel.Arena
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -74,7 +76,7 @@ func (c *Conv2D) Forward(x tensor.Vector) (tensor.Vector, error) {
 		return nil, fmt.Errorf("conv2d input %d, want %d: %w", len(x), c.InputDim(), tensor.ErrShapeMismatch)
 	}
 	oh, ow := c.outH(), c.outW()
-	out := tensor.NewVector(c.OutC * oh * ow)
+	out := tensor.Vector(c.scratch.Grab(c.OutC * oh * ow))
 	for oc := 0; oc < c.OutC; oc++ {
 		bias := c.B[oc]
 		for oy := 0; oy < oh; oy++ {
@@ -112,7 +114,7 @@ func (c *Conv2D) Backward(grad tensor.Vector) (tensor.Vector, error) {
 		return nil, fmt.Errorf("conv2d grad %d, want %d: %w", len(grad), c.OutputDim(), tensor.ErrShapeMismatch)
 	}
 	oh, ow := c.outH(), c.outW()
-	gin := tensor.NewVector(c.InputDim())
+	gin := tensor.Vector(c.scratch.Grab(c.InputDim()))
 	for oc := 0; oc < c.OutC; oc++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"rpol/internal/parallel"
 	"rpol/internal/tensor"
 )
 
@@ -54,7 +55,8 @@ type Dense struct {
 	GradB  tensor.Vector
 	Frozen bool // frozen layers expose no params (used by AMLayer)
 
-	lastIn tensor.Vector
+	lastIn  tensor.Vector
+	scratch *parallel.Arena // optional transient-buffer arena; nil = plain make
 }
 
 var _ Layer = (*Dense)(nil)
@@ -71,8 +73,8 @@ func NewDense(in, out int, rng *tensor.RNG) *Dense {
 
 // Forward computes W·x + b.
 func (d *Dense) Forward(x tensor.Vector) (tensor.Vector, error) {
-	y, err := d.W.MulVec(x)
-	if err != nil {
+	y := tensor.Vector(d.scratch.Grab(d.W.Rows))
+	if err := d.W.MulVecInto(y, x); err != nil {
 		return nil, fmt.Errorf("dense forward: %w", err)
 	}
 	if err := y.AXPY(1, d.B); err != nil {
@@ -95,8 +97,8 @@ func (d *Dense) Backward(grad tensor.Vector) (tensor.Vector, error) {
 			return nil, fmt.Errorf("dense gradB: %w", err)
 		}
 	}
-	in, err := d.W.MulVecT(grad)
-	if err != nil {
+	in := tensor.Vector(d.scratch.Grab(d.W.Cols))
+	if err := d.W.MulVecTInto(in, grad); err != nil {
 		return nil, fmt.Errorf("dense backward: %w", err)
 	}
 	return in, nil
@@ -135,8 +137,9 @@ func (d *Dense) Name() string { return "dense" }
 
 // ReLU is the rectified linear activation, applied element-wise.
 type ReLU struct {
-	dim    int
-	lastIn tensor.Vector
+	dim     int
+	lastIn  tensor.Vector
+	scratch *parallel.Arena
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -149,7 +152,7 @@ func (r *ReLU) Forward(x tensor.Vector) (tensor.Vector, error) {
 	if len(x) != r.dim {
 		return nil, fmt.Errorf("relu input %d, want %d: %w", len(x), r.dim, tensor.ErrShapeMismatch)
 	}
-	out := make(tensor.Vector, len(x))
+	out := tensor.Vector(r.scratch.Grab(len(x)))
 	for i, v := range x {
 		if v > 0 {
 			out[i] = v
@@ -167,7 +170,7 @@ func (r *ReLU) Backward(grad tensor.Vector) (tensor.Vector, error) {
 	if len(grad) != r.dim {
 		return nil, fmt.Errorf("relu grad %d, want %d: %w", len(grad), r.dim, tensor.ErrShapeMismatch)
 	}
-	out := make(tensor.Vector, len(grad))
+	out := tensor.Vector(r.scratch.Grab(len(grad)))
 	for i, v := range r.lastIn {
 		if v > 0 {
 			out[i] = grad[i]

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"rpol/internal/parallel"
 	"rpol/internal/tensor"
 )
 
@@ -21,6 +22,7 @@ type LayerNorm struct {
 
 	lastNorm tensor.Vector // (x − μ)/σ cache for backward
 	lastStd  float64
+	scratch  *parallel.Arena
 }
 
 var _ Layer = (*LayerNorm)(nil)
@@ -61,8 +63,8 @@ func (l *LayerNorm) Forward(x tensor.Vector) (tensor.Vector, error) {
 	variance /= n
 	std := math.Sqrt(variance + l.Eps)
 
-	norm := make(tensor.Vector, len(x))
-	out := make(tensor.Vector, len(x))
+	norm := tensor.Vector(l.scratch.Grab(len(x)))
+	out := tensor.Vector(l.scratch.Grab(len(x)))
 	for i, v := range x {
 		norm[i] = (v - mean) / std
 		out[i] = l.Gamma[i]*norm[i] + l.Beta[i]
@@ -84,7 +86,7 @@ func (l *LayerNorm) Backward(grad tensor.Vector) (tensor.Vector, error) {
 	n := float64(len(grad))
 
 	// dnorm_i = grad_i · γ_i
-	dnorm := make(tensor.Vector, len(grad))
+	dnorm := tensor.Vector(l.scratch.Grab(len(grad)))
 	var sumDnorm, sumDnormNorm float64
 	for i, g := range grad {
 		if !l.Frozen {
@@ -95,7 +97,7 @@ func (l *LayerNorm) Backward(grad tensor.Vector) (tensor.Vector, error) {
 		sumDnorm += dnorm[i]
 		sumDnormNorm += dnorm[i] * l.lastNorm[i]
 	}
-	in := make(tensor.Vector, len(grad))
+	in := tensor.Vector(l.scratch.Grab(len(grad)))
 	for i := range in {
 		in[i] = (dnorm[i] - sumDnorm/n - l.lastNorm[i]*sumDnormNorm/n) / l.lastStd
 	}

@@ -96,11 +96,17 @@ func (n *Network) NumParams() int {
 // vector — the model-weight representation used for checkpoints,
 // commitments, and distance measurement throughout the protocol.
 func (n *Network) ParamVector() tensor.Vector {
-	out := make(tensor.Vector, 0, n.NumParams())
+	return n.AppendParams(make(tensor.Vector, 0, n.NumParams()))
+}
+
+// AppendParams appends the flattened trainable parameters to dst and returns
+// the extended slice — the buffer-reusing form of ParamVector for callers
+// that snapshot weights every step (verifier replay, distance checks).
+func (n *Network) AppendParams(dst tensor.Vector) tensor.Vector {
 	for _, p := range n.Params() {
-		out = append(out, p...)
+		dst = append(dst, p...)
 	}
-	return out
+	return dst
 }
 
 // SetParamVector loads a flattened parameter vector produced by

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"rpol/internal/parallel"
 	"rpol/internal/tensor"
 )
 
@@ -16,8 +17,10 @@ type MaxPool2D struct {
 	Window  int
 
 	// argmax caches, per output element, the input index that won the max,
-	// for gradient routing.
-	argmax []int
+	// for gradient routing. It is reused across Forward calls — every entry
+	// is overwritten each pass.
+	argmax  []int
+	scratch *parallel.Arena
 }
 
 var _ Layer = (*MaxPool2D)(nil)
@@ -48,8 +51,10 @@ func (m *MaxPool2D) Forward(x tensor.Vector) (tensor.Vector, error) {
 		return nil, fmt.Errorf("maxpool input %d, want %d: %w", len(x), m.InputDim(), tensor.ErrShapeMismatch)
 	}
 	oh, ow := m.outH(), m.outW()
-	out := tensor.NewVector(m.C * oh * ow)
-	m.argmax = make([]int, len(out))
+	out := tensor.Vector(m.scratch.Grab(m.C * oh * ow))
+	if len(m.argmax) != len(out) {
+		m.argmax = make([]int, len(out))
+	}
 	for c := 0; c < m.C; c++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -82,7 +87,7 @@ func (m *MaxPool2D) Backward(grad tensor.Vector) (tensor.Vector, error) {
 	if len(grad) != m.OutputDim() {
 		return nil, fmt.Errorf("maxpool grad %d, want %d: %w", len(grad), m.OutputDim(), tensor.ErrShapeMismatch)
 	}
-	in := tensor.NewVector(m.InputDim())
+	in := tensor.Vector(m.scratch.Grab(m.InputDim()))
 	for o, g := range grad {
 		in[m.argmax[o]] += g
 	}

@@ -1,8 +1,9 @@
-// Package obscli wires the observability flag surface shared by the
-// rpolbench and rpolsim commands: -metrics, -table, -trace, -pprof, and
-// -wallclock. It builds the obs.Observer those flags describe, installs it
-// as the process-wide default (so pools constructed deep inside experiment
-// runners record into it), and renders the snapshot when the run finishes.
+// Package obscli wires the runtime flag surface shared by the rpolbench
+// and rpolsim commands: -metrics, -table, -trace, -pprof, -wallclock, and
+// -jobs. It builds the obs.Observer those flags describe, installs it as
+// the process-wide default (so pools constructed deep inside experiment
+// runners record into it), installs the -jobs compute default, and renders
+// the snapshot when the run finishes.
 package obscli
 
 import (
@@ -14,6 +15,7 @@ import (
 	"os"
 
 	"rpol/internal/obs"
+	"rpol/internal/parallel"
 )
 
 // Options holds the parsed observability flags.
@@ -30,6 +32,11 @@ type Options struct {
 	// WallClock timestamps trace spans with real elapsed time instead of the
 	// deterministic simulated clock.
 	WallClock bool
+	// Jobs is the process-wide default worker count for the deterministic
+	// compute runtime (internal/parallel): 0 keeps the serial code paths,
+	// any n ≥ 1 enables the chunked runtime, whose results are
+	// bit-identical for every n.
+	Jobs int
 }
 
 // Register declares the flags on fs (the default flag.CommandLine in main).
@@ -39,6 +46,7 @@ func (o *Options) Register(fs *flag.FlagSet) {
 	fs.StringVar(&o.TraceFile, "trace", "", "write a JSONL span trace to this file")
 	fs.StringVar(&o.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.BoolVar(&o.WallClock, "wallclock", false, "timestamp trace spans with wall time (non-deterministic) instead of simulated time")
+	fs.IntVar(&o.Jobs, "jobs", 0, "deterministic compute workers per task (0 = serial; results are bit-identical for any value ≥ 1)")
 }
 
 // enabled reports whether any flag asks for an observer.
@@ -65,6 +73,9 @@ func (o *Options) ProtocolClock() obs.Clock {
 // When no observability flag is set the observer is nil and finish only
 // serves pprof cleanup (a no-op).
 func (o *Options) Setup(out io.Writer) (*obs.Observer, func() error, error) {
+	// -jobs configures the process-wide compute default regardless of
+	// whether any observability flag is set.
+	parallel.SetDefaultWorkers(o.Jobs)
 	if o.PprofAddr != "" {
 		ln := o.PprofAddr
 		go func() {

@@ -1,0 +1,222 @@
+package parallel
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNumChunks(t *testing.T) {
+	cases := []struct {
+		n, grain, want int
+	}{
+		{0, 4, 0}, {-3, 4, 0}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2},
+		{8, 4, 2}, {9, 4, 3}, {7, 0, 7}, {7, -2, 7}, {7, 100, 1},
+	}
+	for _, tc := range cases {
+		if got := NumChunks(tc.n, tc.grain); got != tc.want {
+			t.Errorf("NumChunks(%d, %d) = %d, want %d", tc.n, tc.grain, got, tc.want)
+		}
+	}
+}
+
+func TestChunkBounds(t *testing.T) {
+	n, grain := 10, 4
+	covered := make([]int, n)
+	for c := 0; c < NumChunks(n, grain); c++ {
+		lo, hi := ChunkBounds(c, n, grain)
+		if lo >= hi {
+			t.Fatalf("chunk %d: empty range [%d,%d)", c, lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			covered[i]++
+		}
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Errorf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+// TestForCoverage checks every index is visited exactly once for a spread of
+// (n, grain, workers) shapes, including workers > chunks and nil pool.
+func TestForCoverage(t *testing.T) {
+	shapes := []struct{ n, grain, workers int }{
+		{0, 1, 4}, {1, 1, 4}, {17, 4, 1}, {17, 4, 2}, {17, 4, 8},
+		{100, 7, 3}, {5, 100, 8}, {64, 1, 16},
+	}
+	for _, s := range shapes {
+		visits := make([]int32, s.n)
+		New(s.workers).For(s.n, s.grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&visits[i], 1)
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Errorf("n=%d grain=%d workers=%d: index %d visited %d times",
+					s.n, s.grain, s.workers, i, v)
+			}
+		}
+	}
+	var nilPool *Pool
+	visits := make([]int, 9)
+	nilPool.For(9, 2, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			visits[i]++
+		}
+	})
+	for i, v := range visits {
+		if v != 1 {
+			t.Errorf("nil pool: index %d visited %d times", i, v)
+		}
+	}
+	if nilPool.Workers() != 1 {
+		t.Errorf("nil pool Workers() = %d, want 1", nilPool.Workers())
+	}
+}
+
+// orderedSum is the canonical reduction pattern: per-chunk partial sums
+// merged in chunk-index order.
+func orderedSum(p *Pool, xs []float64, grain int) float64 {
+	partial := make([]float64, NumChunks(len(xs), grain))
+	p.ForChunks(len(xs), grain, func(c, lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		partial[c] = s
+	})
+	total := 0.0
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}
+
+// TestOrderedReductionBitIdentical is the package's core promise: the same
+// (n, grain) yields bit-identical float sums for every worker count, because
+// chunk boundaries and merge order are fixed.
+func TestOrderedReductionBitIdentical(t *testing.T) {
+	xs := make([]float64, 1001)
+	for i := range xs {
+		// Scale-varied values so float addition is genuinely non-associative
+		// across orderings: a scheduling-dependent reduction would diverge.
+		xs[i] = math.Sin(float64(i)*0.7) * math.Pow(10, float64(i%13)-6)
+	}
+	ref := orderedSum(nil, xs, 64)
+	for _, workers := range []int{1, 2, 3, 8, 16} {
+		got := orderedSum(New(workers), xs, 64)
+		if math.Float64bits(got) != math.Float64bits(ref) {
+			t.Errorf("workers=%d: sum %x differs from serial %x",
+				workers, math.Float64bits(got), math.Float64bits(ref))
+		}
+	}
+}
+
+func TestRun(t *testing.T) {
+	out := make([]int, 5)
+	fns := make([]func(), 5)
+	for i := range fns {
+		i := i
+		fns[i] = func() { out[i] = i * i }
+	}
+	New(3).Run(fns...)
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("thunk %d: got %d", i, v)
+		}
+	}
+	New(2).Run() // no thunks: must not deadlock
+}
+
+func TestDefaultWorkersKnob(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	if DefaultWorkers() != 0 {
+		t.Fatalf("initial DefaultWorkers = %d", DefaultWorkers())
+	}
+	SetDefaultWorkers(6)
+	if DefaultWorkers() != 6 {
+		t.Errorf("DefaultWorkers = %d, want 6", DefaultWorkers())
+	}
+	SetDefaultWorkers(-2)
+	if DefaultWorkers() != 0 {
+		t.Errorf("DefaultWorkers = %d after negative set, want 0", DefaultWorkers())
+	}
+}
+
+func TestArena(t *testing.T) {
+	a := NewArena(8)
+	b1 := a.Grab(4)
+	b2 := a.Grab(4)
+	if len(b1) != 4 || len(b2) != 4 {
+		t.Fatalf("lengths %d, %d", len(b1), len(b2))
+	}
+	for i := range b1 {
+		b1[i] = 1
+		b2[i] = 2
+	}
+	if b1[3] != 1 || b2[0] != 2 {
+		t.Fatal("buffers alias each other")
+	}
+	// Grow while b1/b2 outstanding: they must stay intact and disjoint from
+	// the new slab.
+	b3 := a.Grab(100)
+	b3[0] = 3
+	if b1[0] != 1 || b2[0] != 2 {
+		t.Fatal("grow corrupted outstanding buffers")
+	}
+	a.Reset()
+	b4 := a.Grab(100)
+	for i, v := range b4 {
+		if v != 0 {
+			t.Fatalf("Grab after Reset not zeroed at %d: %v", i, v)
+		}
+	}
+	if a.Size() < 100 {
+		t.Errorf("arena size %d after grow, want >= 100", a.Size())
+	}
+
+	var nilArena *Arena
+	nb := nilArena.Grab(3)
+	if len(nb) != 3 {
+		t.Fatalf("nil arena Grab len %d", len(nb))
+	}
+	nilArena.Reset() // must not panic
+	if nilArena.Size() != 0 {
+		t.Errorf("nil arena Size = %d", nilArena.Size())
+	}
+	if a.Grab(0) != nil || a.Grab(-1) != nil {
+		t.Error("Grab(<=0) should return nil")
+	}
+}
+
+// TestArenaZeroed verifies Grab always zeroes recycled memory, which layer
+// code relies on for gradient-style accumulators.
+func TestArenaZeroed(t *testing.T) {
+	a := NewArena(16)
+	for round := 0; round < 3; round++ {
+		b := a.Grab(16)
+		for i := range b {
+			if b[i] != 0 {
+				t.Fatalf("round %d: dirty at %d", round, i)
+			}
+			b[i] = float64(round + 1)
+		}
+		a.Reset()
+	}
+}
+
+func BenchmarkForChunksOverhead(b *testing.B) {
+	p := New(4)
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = orderedSum(p, xs, 256)
+	}
+}

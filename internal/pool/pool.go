@@ -18,6 +18,7 @@ import (
 	"rpol/internal/modelzoo"
 	"rpol/internal/nn"
 	"rpol/internal/obs"
+	"rpol/internal/parallel"
 	"rpol/internal/rpol"
 	"rpol/internal/tensor"
 )
@@ -51,6 +52,14 @@ type Config struct {
 	// Verifiers > 1 enables decentralized verification: submissions are
 	// checked by that many parallel verifiers (Sec. IX future work).
 	Verifiers int
+	// Workers sizes the deterministic compute pool each participant uses
+	// for batch training, commitment hashing, and interval verification —
+	// an execution knob, not a protocol parameter: results are bit-identical
+	// for any value ≥ 1 (see internal/parallel). 0 falls back to the
+	// process-wide default (parallel.DefaultWorkers, set by the -jobs flag),
+	// which itself defaults to the historical serial paths; negative forces
+	// serial regardless of the process default.
+	Workers int
 	// Seed makes the whole pool construction and run reproducible.
 	Seed int64
 	// Obs routes the pool's metrics and spans (nil falls back to the
@@ -78,6 +87,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.ManagerAddress == "" {
 		c.ManagerAddress = "pool-manager"
+	}
+	if c.Workers == 0 {
+		c.Workers = parallel.DefaultWorkers()
 	}
 }
 
@@ -284,6 +296,7 @@ func New(cfg Config) (*Pool, error) {
 		Seed:              cfg.Seed + 7,
 		ParallelVerifiers: cfg.Verifiers,
 		NetBuilder:        buildNet,
+		Workers:           cfg.Workers,
 		Obs:               observer,
 		// In-process workers each own their network and trainer, so the
 		// collection phase can safely run them concurrently.

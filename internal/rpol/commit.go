@@ -5,42 +5,83 @@ import (
 
 	"rpol/internal/commitment"
 	"rpol/internal/lsh"
+	"rpol/internal/parallel"
 	"rpol/internal/tensor"
 )
+
+// poolFor maps a Workers knob to a compute pool: nil (serial) when n ≤ 0.
+func poolFor(n int) *parallel.Pool {
+	if n <= 0 {
+		return nil
+	}
+	return parallel.New(n)
+}
 
 // BuildCommitment constructs the epoch commitment over a sequence of
 // checkpoint snapshots.
 //
-// Under RPoLv1 (fam == nil) each leaf is the raw encoded weights, so the
-// commitment binds the exact checkpoint bytes and the returned digest slice
-// is nil.
+// Under RPoLv1 (fam == nil) each leaf is the digest of the raw encoded
+// weights, so the commitment binds the exact checkpoint bytes and the
+// returned digest slice is nil.
 //
 // Under RPoLv2 each checkpoint is first LSH-hashed; the leaves commit the
 // digests and the digests themselves are returned so the worker can reveal
 // them during verification (the manager checks a revealed digest against the
 // commitment before fuzzy-matching it).
 func BuildCommitment(checkpoints []tensor.Vector, fam *lsh.Family) (*commitment.HashList, []lsh.Digest, error) {
+	return BuildCommitmentPool(nil, checkpoints, fam)
+}
+
+// BuildCommitmentPool is BuildCommitment with the per-checkpoint work —
+// wire-encoding + leaf hashing under v1, LSH hashing under v2 — chunked
+// across the pool. Each checkpoint's leaf depends only on that checkpoint
+// and is written to its own slot, so the commitment is bit-identical to the
+// serial construction for any worker count. A nil pool runs serially.
+//
+// Checkpoints are never copied: under v1 each chunk streams the weights
+// through a reused encode buffer straight into SHA-256, so building the
+// commitment costs one encode-buffer per chunk instead of one full payload
+// copy per checkpoint.
+func BuildCommitmentPool(p *parallel.Pool, checkpoints []tensor.Vector, fam *lsh.Family) (*commitment.HashList, []lsh.Digest, error) {
 	if len(checkpoints) == 0 {
 		return nil, nil, commitment.ErrEmpty
 	}
-	payloads := make([][]byte, len(checkpoints))
-	var digests []lsh.Digest
-	if fam != nil {
-		digests = make([]lsh.Digest, len(checkpoints))
-	}
-	for i, w := range checkpoints {
-		if fam == nil {
-			payloads[i] = w.Encode()
-			continue
-		}
-		d, err := fam.Hash(w)
+	if fam == nil {
+		leaves := make([]commitment.Hash, len(checkpoints))
+		p.ForChunks(len(checkpoints), 1, func(_, lo, hi int) {
+			var buf []byte
+			for i := lo; i < hi; i++ {
+				buf = checkpoints[i].AppendEncode(buf[:0])
+				leaves[i] = commitment.HashLeaf(buf)
+			}
+		})
+		commit, err := commitment.NewLeafList(leaves)
 		if err != nil {
-			return nil, nil, fmt.Errorf("rpol commitment checkpoint %d: %w", i, err)
+			return nil, nil, fmt.Errorf("rpol commitment: %w", err)
 		}
-		digests[i] = d
-		payloads[i] = d.Encode()
+		return commit, nil, nil
 	}
-	commit, err := commitment.NewHashList(payloads)
+
+	digests := make([]lsh.Digest, len(checkpoints))
+	payloads := make([][]byte, len(checkpoints))
+	errs := make([]error, parallel.NumChunks(len(checkpoints), 1))
+	p.ForChunks(len(checkpoints), 1, func(c, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d, err := fam.Hash(checkpoints[i])
+			if err != nil {
+				errs[c] = fmt.Errorf("rpol commitment checkpoint %d: %w", i, err)
+				return
+			}
+			digests[i] = d
+			payloads[i] = d.Encode()
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	commit, err := commitment.NewHashListPool(p, payloads)
 	if err != nil {
 		return nil, nil, fmt.Errorf("rpol commitment: %w", err)
 	}

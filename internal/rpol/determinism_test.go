@@ -1,0 +1,134 @@
+package rpol
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	"rpol/internal/dataset"
+	"rpol/internal/gpu"
+)
+
+// epochFingerprints runs one full RPoLv2 epoch — training, commitment,
+// calibration, sampling, verification, aggregation — with the given Workers
+// knob and condenses the result into two digests:
+//
+//   - train covers every protocol artifact: checkpoint traces, commitment
+//     roots and leaves, LSH digests, submitted updates, acceptance flags,
+//     and the aggregated global model;
+//   - verify covers the verification accounting: sampled intervals,
+//     fail reasons, comm bytes, re-executed steps, misses and double-checks.
+//
+// The split exists because the verification tallies depend on the device
+// noise stream (serial verification threads one stream through all
+// intervals; parallel verification forks one per interval), so they are
+// only comparable within the chunked runtime (workers ≥ 1), while the
+// training-side artifacts must agree everywhere.
+func epochFingerprints(t *testing.T, workers int) (train, verify string) {
+	t.Helper()
+	const n = 4
+	ds, err := dataset.Generate(dataset.Config{
+		Name: "det", NumClasses: 4, Dim: 8, Size: 1200, ClusterStd: 0.4, Seed: 55,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := ds.Partition(n + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := gpu.Profiles()
+	pool := make([]*HonestWorker, n)
+	workerIfs := make([]Worker, n)
+	shardMap := make(map[string]*dataset.Dataset, n)
+	for i := 0; i < n; i++ {
+		net, _ := testTask(t, 30)
+		id := "w" + string(rune('A'+i))
+		w, err := NewHonestWorker(id, profiles[i%len(profiles)], int64(1000+i), net, shards[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool[i] = w
+		workerIfs[i] = w
+		shardMap[id] = shards[i]
+	}
+	managerNet, _ := testTask(t, 30)
+	mgr, err := NewManager(ManagerConfig{
+		Address:         "pool-manager",
+		Scheme:          SchemeV2,
+		Hyper:           Hyper{Optimizer: "sgdm", LR: 0.05, BatchSize: 8},
+		StepsPerEpoch:   15,
+		CheckpointEvery: 5,
+		Samples:         3,
+		GPU:             gpu.G3090,
+		MasterKey:       []byte("master"),
+		Seed:            99,
+		Workers:         workers,
+	}, managerNet, workerIfs, shardMap, shards[n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := mgr.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ht := sha256.New()
+	for _, w := range pool {
+		for _, c := range w.lastTrace.Checkpoints {
+			ht.Write(c.Encode())
+		}
+		res := w.lastResult
+		root := res.Commit.Root()
+		ht.Write(root[:])
+		ht.Write(res.Commit.Encode())
+		for _, d := range res.LSHDigests {
+			ht.Write(d.Encode())
+		}
+		ht.Write(res.Update.Encode())
+	}
+	for _, o := range report.Outcomes {
+		fmt.Fprintf(ht, "%s/%v;", o.WorkerID, o.Accepted)
+	}
+	ht.Write(mgr.Global().Encode())
+
+	hv := sha256.New()
+	for _, o := range report.Outcomes {
+		fmt.Fprintf(hv, "%s/%v/%q/%v/%d/%d/%d/%d;", o.WorkerID, o.Accepted, o.FailReason,
+			o.SampledCheckpoints, o.CommBytes, o.ReexecSteps, o.LSHMisses, o.DoubleChecks)
+	}
+	return hex.EncodeToString(ht.Sum(nil)), hex.EncodeToString(hv.Sum(nil))
+}
+
+// TestEpochBitIdenticalAcrossWorkers is the protocol-wide determinism
+// regression test for the data-parallel runtime: one epoch run at Workers =
+// 1, 2, and 8 must produce bit-identical checkpoints, LSH digests,
+// commitment roots, verification outcomes, and global model. Everything the
+// protocol hashes or compares is covered, so any scheduling-dependent float
+// reduction sneaking into a hot path fails this test (and trips the race
+// detector in the -race CI job).
+func TestEpochBitIdenticalAcrossWorkers(t *testing.T) {
+	baseTrain, baseVerify := epochFingerprints(t, 1)
+	for _, w := range []int{2, 8} {
+		train, verify := epochFingerprints(t, w)
+		if train != baseTrain {
+			t.Errorf("workers=%d: training artifacts differ from workers=1", w)
+		}
+		if verify != baseVerify {
+			t.Errorf("workers=%d: verification outcomes differ from workers=1", w)
+		}
+	}
+
+	// The test nets are dense-only stacks, whose layers accumulate one term
+	// per output element — for those the chunked runtime is also bitwise
+	// equal to the historical serial path (Workers = 0). Verification
+	// tallies are excluded: serial verification threads one device-noise
+	// stream through all sampled intervals while parallel verification
+	// forks a stream per interval, so only the protocol artifacts and
+	// verdicts must agree.
+	serialTrain, _ := epochFingerprints(t, 0)
+	if serialTrain != baseTrain {
+		t.Errorf("workers=0 (legacy serial) training artifacts differ from chunked runtime")
+	}
+}

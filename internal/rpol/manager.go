@@ -54,6 +54,14 @@ type ManagerConfig struct {
 	// and trainer); leave it off for workers multiplexed over a single
 	// sequential transport (e.g. one wire.ManagerPort).
 	ConcurrentCollection bool
+	// Workers sizes the deterministic compute pool threaded through the
+	// epoch: workers' batch training and commitment hashing (via
+	// TaskParams.Workers) and the manager's own interval verification. 0
+	// keeps the historical serial paths; any n ≥ 1 yields bit-identical
+	// protocol results for every n (see internal/parallel). Distinct from
+	// ParallelVerifiers, which fans independent submissions across verifier
+	// instances rather than parallelizing one submission's compute.
+	Workers int
 	// Obs routes the manager's metrics and spans. Nil falls back to the
 	// process-wide default observer (disabled unless a command installed
 	// one); instrumentation never changes protocol results because it
@@ -179,6 +187,7 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 		Hyper:           m.cfg.Hyper,
 		Steps:           m.cfg.StepsPerEpoch,
 		CheckpointEvery: m.cfg.CheckpointEvery,
+		Workers:         m.cfg.Workers,
 	}
 
 	verifier := &Verifier{
@@ -188,6 +197,7 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 		Samples: m.cfg.Samples,
 		Sampler: m.rng,
 		Obs:     m.obs,
+		Workers: m.cfg.Workers,
 	}
 
 	if m.cfg.Scheme != SchemeBaseline {

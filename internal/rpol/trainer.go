@@ -7,6 +7,7 @@ import (
 	"rpol/internal/gpu"
 	"rpol/internal/nn"
 	"rpol/internal/obs"
+	"rpol/internal/parallel"
 	"rpol/internal/prf"
 	"rpol/internal/tensor"
 )
@@ -36,6 +37,43 @@ type Trainer struct {
 	// rpol_probe_steps_total for calibration probes — so one trainer type
 	// serves all three without double counting.
 	Steps *obs.Counter
+	// Workers selects the training runtime: 0 keeps the historical serial
+	// TrainBatch path, any n ≥ 1 trains each batch through the chunked
+	// deterministic runtime of internal/parallel (nn.BatchTrainer), whose
+	// results are bit-identical for every n. RunEpoch adopts the task's
+	// TaskParams.Workers; verification sets the field directly.
+	Workers int
+
+	// Lazily-built parallel runtime (first parallel training step).
+	pool *parallel.Pool
+	bt   *nn.BatchTrainer
+}
+
+// SetWorkers reconfigures the training runtime, discarding any replicas
+// built for a previous worker count. Results are unchanged for any n ≥ 1.
+func (t *Trainer) SetWorkers(n int) {
+	if n == t.Workers {
+		return
+	}
+	t.Workers = n
+	t.pool = nil
+	t.bt = nil
+}
+
+// trainStep runs one optimization step through the runtime Workers selects.
+func (t *Trainer) trainStep(xs []tensor.Vector, labels []int, opt nn.Optimizer) (float64, error) {
+	if t.Workers <= 0 {
+		return t.Net.TrainBatch(xs, labels, opt)
+	}
+	if t.bt == nil {
+		t.pool = parallel.New(t.Workers)
+		bt, err := nn.NewBatchTrainer(t.Net, t.pool)
+		if err != nil {
+			return 0, fmt.Errorf("rpol parallel trainer: %w", err)
+		}
+		t.bt = bt
+	}
+	return t.bt.TrainBatch(xs, labels, opt)
 }
 
 // batch materializes the deterministic batch for the given step.
@@ -75,7 +113,7 @@ func (t *Trainer) ExecuteInterval(start tensor.Vector, startStep, steps int, h H
 		if err != nil {
 			return nil, err
 		}
-		if _, err := t.Net.TrainBatch(xs, labels, opt); err != nil {
+		if _, err := t.trainStep(xs, labels, opt); err != nil {
 			return nil, fmt.Errorf("rpol interval step %d: %w", startStep+s, err)
 		}
 		if t.Device != nil {
@@ -95,6 +133,7 @@ func (t *Trainer) RunEpoch(p TaskParams) (*Trace, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	t.SetWorkers(p.Workers)
 	trace := &Trace{
 		Checkpoints: []tensor.Vector{p.Global.Clone()},
 		Steps:       []int{0},

@@ -9,6 +9,7 @@ import (
 	"rpol/internal/lsh"
 	"rpol/internal/nn"
 	"rpol/internal/obs"
+	"rpol/internal/parallel"
 	"rpol/internal/tensor"
 )
 
@@ -40,6 +41,15 @@ type Verifier struct {
 	// rewards for honesty; this switch exists for the ablation that
 	// quantifies exactly that.
 	DisableDoubleCheck bool
+	// Workers sizes the deterministic compute pool for verification: 0 keeps
+	// the historical serial path; any n ≥ 1 re-executes the sampled
+	// intervals concurrently, each on a detached replica of Net and a forked
+	// Device, and runs each replay through the chunked training runtime.
+	// Outcomes merge in sampled order, so the verdict is deterministic for
+	// every n ≥ 1. Openers must then tolerate concurrent OpenCheckpoint
+	// calls (all in-process workers, adversaries and stores do; a worker
+	// multiplexed over a single sequential wire transport does not).
+	Workers int
 	// Obs routes verification metrics and spans; nil falls back to the
 	// process default observer.
 	Obs *obs.Observer
@@ -153,8 +163,6 @@ func (v *Verifier) VerifySubmission(opener ProofOpener, shard *dataset.Dataset, 
 		return out, nil
 	}
 
-	trainer := &Trainer{Net: v.Net, Shard: shard, Device: v.Device,
-		Steps: v.observer().Counter("rpol_reexec_steps_total")}
 	challengeSpan := v.observer().Start(span, "verify.challenge",
 		obs.Int("checkpoints", int64(result.NumCheckpoints)))
 	out.SampledCheckpoints = v.sampleIntervals(result.NumCheckpoints)
@@ -165,6 +173,17 @@ func (v *Verifier) VerifySubmission(opener ProofOpener, shard *dataset.Dataset, 
 		return out, nil
 	}
 
+	if v.Workers >= 1 && len(out.SampledCheckpoints) > 1 {
+		ok, err := v.verifyIntervalsParallel(opener, shard, result, p, out, span)
+		if err != nil {
+			return nil, err
+		}
+		out.Accepted = ok
+		return out, nil
+	}
+
+	trainer := &Trainer{Net: v.Net, Shard: shard, Device: v.Device,
+		Steps: v.observer().Counter("rpol_reexec_steps_total"), Workers: v.Workers}
 	for _, c := range out.SampledCheckpoints {
 		ok, err := v.verifyInterval(trainer, opener, result, p, c, out, span)
 		if err != nil {
@@ -177,6 +196,66 @@ func (v *Verifier) VerifySubmission(opener ProofOpener, shard *dataset.Dataset, 
 	}
 	out.Accepted = true
 	return out, nil
+}
+
+// verifyIntervalsParallel re-executes every sampled interval concurrently.
+// Each interval gets a detached clone of the verifier's network and a fork
+// of its device, so concurrent replays share no mutable state; per-interval
+// results land in private VerifyOutcome scratch and merge into out in
+// sampled order, up to and including the first failing interval — exactly
+// the prefix the serial path would have accounted. The verdict and the
+// merged tallies are therefore deterministic for any worker count.
+//
+// Two documented differences from the serial path: forked devices draw
+// per-interval noise streams (a pure function of the manager's run seed and
+// the interval index) instead of continuing one shared sequential stream —
+// both are calibrated hardware noise, orders of magnitude below β — and
+// intervals after a failing one still execute, so their steps show up in
+// the rpol_reexec_steps_total counter but not in out.ReexecSteps.
+func (v *Verifier) verifyIntervalsParallel(opener ProofOpener, shard *dataset.Dataset, result *EpochResult, p TaskParams, out *VerifyOutcome, parent *obs.Span) (bool, error) {
+	sampled := out.SampledCheckpoints
+	subs := make([]*VerifyOutcome, len(sampled))
+	oks := make([]bool, len(sampled))
+	errs := make([]error, len(sampled))
+	steps := v.observer().Counter("rpol_reexec_steps_total")
+	pool := parallel.New(v.Workers)
+	pool.ForChunks(len(sampled), 1, func(_, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			c := sampled[j]
+			net, err := v.Net.Replicate(false)
+			if err != nil {
+				errs[j] = fmt.Errorf("rpol verify replica: %w", err)
+				continue
+			}
+			var device *gpu.Device
+			if v.Device != nil {
+				device = v.Device.Fork(int64(c))
+			}
+			// Workers: 1 runs the replay through the chunked training
+			// runtime (bit-identical to any n ≥ 1 a worker trained with)
+			// without nesting a second level of goroutines under the
+			// interval-level pool.
+			trainer := &Trainer{Net: net, Shard: shard, Device: device, Steps: steps, Workers: 1}
+			sub := &VerifyOutcome{WorkerID: out.WorkerID, Epoch: out.Epoch}
+			oks[j], errs[j] = v.verifyInterval(trainer, opener, result, p, c, sub, parent)
+			subs[j] = sub
+		}
+	})
+	for j := range sampled {
+		if errs[j] != nil {
+			return false, errs[j]
+		}
+		sub := subs[j]
+		out.CommBytes += sub.CommBytes
+		out.ReexecSteps += sub.ReexecSteps
+		out.LSHMisses += sub.LSHMisses
+		out.DoubleChecks += sub.DoubleChecks
+		if !oks[j] {
+			out.FailReason = sub.FailReason
+			return false, nil
+		}
+	}
+	return true, nil
 }
 
 // verifyInterval checks the single sampled interval c → c+1. It returns

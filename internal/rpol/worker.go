@@ -96,7 +96,7 @@ func (w *HonestWorker) RunEpoch(p TaskParams) (*EpochResult, error) {
 		return nil, fmt.Errorf("rpol worker %s: %w", w.id, err)
 	}
 	commitSpan := w.obs.Start(p.Trace, "worker.commit", obs.String("worker", w.id))
-	commit, digests, err := BuildCommitment(trace.Checkpoints, p.LSH)
+	commit, digests, err := BuildCommitmentPool(poolFor(p.Workers), trace.Checkpoints, p.LSH)
 	commitSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("rpol worker %s: %w", w.id, err)

@@ -18,12 +18,27 @@ var errCorruptVector = errors.New("tensor: corrupt vector encoding")
 // hash representation used for checkpoints and commitments — identical
 // weights always produce identical bytes.
 func (v Vector) Encode() []byte {
-	buf := make([]byte, 8+8*len(v))
-	binary.LittleEndian.PutUint64(buf, uint64(len(v)))
-	for i, x := range v {
-		binary.LittleEndian.PutUint64(buf[8+8*i:], math.Float64bits(x))
+	return v.AppendEncode(nil)
+}
+
+// AppendEncode appends the Encode representation of v to dst and returns the
+// extended slice, following the append-style stdlib convention. Hashing and
+// wire paths that commit checkpoints every interval reuse one buffer across
+// calls instead of copying the full weight vector per commitment.
+func (v Vector) AppendEncode(dst []byte) []byte {
+	off := len(dst)
+	need := EncodedSize(len(v))
+	if cap(dst)-off < need {
+		grown := make([]byte, off, off+need)
+		copy(grown, dst)
+		dst = grown
 	}
-	return buf
+	dst = dst[:off+need]
+	binary.LittleEndian.PutUint64(dst[off:], uint64(len(v)))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(dst[off+8+8*i:], math.Float64bits(x))
+	}
+	return dst
 }
 
 // EncodedSize returns the number of bytes Encode produces for a vector with

@@ -3,6 +3,8 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"rpol/internal/parallel"
 )
 
 // Matrix is a dense row-major matrix of float64 values.
@@ -93,6 +95,15 @@ func (m *Matrix) AddOuter(alpha float64, x, y Vector) error {
 // starting vector is derived deterministically from the matrix contents so
 // the estimate is reproducible.
 func (m *Matrix) SpectralNorm(iters int) float64 {
+	return m.spectralNorm(nil, iters)
+}
+
+// spectralNorm implements SpectralNorm/SpectralNormPool with three scratch
+// vectors allocated once and reused across iterations (v and w swap roles
+// after each round instead of reallocating). The arithmetic — element order
+// and association — matches the historical per-iteration-allocation version
+// exactly, so estimates are unchanged bit for bit.
+func (m *Matrix) spectralNorm(p *parallel.Pool, iters int) float64 {
 	if m.Rows == 0 || m.Cols == 0 {
 		return 0
 	}
@@ -106,26 +117,35 @@ func (m *Matrix) SpectralNorm(iters int) float64 {
 		return 0
 	}
 	v.Scale(1 / norm)
+	u := NewVector(m.Rows)
+	w := NewVector(m.Cols)
+	rowGrain := chunkGrain(m.Rows, m.Cols)
+	colGrain := chunkGrain(m.Cols, m.Rows)
+	serial := p.Workers() <= 1
 	var sigma float64
 	for it := 0; it < iters; it++ {
-		u, err := m.MulVec(v)
-		if err != nil {
-			return 0
+		if serial {
+			// Direct calls keep the serial path allocation-free (the
+			// closure forms below escape to the heap per iteration).
+			m.mulVecRange(u, v, 0, m.Rows)
+		} else {
+			p.For(m.Rows, rowGrain, func(lo, hi int) { m.mulVecRange(u, v, lo, hi) })
 		}
 		un := u.Norm2()
 		if un == 0 {
 			return 0
 		}
 		u.Scale(1 / un)
-		w, err := m.MulVecT(u)
-		if err != nil {
-			return 0
+		if serial {
+			m.mulVecTRange(w, u, 0, m.Cols)
+		} else {
+			p.For(m.Cols, colGrain, func(lo, hi int) { m.mulVecTRange(w, u, lo, hi) })
 		}
 		sigma = w.Norm2()
 		if sigma == 0 {
 			return 0
 		}
-		v = w
+		v, w = w, v
 		v.Scale(1 / sigma)
 	}
 	return sigma

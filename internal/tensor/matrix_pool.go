@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"fmt"
+
+	"rpol/internal/parallel"
+)
+
+// kernelFlopTarget sizes row/column chunks so each parallel chunk carries
+// roughly this many multiply-adds; below that goroutine handoff costs more
+// than the arithmetic. Chunk boundaries derive only from the matrix shape
+// and this constant — never from worker count — preserving bit-determinism.
+const kernelFlopTarget = 4096
+
+// chunkGrain returns the per-chunk span for a loop of extent n whose body
+// costs `width` multiply-adds per index.
+func chunkGrain(n, width int) int {
+	if width <= 0 {
+		width = 1
+	}
+	g := kernelFlopTarget / width
+	if g < 1 {
+		g = 1
+	}
+	if g > n {
+		g = n
+	}
+	return g
+}
+
+// MulVecInto computes y = m·x without allocating; y must have length m.Rows.
+// It is the scratch-reusing form of MulVec.
+func (m *Matrix) MulVecInto(y, x Vector) error {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		return fmt.Errorf("mulvec into %dx%d by %d into %d: %w", m.Rows, m.Cols, len(x), len(y), ErrShapeMismatch)
+	}
+	m.mulVecRange(y, x, 0, m.Rows)
+	return nil
+}
+
+// mulVecRange fills y[lo:hi] with rows lo..hi of m·x. Each output element is
+// an independent left-to-right dot product, so splitting rows across chunks
+// cannot change any bit of the result.
+func (m *Matrix) mulVecRange(y, x Vector, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecPool is MulVec with rows chunked across the pool. Bit-identical to
+// the serial MulVec for any worker count. A nil pool runs serially.
+func (m *Matrix) MulVecPool(p *parallel.Pool, x Vector) (Vector, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("mulvec %dx%d by %d: %w", m.Rows, m.Cols, len(x), ErrShapeMismatch)
+	}
+	y := NewVector(m.Rows)
+	p.For(m.Rows, chunkGrain(m.Rows, m.Cols), func(lo, hi int) {
+		m.mulVecRange(y, x, lo, hi)
+	})
+	return y, nil
+}
+
+// MulVecTInto computes y = mᵀ·x without allocating; y must have length
+// m.Cols. It is the scratch-reusing form of MulVecT.
+func (m *Matrix) MulVecTInto(y, x Vector) error {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		return fmt.Errorf("mulvecT into %dx%d by %d into %d: %w", m.Rows, m.Cols, len(x), len(y), ErrShapeMismatch)
+	}
+	m.mulVecTRange(y, x, 0, m.Cols)
+	return nil
+}
+
+// mulVecTRange fills columns lo..hi of y = mᵀ·x, accumulating over rows in
+// ascending order. Chunking COLUMNS (not rows) keeps each y[j] a single
+// ascending-i sum — the same association as the serial MulVecT — so the
+// parallel result is bit-identical. Row-chunking with per-chunk partials
+// would re-associate the float additions and change low-order bits.
+func (m *Matrix) mulVecTRange(y, x Vector, lo, hi int) {
+	for j := lo; j < hi; j++ {
+		y[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		xi := x[i]
+		for j := lo; j < hi; j++ {
+			y[j] += row[j] * xi
+		}
+	}
+}
+
+// MulVecTPool is MulVecT with columns chunked across the pool. Bit-identical
+// to the serial MulVecT for any worker count. A nil pool runs serially.
+func (m *Matrix) MulVecTPool(p *parallel.Pool, x Vector) (Vector, error) {
+	if len(x) != m.Rows {
+		return nil, fmt.Errorf("mulvecT %dx%d by %d: %w", m.Rows, m.Cols, len(x), ErrShapeMismatch)
+	}
+	y := NewVector(m.Cols)
+	p.For(m.Cols, chunkGrain(m.Cols, m.Rows), func(lo, hi int) {
+		m.mulVecTRange(y, x, lo, hi)
+	})
+	return y, nil
+}
+
+// AddOuterPool is AddOuter with rows chunked across the pool. Each row i is
+// updated only by its own chunk (row[j] += alpha*x[i]*y[j]), so the result
+// is bit-identical to the serial AddOuter for any worker count.
+func (m *Matrix) AddOuterPool(p *parallel.Pool, alpha float64, x, y Vector) error {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		return fmt.Errorf("addouter %dx%d by %dx%d: %w", m.Rows, m.Cols, len(x), len(y), ErrShapeMismatch)
+	}
+	p.For(m.Rows, chunkGrain(m.Rows, m.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			ax := alpha * x[i]
+			for j := range row {
+				row[j] += ax * y[j]
+			}
+		}
+	})
+	return nil
+}
+
+// SpectralNormPool is SpectralNorm with the two matrix-vector products
+// chunked across the pool. The per-iteration math is MulVecInto/MulVecTInto
+// over fixed chunks, so the estimate is bit-identical to the serial
+// SpectralNorm for any worker count (both share spectralNorm below).
+func (m *Matrix) SpectralNormPool(p *parallel.Pool, iters int) float64 {
+	return m.spectralNorm(p, iters)
+}
