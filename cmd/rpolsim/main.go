@@ -85,15 +85,15 @@ func run(task, schemeName string, workers int, adv1, adv2 float64, epochs, steps
 
 	fmt.Printf("pool: task=%s scheme=%s workers=%d adv1=%.0f%% adv2=%.0f%%\n\n",
 		task, scheme, workers, adv1*100, adv2*100)
-	fmt.Println("epoch  accuracy  accepted  rejected  detected  missed  false-rej  verify-comm")
+	fmt.Println("epoch  accuracy  accepted  rejected  absent  detected  missed  false-rej  verify-comm")
 	phases := obs.PhaseBreakdown{}
 	for e := 0; e < epochs; e++ {
 		s, err := p.RunEpoch()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%5d  %8.4f  %8d  %8d  %8d  %6d  %9d  %8.1fKB\n",
-			s.Epoch, s.TestAccuracy, s.Accepted, s.Rejected,
+		fmt.Printf("%5d  %8.4f  %8d  %8d  %6d  %8d  %6d  %9d  %8.1fKB\n",
+			s.Epoch, s.TestAccuracy, s.Accepted, s.Rejected, s.AbsentWorkers,
 			s.DetectedAdversaries, s.MissedAdversaries, s.FalseRejections,
 			float64(s.VerifyCommBytes)/1024)
 		phases.Merge(s.Phases)

@@ -15,6 +15,11 @@ type Message struct {
 	To      string
 	Kind    string // protocol message type, e.g. "commit", "proof-request"
 	Payload []byte
+	// Seq is the sender's request/response correlation number: the wire
+	// layer stamps requests with a fresh Seq and workers echo it, so a
+	// retrying caller can discard stale replies to earlier attempts. Zero
+	// for callers that don't correlate.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // Size returns the accounted wire size of the message: payload plus a small
@@ -29,6 +34,13 @@ type Bus struct {
 	endpoints map[string]chan Message
 	meter     *Meter
 	closed    bool
+
+	// Fault injection (nil plan = none). linkSeq orders each directed
+	// link's messages so the plan's decisions are a pure function of the
+	// link's own traffic, immune to cross-link interleaving.
+	faults  *FaultPlan
+	clock   obs.Clock
+	linkSeq map[string]uint64
 }
 
 // Errors returned by Bus operations.
@@ -53,6 +65,20 @@ func NewBus() *Bus {
 
 // Meter returns the bus's byte meter.
 func (b *Bus) Meter() *Meter { return b.meter }
+
+// InjectFaults applies a deterministic fault plan to every subsequent Send.
+// clock is the logical clock injected delays advance (typically the run's
+// obs.SimClock); it may be nil, in which case delays are accounting-only.
+// A nil plan restores fault-free delivery.
+func (b *Bus) InjectFaults(plan *FaultPlan, clock obs.Clock) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.faults = plan
+	b.clock = clock
+	if plan != nil && b.linkSeq == nil {
+		b.linkSeq = make(map[string]uint64)
+	}
+}
 
 // Observe mirrors the bus's traffic into reg under net_bus_* counters.
 func (b *Bus) Observe(reg *obs.Registry) { b.meter.Attach(reg, "bus") }
@@ -98,25 +124,52 @@ func (e *Endpoint) Name() string { return e.name }
 
 // Send delivers a message to the named endpoint and meters its size.
 func (e *Endpoint) Send(to, kind string, payload []byte) error {
-	e.bus.mu.Lock()
-	if e.bus.closed {
-		e.bus.mu.Unlock()
+	return e.SendSeq(to, kind, 0, payload)
+}
+
+// SendSeq delivers a message carrying the given correlation number. The
+// lock is held across the (non-blocking) enqueue exactly as TCPHub.route
+// holds its own: a concurrent Close closes every inbox, so releasing the
+// lock before the enqueue would race the close and panic the sender.
+func (e *Endpoint) SendSeq(to, kind string, seq uint64, payload []byte) error {
+	b := e.bus
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
 		return ErrClosed
 	}
-	ch, ok := e.bus.endpoints[to]
-	e.bus.mu.Unlock()
+	ch, ok := b.endpoints[to]
 	if !ok {
 		return fmt.Errorf("%s: %w", to, ErrUnknownEndpoint)
 	}
-	msg := Message{From: e.name, To: to, Kind: kind, Payload: payload}
+	msg := Message{From: e.name, To: to, Kind: kind, Payload: payload, Seq: seq}
+	if b.faults != nil {
+		link := e.name + "\x00" + to
+		n := b.linkSeq[link]
+		b.linkSeq[link] = n + 1
+		fault := b.faults.Decide(e.name, to, n)
+		if fault.Drop {
+			// A real lossy network loses the packet silently: the sender
+			// sees success and only the meter (and the receiver's silence)
+			// records the loss.
+			b.meter.RecordInjectedDrop(e.name, to, kind, msg.Size())
+			return nil
+		}
+		if fault.Delay > 0 {
+			b.meter.RecordInjectedDelay()
+			if adv, ok := b.clock.(advancer); ok {
+				adv.Advance(fault.Delay)
+			}
+		}
+	}
 	select {
 	case ch <- msg:
-		e.bus.meter.Record(e.name, to, kind, msg.Size())
+		b.meter.Record(e.name, to, kind, msg.Size())
 		return nil
 	default:
 		// The send fails loudly (error below) but the attempted bytes must
 		// not vanish from the accounting either.
-		e.bus.meter.RecordDrop(e.name, to, kind, msg.Size())
+		b.meter.RecordDrop(e.name, to, kind, msg.Size())
 		return fmt.Errorf("netsim: inbox of %s full", to)
 	}
 }
@@ -156,6 +209,12 @@ type Meter struct {
 	dropped      int64
 	droppedBytes int64
 
+	// Injected-fault tallies: losses and delays a FaultPlan caused, kept
+	// separate from organic drops so a soak run can tell "the plan fired"
+	// apart from "a queue overflowed".
+	injectedDrops  int64
+	injectedDelays int64
+
 	// watch is closed (and replaced) on every recorded transfer while a
 	// WaitTotal caller is parked; nil when nobody is waiting, so the hot
 	// path pays one nil check.
@@ -163,6 +222,7 @@ type Meter struct {
 
 	// Mirrored obs counters; nil until Attach.
 	cBytes, cMsgs, cDropped, cDroppedBytes *obs.Counter
+	cInjDrops, cInjDelays                  *obs.Counter
 }
 
 // NewMeter returns an empty meter.
@@ -188,6 +248,8 @@ func (m *Meter) Attach(reg *obs.Registry, transport string) {
 	m.cMsgs = reg.Counter("net_" + transport + "_messages_total")
 	m.cDropped = reg.Counter("net_" + transport + "_dropped_total")
 	m.cDroppedBytes = reg.Counter("net_" + transport + "_dropped_bytes_total")
+	m.cInjDrops = reg.Counter("net_" + transport + "_injected_drops_total")
+	m.cInjDelays = reg.Counter("net_" + transport + "_injected_delays_total")
 }
 
 // Record accounts one delivered transfer.
@@ -229,6 +291,39 @@ func (m *Meter) RecordDrop(from, to, kind string, bytes int64) {
 	m.signalLocked()
 	m.cDropped.Inc()
 	m.cDroppedBytes.Add(bytes)
+}
+
+// RecordInjectedDrop accounts one message a FaultPlan lost in transit. The
+// bytes flow into the same dropped accounting as organic drops (nothing
+// vanishes silently), plus the injected tally.
+func (m *Meter) RecordInjectedDrop(from, to, kind string, bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dropped++
+	m.droppedBytes += bytes
+	m.injectedDrops++
+	m.signalLocked()
+	m.cDropped.Inc()
+	m.cDroppedBytes.Add(bytes)
+	m.cInjDrops.Inc()
+}
+
+// RecordInjectedDelay accounts one delivery a FaultPlan delayed in transit.
+func (m *Meter) RecordInjectedDelay() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.injectedDelays++
+	m.cInjDelays.Inc()
+}
+
+// Injected returns the number of plan-injected drops and delays.
+func (m *Meter) Injected() (drops, delays int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.injectedDrops, m.injectedDelays
 }
 
 // Total returns all bytes transferred.
@@ -321,4 +416,6 @@ func (m *Meter) Reset() {
 	m.messages = 0
 	m.dropped = 0
 	m.droppedBytes = 0
+	m.injectedDrops = 0
+	m.injectedDelays = 0
 }

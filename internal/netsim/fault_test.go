@@ -1,0 +1,218 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rpol/internal/obs"
+)
+
+func TestFaultPlanDeterministic(t *testing.T) {
+	cfg := DefaultFaultConfig()
+	a := NewFaultPlan(42, cfg)
+	b := NewFaultPlan(42, cfg)
+	for seq := uint64(0); seq < 500; seq++ {
+		fa := a.Decide("manager", "worker-01", seq)
+		fb := b.Decide("manager", "worker-01", seq)
+		if fa != fb {
+			t.Fatalf("seq %d: same seed diverged: %+v vs %+v", seq, fa, fb)
+		}
+	}
+	for epoch := 0; epoch < 64; epoch++ {
+		for w := 0; w < 4; w++ {
+			id := fmt.Sprintf("worker-%02d", w)
+			if a.WorkerDown(id, epoch) != b.WorkerDown(id, epoch) {
+				t.Fatalf("WorkerDown(%s, %d) diverged for same seed", id, epoch)
+			}
+		}
+	}
+}
+
+func TestFaultPlanSeedSensitive(t *testing.T) {
+	cfg := DefaultFaultConfig()
+	a := NewFaultPlan(1, cfg)
+	b := NewFaultPlan(2, cfg)
+	same := 0
+	const n = 2000
+	for seq := uint64(0); seq < n; seq++ {
+		if a.Decide("m", "w", seq) == b.Decide("m", "w", seq) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestFaultPlanRates(t *testing.T) {
+	// With only drops configured at 10%, the empirical drop rate over many
+	// independent links should land near 10%.
+	p := NewFaultPlan(7, FaultConfig{DropRate: 0.1})
+	drops := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if p.Decide("a", fmt.Sprintf("b%d", i), 0).Drop {
+			drops++
+		}
+	}
+	rate := float64(drops) / n
+	if rate < 0.07 || rate > 0.13 {
+		t.Fatalf("empirical drop rate %.3f, want ≈ 0.10", rate)
+	}
+}
+
+func TestFaultPlanNilSafe(t *testing.T) {
+	var p *FaultPlan
+	if f := p.Decide("a", "b", 0); f.Drop || f.Delay != 0 {
+		t.Fatalf("nil plan injected %+v", f)
+	}
+	if p.WorkerDown("a", 3) {
+		t.Fatal("nil plan crashed a worker")
+	}
+	if p.Seed() != 0 {
+		t.Fatal("nil plan has a seed")
+	}
+}
+
+func TestFaultPlanWorkerDownWindows(t *testing.T) {
+	// Crashes must respect MaxCrashLen: within any cycle the down epochs
+	// form one contiguous window of at most MaxCrashLen epochs.
+	cfg := DefaultFaultConfig()
+	cfg.CrashRate = 1 // crash every cycle so every window is exercised
+	p := NewFaultPlan(9, cfg)
+	period := int(cfg.CrashPeriod)
+	for cycle := 0; cycle < 50; cycle++ {
+		down := 0
+		transitions := 0
+		prev := false
+		for off := 0; off < period; off++ {
+			d := p.WorkerDown("w", cycle*period+off)
+			if d {
+				down++
+			}
+			if d != prev {
+				transitions++
+			}
+			prev = d
+		}
+		if down < 1 || down > int(cfg.MaxCrashLen) {
+			t.Fatalf("cycle %d: %d down epochs, want 1..%d", cycle, down, cfg.MaxCrashLen)
+		}
+		if transitions > 2 {
+			t.Fatalf("cycle %d: down window not contiguous", cycle)
+		}
+	}
+}
+
+// TestBusSendCloseRace is the regression test for the send-on-closed-channel
+// panic: Endpoint.Send used to release the bus lock before enqueuing, so a
+// concurrent Bus.Close (which closes every inbox) made the enqueue panic.
+// Run with -race.
+func TestBusSendCloseRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		bus := NewBus()
+		ep, err := bus.Register("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := bus.Register("b"); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for s := 0; s < 4; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 100; i++ {
+					if err := ep.Send("b", "k", []byte("x")); err != nil {
+						if !errors.Is(err, ErrClosed) {
+							t.Errorf("send: %v", err)
+						}
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			bus.Close()
+		}()
+		close(start)
+		wg.Wait()
+	}
+}
+
+func TestBusFaultInjectionDrops(t *testing.T) {
+	cfg := FaultConfig{DropRate: 0.5}
+	run := func() (delivered int, drops int64) {
+		bus := NewBus()
+		a, err := bus.Register("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := bus.Register("b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		bus.InjectFaults(NewFaultPlan(3, cfg), obs.NewSimClock(0))
+		for i := 0; i < 200; i++ {
+			if err := a.Send("b", "k", []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for {
+			if _, ok := b.TryRecv(); !ok {
+				break
+			}
+			delivered++
+		}
+		drops, _ = bus.Meter().Injected()
+		return delivered, drops
+	}
+	d1, drops1 := run()
+	d2, drops2 := run()
+	if drops1 == 0 {
+		t.Fatal("no injected drops at 50% drop rate")
+	}
+	if d1+int(drops1) != 200 {
+		t.Fatalf("delivered %d + dropped %d != 200 sent", d1, drops1)
+	}
+	if d1 != d2 || drops1 != drops2 {
+		t.Fatalf("same seed, different outcomes: (%d, %d) vs (%d, %d)", d1, drops1, d2, drops2)
+	}
+}
+
+func TestBusFaultDelayAdvancesClock(t *testing.T) {
+	bus := NewBus()
+	a, err := bus.Register("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bus.Register("b"); err != nil {
+		t.Fatal(err)
+	}
+	clock := obs.NewSimClock(time.Microsecond)
+	before := clock.Now()
+	bus.InjectFaults(NewFaultPlan(5, FaultConfig{DelayRate: 1, MaxDelay: time.Millisecond}), clock)
+	for i := 0; i < 50; i++ {
+		if err := a.Send("b", "k", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, delays := bus.Meter().Injected()
+	if delays == 0 {
+		t.Fatal("no injected delays at 100% delay rate")
+	}
+	// 50 deliveries all delayed: logical time must have advanced well past
+	// the two Now() readings' own ticks.
+	if advanced := clock.Now() - before; advanced < int64(50*time.Microsecond) {
+		t.Fatalf("clock advanced only %d ns across %d delayed sends", advanced, delays)
+	}
+}

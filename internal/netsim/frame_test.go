@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestWriteFrameRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	msg := Message{From: "a", To: "b", Kind: "k", Payload: make([]byte, maxFrameSize+1)}
+	err := writeFrame(&buf, msg)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("oversized frame wrote %d bytes before failing", buf.Len())
+	}
+}
+
+// TestTCPOversizedSendDoesNotPoisonConnection asserts the sender-side frame
+// bound: an oversized Send must fail locally, before any bytes hit the
+// socket, so the same connection keeps working afterwards. Before the fix
+// the length prefix could silently truncate and/or the peer's read loop died
+// with ErrFrameTooLarge.
+func TestTCPOversizedSendDoesNotPoisonConnection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates a >64MB payload")
+	}
+	hub := startHub(t)
+	a := dial(t, hub, "manager")
+	b := dial(t, hub, "worker-1")
+
+	err := a.Send("worker-1", "blob", make([]byte, maxFrameSize+1))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized send err = %v, want ErrFrameTooLarge", err)
+	}
+	// The connection must still carry ordinary traffic in both directions.
+	if err := a.Send("worker-1", "task", []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Kind != "task" || string(msg.Payload) != "after" {
+		t.Errorf("msg = %+v", msg)
+	}
+	if err := b.Send("manager", "result", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if reply, err := a.Recv(); err != nil || string(reply.Payload) != "ok" {
+		t.Fatalf("reply = %+v, err = %v", reply, err)
+	}
+}
+
+// FuzzReadFrame fuzzes the wire frame decoder. The seeds include the
+// truncated-length-prefix case: a prefix announcing more bytes than follow
+// must fail with an unexpected-EOF-style error, never hang or panic, and a
+// prefix over maxFrameSize must be rejected before allocating.
+func FuzzReadFrame(f *testing.F) {
+	// Valid frame.
+	var valid bytes.Buffer
+	if err := writeFrame(&valid, Message{From: "a", To: "b", Kind: "k", Payload: []byte("p")}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	// Truncated length prefix: fewer than 4 header bytes.
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x00, 0x00, 0x00})
+	// Prefix announces 16 bytes, body is shorter.
+	truncated := []byte{0x00, 0x00, 0x00, 0x10, 'x', 'y'}
+	f.Add(truncated)
+	// Prefix over maxFrameSize.
+	var huge [4]byte
+	binary.BigEndian.PutUint32(huge[:], maxFrameSize+1)
+	f.Add(huge[:])
+	// Valid prefix, garbage JSON body.
+	f.Add([]byte{0x00, 0x00, 0x00, 0x02, '{', 'x'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			if strings.Contains(err.Error(), "netsim") ||
+				errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+				errors.Is(err, ErrFrameTooLarge) {
+				return
+			}
+			t.Fatalf("unexpected error class: %v", err)
+		}
+		// A decoded frame must round-trip.
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, msg); err != nil {
+			t.Fatalf("re-encode of decoded frame failed: %v", err)
+		}
+	})
+}

@@ -31,6 +31,12 @@ type TCPHub struct {
 	clients map[string]*hubClient
 	closed  bool
 
+	// Fault injection (nil plan = none); linkSeq orders each directed
+	// link's routed messages for the plan's deterministic decisions.
+	faults  *FaultPlan
+	clock   obs.Clock
+	linkSeq map[string]uint64
+
 	wg sync.WaitGroup
 }
 
@@ -78,6 +84,21 @@ func (h *TCPHub) Meter() *Meter { return h.meter }
 
 // Observe mirrors the hub's traffic into reg under net_tcp_* counters.
 func (h *TCPHub) Observe(reg *obs.Registry) { h.meter.Attach(reg, "tcp") }
+
+// InjectFaults applies a deterministic fault plan to every subsequently
+// routed message (registration handshakes are exempt — a plan describes a
+// faulty network, not a refusing hub). clock is the logical clock injected
+// delays advance; nil makes delays accounting-only. A nil plan restores
+// fault-free routing.
+func (h *TCPHub) InjectFaults(plan *FaultPlan, clock obs.Clock) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.faults = plan
+	h.clock = clock
+	if plan != nil && h.linkSeq == nil {
+		h.linkSeq = make(map[string]uint64)
+	}
+}
 
 // Close shuts the hub and all client connections down and waits for its
 // goroutines to exit.
@@ -183,6 +204,22 @@ func (h *TCPHub) route(msg Message) {
 	// concurrent dropClient cannot close the destination queue mid-send.
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.faults != nil {
+		link := msg.From + "\x00" + msg.To
+		n := h.linkSeq[link]
+		h.linkSeq[link] = n + 1
+		fault := h.faults.Decide(msg.From, msg.To, n)
+		if fault.Drop {
+			h.meter.RecordInjectedDrop(msg.From, msg.To, msg.Kind, msg.Size())
+			return
+		}
+		if fault.Delay > 0 {
+			h.meter.RecordInjectedDelay()
+			if adv, ok := h.clock.(advancer); ok {
+				adv.Advance(fault.Delay)
+			}
+		}
+	}
 	dst, ok := h.clients[msg.To]
 	if !ok {
 		// Unknown destination: drop (as a datagram fabric would), but keep
@@ -214,9 +251,21 @@ func (h *TCPHub) dropClient(name string) {
 }
 
 func writeFrame(w io.Writer, msg Message) error {
+	// Fast pre-check: base64 only expands the payload, so a payload already
+	// over the frame bound cannot encode under it — skip the marshal.
+	if len(msg.Payload) > maxFrameSize {
+		return fmt.Errorf("%d payload bytes: %w", len(msg.Payload), ErrFrameTooLarge)
+	}
 	data, err := json.Marshal(msg)
 	if err != nil {
 		return fmt.Errorf("netsim frame: %w", err)
+	}
+	// Reject oversized frames before writing a single byte: maxFrameSize is
+	// well under math.MaxUint32, so this one check also rules out silently
+	// truncating the uint32 length prefix — and because nothing has hit the
+	// socket yet, the connection stays usable after the error.
+	if len(data) > maxFrameSize {
+		return fmt.Errorf("%d bytes: %w", len(data), ErrFrameTooLarge)
 	}
 	var prefix [4]byte
 	binary.BigEndian.PutUint32(prefix[:], uint32(len(data)))
@@ -248,7 +297,9 @@ func readFrame(r io.Reader) (Message, error) {
 }
 
 // TCPEndpoint is a client connection to a TCPHub offering the same
-// Send/Recv surface as the in-memory Endpoint.
+// Send/Recv/TryRecv surface as the in-memory Endpoint. A background pump
+// reads frames off the socket into a bounded inbox, which is what gives the
+// endpoint a non-blocking TryRecv for deadline-driven callers.
 type TCPEndpoint struct {
 	name string
 	conn net.Conn
@@ -256,6 +307,11 @@ type TCPEndpoint struct {
 	writeMu sync.Mutex
 	writer  *bufio.Writer
 	reader  *bufio.Reader
+
+	inbox     chan Message
+	done      chan struct{}
+	closeOnce sync.Once
+	readErr   error // set by the pump before it closes inbox
 }
 
 // DialHub connects to the hub at addr and registers under name.
@@ -272,6 +328,8 @@ func DialHub(addr, name string) (*TCPEndpoint, error) {
 		conn:   conn,
 		writer: bufio.NewWriter(conn),
 		reader: bufio.NewReader(conn),
+		inbox:  make(chan Message, busQueueDepth),
+		done:   make(chan struct{}),
 	}
 	if err := ep.writeMsg(Message{From: name, Kind: KindRegister}); err != nil {
 		_ = conn.Close()
@@ -286,7 +344,27 @@ func DialHub(addr, name string) (*TCPEndpoint, error) {
 		_ = conn.Close()
 		return nil, fmt.Errorf("netsim register %q: %s", name, ack.Payload)
 	}
+	go ep.pump()
 	return ep, nil
+}
+
+// pump moves frames from the socket into the inbox until the connection
+// drops; the terminal error is published before the inbox closes (a close
+// happens-before the receive that observes it, so readers need no lock).
+func (e *TCPEndpoint) pump() {
+	for {
+		msg, err := readFrame(e.reader)
+		if err != nil {
+			e.readErr = err
+			close(e.inbox)
+			return
+		}
+		select {
+		case e.inbox <- msg:
+		case <-e.done:
+			return
+		}
+	}
 }
 
 // Name returns the endpoint's registered name.
@@ -303,17 +381,38 @@ func (e *TCPEndpoint) writeMsg(msg Message) error {
 
 // Send delivers a message through the hub.
 func (e *TCPEndpoint) Send(to, kind string, payload []byte) error {
-	return e.writeMsg(Message{From: e.name, To: to, Kind: kind, Payload: payload})
+	return e.SendSeq(to, kind, 0, payload)
+}
+
+// SendSeq delivers a message carrying the given correlation number.
+func (e *TCPEndpoint) SendSeq(to, kind string, seq uint64, payload []byte) error {
+	return e.writeMsg(Message{From: e.name, To: to, Kind: kind, Payload: payload, Seq: seq})
 }
 
 // Recv blocks until a message arrives or the connection closes.
 func (e *TCPEndpoint) Recv() (Message, error) {
-	msg, err := readFrame(e.reader)
-	if err != nil {
-		return Message{}, fmt.Errorf("netsim recv: %w", err)
+	msg, ok := <-e.inbox
+	if !ok {
+		return Message{}, fmt.Errorf("netsim recv: %w", e.readErr)
 	}
 	return msg, nil
 }
 
+// TryRecv returns the next message if one is queued.
+func (e *TCPEndpoint) TryRecv() (Message, bool) {
+	select {
+	case msg, ok := <-e.inbox:
+		if !ok {
+			return Message{}, false
+		}
+		return msg, true
+	default:
+		return Message{}, false
+	}
+}
+
 // Close terminates the connection.
-func (e *TCPEndpoint) Close() error { return e.conn.Close() }
+func (e *TCPEndpoint) Close() error {
+	e.closeOnce.Do(func() { close(e.done) })
+	return e.conn.Close()
+}

@@ -1,9 +1,10 @@
 // Package obscli wires the runtime flag surface shared by the rpolbench
-// and rpolsim commands: -metrics, -table, -trace, -pprof, -wallclock, and
-// -jobs. It builds the obs.Observer those flags describe, installs it as
-// the process-wide default (so pools constructed deep inside experiment
-// runners record into it), installs the -jobs compute default, and renders
-// the snapshot when the run finishes.
+// and rpolsim commands: -metrics, -table, -trace, -pprof, -wallclock,
+// -jobs, and -faultseed. It builds the obs.Observer those flags describe,
+// installs it as the process-wide default (so pools constructed deep inside
+// experiment runners record into it), installs the -jobs compute default
+// and the -faultseed fault plan, and renders the snapshot when the run
+// finishes.
 package obscli
 
 import (
@@ -14,6 +15,7 @@ import (
 	_ "net/http/pprof" // -pprof registers the profiling handlers
 	"os"
 
+	"rpol/internal/netsim"
 	"rpol/internal/obs"
 	"rpol/internal/parallel"
 )
@@ -37,6 +39,11 @@ type Options struct {
 	// any n ≥ 1 enables the chunked runtime, whose results are
 	// bit-identical for every n.
 	Jobs int
+	// FaultSeed seeds the process-wide deterministic fault plan
+	// (netsim.DefaultFaultConfig rates): injected message drops/delays and
+	// worker crash-restart windows, replayed bit-identically for the same
+	// seed. 0 (the default) injects no faults.
+	FaultSeed int64
 }
 
 // Register declares the flags on fs (the default flag.CommandLine in main).
@@ -47,6 +54,7 @@ func (o *Options) Register(fs *flag.FlagSet) {
 	fs.StringVar(&o.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.BoolVar(&o.WallClock, "wallclock", false, "timestamp trace spans with wall time (non-deterministic) instead of simulated time")
 	fs.IntVar(&o.Jobs, "jobs", 0, "deterministic compute workers per task (0 = serial; results are bit-identical for any value ≥ 1)")
+	fs.Int64Var(&o.FaultSeed, "faultseed", 0, "seed for deterministic fault injection (drops, delays, worker crashes); 0 disables, same seed replays identically")
 }
 
 // enabled reports whether any flag asks for an observer.
@@ -73,9 +81,12 @@ func (o *Options) ProtocolClock() obs.Clock {
 // When no observability flag is set the observer is nil and finish only
 // serves pprof cleanup (a no-op).
 func (o *Options) Setup(out io.Writer) (*obs.Observer, func() error, error) {
-	// -jobs configures the process-wide compute default regardless of
+	// -jobs and -faultseed configure process-wide defaults regardless of
 	// whether any observability flag is set.
 	parallel.SetDefaultWorkers(o.Jobs)
+	if o.FaultSeed != 0 {
+		netsim.SetDefaultFaultPlan(netsim.NewFaultPlan(o.FaultSeed, netsim.DefaultFaultConfig()))
+	}
 	if o.PprofAddr != "" {
 		ln := o.PprofAddr
 		go func() {

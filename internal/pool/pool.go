@@ -16,6 +16,7 @@ import (
 	"rpol/internal/dataset"
 	"rpol/internal/gpu"
 	"rpol/internal/modelzoo"
+	"rpol/internal/netsim"
 	"rpol/internal/nn"
 	"rpol/internal/obs"
 	"rpol/internal/parallel"
@@ -62,6 +63,22 @@ type Config struct {
 	Workers int
 	// Seed makes the whole pool construction and run reproducible.
 	Seed int64
+	// Faults is an optional deterministic fault plan: its crash-restart
+	// schedule knocks workers out for whole epochs (they fail collection
+	// with rpol.ErrWorkerUnavailable and are recorded as absent). Nil falls
+	// back to the plan derived from FaultSeed, then to the process-wide
+	// default installed by the -faultseed flag, then to no faults. Because
+	// the plan is a pure function of its seed, two runs with the same
+	// (Seed, fault plan) produce identical EpochStats, absences included.
+	Faults *netsim.FaultPlan
+	// FaultSeed derives a Faults plan with netsim.DefaultFaultConfig when
+	// Faults is nil and FaultSeed is non-zero.
+	FaultSeed int64
+	// Quorum is the minimum number of responsive workers an epoch needs to
+	// settle (see rpol.ManagerConfig.Quorum). Zero defaults to 1 when a
+	// fault plan is active and to the strict all-must-respond behaviour
+	// otherwise; negative forces strict mode even under faults.
+	Quorum int
 	// Obs routes the pool's metrics and spans (nil falls back to the
 	// process-wide default observer, disabled unless a command installed
 	// one). Instrumentation does not change protocol results: a seeded run
@@ -91,6 +108,21 @@ func (c *Config) applyDefaults() {
 	if c.Workers == 0 {
 		c.Workers = parallel.DefaultWorkers()
 	}
+	if c.Faults == nil {
+		if c.FaultSeed != 0 {
+			c.Faults = netsim.NewFaultPlan(c.FaultSeed, netsim.DefaultFaultConfig())
+		} else {
+			c.Faults = netsim.DefaultFaultPlan()
+		}
+	}
+	switch {
+	case c.Quorum < 0:
+		c.Quorum = 0 // explicit strict mode
+	case c.Quorum == 0 && c.Faults != nil:
+		// Faults without a quorum would turn every injected crash into an
+		// aborted epoch; settle with whoever responds instead.
+		c.Quorum = 1
+	}
 }
 
 // Validate rejects unusable configurations.
@@ -102,6 +134,16 @@ func (c Config) Validate() error {
 		return errors.New("pool: need at least one worker")
 	case c.Adv1Fraction < 0 || c.Adv2Fraction < 0 || c.Adv1Fraction+c.Adv2Fraction > 1:
 		return errors.New("pool: adversary fractions must be non-negative and sum to ≤ 1")
+	// applyDefaults only rewrites exact zeros, so negatives would flow
+	// straight into the protocol; reject them here.
+	case c.StepsPerEpoch < 0:
+		return errors.New("pool: steps per epoch must not be negative")
+	case c.CheckpointEvery < 0:
+		return errors.New("pool: checkpoint interval must not be negative")
+	case c.Samples < 0:
+		return errors.New("pool: sample count must not be negative")
+	case c.Verifiers < 0:
+		return errors.New("pool: verifier count must not be negative")
 	}
 	return nil
 }
@@ -136,6 +178,25 @@ type member struct {
 	role   Role
 }
 
+// faultWorker applies a FaultPlan's crash-restart schedule to an in-process
+// worker: during epochs the plan has the worker down, RunEpoch fails with
+// rpol.ErrWorkerUnavailable before any training happens, exactly as a
+// crashed peer looks to a deadline-bounded transport — so the manager
+// records it absent. The decision is a pure function of (plan seed, worker
+// ID, epoch), keeping seeded runs replayable.
+type faultWorker struct {
+	rpol.Worker
+	plan *netsim.FaultPlan
+}
+
+func (f *faultWorker) RunEpoch(p rpol.TaskParams) (*rpol.EpochResult, error) {
+	if f.plan.WorkerDown(f.Worker.ID(), p.Epoch) {
+		return nil, fmt.Errorf("pool: worker %s down for epoch %d: %w",
+			f.Worker.ID(), p.Epoch, rpol.ErrWorkerUnavailable)
+	}
+	return f.Worker.RunEpoch(p)
+}
+
 // Pool is a ready-to-run mining pool.
 type Pool struct {
 	cfg      Config
@@ -164,7 +225,13 @@ type EpochStats struct {
 	MissedAdversaries int
 	// FalseRejections counts rejected honest submissions — the paper's
 	// "0 false negative for honesty" target says this should stay 0.
+	// Workers that merely missed their deadline are counted in
+	// AbsentWorkers instead, never here.
 	FalseRejections int
+	// AbsentWorkers counts workers that missed the epoch entirely (crash,
+	// partition, persistent loss): neither rewarded nor treated as
+	// detected adversaries.
+	AbsentWorkers   int
 	Calibration     *rpol.Calibration
 	VerifyCommBytes int64
 	ReexecSteps     int
@@ -275,6 +342,9 @@ func New(cfg Config) (*Pool, error) {
 			hw.SetObserver(observer)
 			w = hw
 		}
+		if cfg.Faults != nil {
+			w = &faultWorker{Worker: w, plan: cfg.Faults}
+		}
 		members = append(members, member{worker: w, role: role})
 		workers = append(workers, w)
 		shardMap[w.ID()] = shard
@@ -297,6 +367,7 @@ func New(cfg Config) (*Pool, error) {
 		ParallelVerifiers: cfg.Verifiers,
 		NetBuilder:        buildNet,
 		Workers:           cfg.Workers,
+		Quorum:            cfg.Quorum,
 		Obs:               observer,
 		// In-process workers each own their network and trainer, so the
 		// collection phase can safely run them concurrently.
@@ -397,12 +468,18 @@ func (p *Pool) RunEpoch() (*EpochStats, error) {
 		Epoch:           report.Epoch,
 		Accepted:        report.Accepted,
 		Rejected:        report.Rejected,
+		AbsentWorkers:   report.Absent,
 		Calibration:     report.Calibration,
 		VerifyCommBytes: report.VerifyCommBytes,
 		ReexecSteps:     report.ReexecSteps,
 		Phases:          report.Phases.Clone(),
 	}
 	for _, o := range report.Outcomes {
+		if o.Outcome == rpol.OutcomeAbsent {
+			// An unreachable worker earns nothing and proves nothing: it is
+			// neither a detected adversary nor a false rejection.
+			continue
+		}
 		role := roles[o.WorkerID]
 		switch {
 		case o.Accepted && role == RoleHonest:
@@ -424,6 +501,9 @@ func (p *Pool) RunEpoch() (*EpochStats, error) {
 	p.obs.Counter("pool_detected_adversaries_total").Add(int64(stats.DetectedAdversaries))
 	p.obs.Counter("pool_missed_adversaries_total").Add(int64(stats.MissedAdversaries))
 	p.obs.Counter("pool_false_rejections_total").Add(int64(stats.FalseRejections))
+	if stats.AbsentWorkers > 0 {
+		p.obs.Counter("pool_absent_workers_total").Add(int64(stats.AbsentWorkers))
+	}
 	acc, err := p.TestAccuracy()
 	if err != nil {
 		return nil, err

@@ -54,6 +54,15 @@ type ManagerConfig struct {
 	// and trainer); leave it off for workers multiplexed over a single
 	// sequential transport (e.g. one wire.ManagerPort).
 	ConcurrentCollection bool
+	// Quorum is the minimum number of responsive workers an epoch needs to
+	// settle. 0 (the default) keeps the historical strict behaviour: any
+	// collection failure aborts the epoch. When > 0, a worker whose
+	// collection fails with an error wrapping ErrWorkerUnavailable (a
+	// transport deadline, a crashed peer) is recorded as OutcomeAbsent —
+	// neither accepted nor counted as a detected adversary — and the epoch
+	// settles with the responsive workers, failing only when fewer than
+	// Quorum of them respond. Non-availability errors still abort.
+	Quorum int
 	// Workers sizes the deterministic compute pool threaded through the
 	// epoch: workers' batch training and commitment hashing (via
 	// TaskParams.Workers) and the manager's own interval verification. 0
@@ -96,6 +105,9 @@ type EpochReport struct {
 	Outcomes    []*VerifyOutcome
 	Accepted    int
 	Rejected    int
+	// Absent counts workers that missed their deadline this epoch
+	// (OutcomeAbsent): unreachable, not adversarial.
+	Absent int
 	// VerifyCommBytes totals verification-only traffic across workers.
 	VerifyCommBytes int64
 	// ReexecSteps totals the manager's re-executed training steps.
@@ -246,8 +258,8 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 	for i, w := range m.workers {
 		workerSpans[i] = m.obs.Start(epochSpan, "worker.epoch", obs.String("worker", w.ID()))
 	}
+	errs := make([]error, len(m.workers))
 	if m.cfg.ConcurrentCollection {
-		errs := make([]error, len(m.workers))
 		var wg sync.WaitGroup
 		for i, w := range m.workers {
 			wg.Add(1)
@@ -258,35 +270,77 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 		}
 		wg.Wait()
 		for _, err := range errs {
-			if err != nil {
+			if err != nil && !m.absentErr(err) {
 				return nil, err
 			}
 		}
 	} else {
 		for i, w := range m.workers {
-			if err := collect(i, w); err != nil {
-				return nil, err
+			errs[i] = collect(i, w)
+			if errs[i] != nil && !m.absentErr(errs[i]) {
+				return nil, errs[i]
 			}
 		}
 	}
+	// Partition workers into responsive and absent. A collection error
+	// reaching this point is an availability failure under an active quorum
+	// (absentErr aborted on everything else): the worker sits the epoch out
+	// as OutcomeAbsent and the responsive ones carry it — provided enough of
+	// them remain.
+	responsive := 0
+	for _, err := range errs {
+		if err == nil {
+			responsive++
+		}
+	}
+	if responsive < len(m.workers) && responsive < m.cfg.Quorum {
+		return nil, fmt.Errorf("rpol manager: only %d of %d workers responsive, quorum is %d: %w",
+			responsive, len(m.workers), m.cfg.Quorum, ErrWorkerUnavailable)
+	}
 	report.Phases.Add(obs.PhaseTraining, obs.PhaseTotals{
-		Count: int64(len(m.workers)),
-		Steps: int64(len(m.workers)) * int64(m.cfg.StepsPerEpoch),
+		Count: int64(responsive),
+		Steps: int64(responsive) * int64(m.cfg.StepsPerEpoch),
 	})
-	for _, result := range results {
+	live := make([]Submission, 0, responsive)
+	liveIdx := make([]int, 0, responsive)
+	for i, result := range results {
+		if errs[i] != nil {
+			continue
+		}
+		live = append(live, subs[i])
+		liveIdx = append(liveIdx, i)
 		report.Phases.Add(obs.PhaseCommitment, obs.PhaseTotals{Count: 1, Bytes: submissionBytes(result)})
 		if n := len(result.LSHDigests); n > 0 {
 			report.Phases.Add(obs.PhaseLSH, obs.PhaseTotals{Count: int64(n)})
 		}
 	}
 
-	outcomes, err := m.verifyAll(verifier, subs)
+	verified, err := m.verifyAll(verifier, live)
 	if err != nil {
 		return nil, fmt.Errorf("rpol manager: %w", err)
+	}
+	outcomes := make([]*VerifyOutcome, len(m.workers))
+	for j, outcome := range verified {
+		outcomes[liveIdx[j]] = outcome
+	}
+	for i, w := range m.workers {
+		if outcomes[i] == nil {
+			outcomes[i] = &VerifyOutcome{
+				WorkerID:   w.ID(),
+				Epoch:      epoch,
+				Outcome:    OutcomeAbsent,
+				FailReason: "absent: " + errs[i].Error(),
+			}
+		}
 	}
 	accepted := make([]*EpochResult, 0, len(m.workers))
 	for i, outcome := range outcomes {
 		report.Outcomes = append(report.Outcomes, outcome)
+		if outcome.Outcome == OutcomeAbsent {
+			report.Absent++
+			workerSpans[i].End(obs.String("outcome", outcome.Outcome.String()))
+			continue
+		}
 		report.VerifyCommBytes += outcome.CommBytes
 		report.ReexecSteps += outcome.ReexecSteps
 		report.Phases.Add(obs.PhaseChallenge, obs.PhaseTotals{Count: int64(len(outcome.SampledCheckpoints))})
@@ -306,9 +360,12 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 		}
 		workerSpans[i].End(obs.Bool("accepted", outcome.Accepted))
 	}
-	report.Phases.Add(obs.PhaseVerdict, obs.PhaseTotals{Count: int64(len(outcomes))})
+	report.Phases.Add(obs.PhaseVerdict, obs.PhaseTotals{Count: int64(len(verified))})
 	m.obs.Counter("rpol_accepted_total").Add(int64(report.Accepted))
 	m.obs.Counter("rpol_rejected_total").Add(int64(report.Rejected))
+	if report.Absent > 0 {
+		m.obs.Counter("rpol_absent_total").Add(int64(report.Absent))
+	}
 
 	if len(accepted) > 0 {
 		aggSpan := m.obs.Start(epochSpan, "manager.aggregate", obs.Int("accepted", int64(len(accepted))))
@@ -324,6 +381,14 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 	m.obs.Counter("rpol_epochs_total").Inc()
 	report.Phases.MirrorTo(m.obs.Registry())
 	return report, nil
+}
+
+// absentErr reports whether a collection error marks the worker absent
+// rather than aborting the epoch: only availability failures qualify, and
+// only when a quorum is configured (the strict default keeps every failure
+// fatal, preserving the historical behaviour).
+func (m *Manager) absentErr(err error) bool {
+	return m.cfg.Quorum > 0 && errors.Is(err, ErrWorkerUnavailable)
 }
 
 // submissionBytes is the modelled fan-in size of one epoch submission: the

@@ -1,0 +1,150 @@
+package rpol
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rpol/internal/dataset"
+	"rpol/internal/gpu"
+	"rpol/internal/nn"
+)
+
+// flakyWorker wraps a Worker and fails collection with ErrWorkerUnavailable
+// on the configured epochs, imitating a transport that exhausted its retry
+// budget against a crashed peer.
+type flakyWorker struct {
+	Worker
+	downEpochs map[int]bool
+}
+
+func (f *flakyWorker) RunEpoch(p TaskParams) (*EpochResult, error) {
+	if f.downEpochs[p.Epoch] {
+		return nil, fmt.Errorf("test: %s down: %w", f.Worker.ID(), ErrWorkerUnavailable)
+	}
+	return f.Worker.RunEpoch(p)
+}
+
+// buildQuorumPool assembles n honest workers, marking worker 0 down for
+// epoch 0, under the given quorum and collection mode.
+func buildQuorumPool(t *testing.T, quorum int, concurrent bool) *Manager {
+	t.Helper()
+	const n = 3
+	ds, err := dataset.Generate(dataset.Config{
+		Name: "quorum-pool", NumClasses: 4, Dim: 8, Size: 1200, ClusterStd: 0.4, Seed: 55,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := ds.Partition(n + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := gpu.Profiles()
+	workers := make([]Worker, n)
+	shardMap := make(map[string]*dataset.Dataset, n)
+	for i := 0; i < n; i++ {
+		net, _ := testTask(t, 30)
+		id := "w" + string(rune('A'+i))
+		w, err := NewHonestWorker(id, profiles[i%len(profiles)], int64(1000+i), net, shards[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+		shardMap[id] = shards[i]
+	}
+	workers[0] = &flakyWorker{Worker: workers[0], downEpochs: map[int]bool{0: true}}
+	mgr, err := NewManager(ManagerConfig{
+		Address:              "pool-manager",
+		Scheme:               SchemeV2,
+		Hyper:                Hyper{Optimizer: "sgdm", LR: 0.05, BatchSize: 8},
+		StepsPerEpoch:        15,
+		CheckpointEvery:      5,
+		Samples:              3,
+		GPU:                  gpu.G3090,
+		MasterKey:            []byte("master"),
+		Seed:                 99,
+		Quorum:               quorum,
+		ConcurrentCollection: concurrent,
+	}, mustNet(t), workers, shardMap, shards[n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}
+
+func mustNet(t *testing.T) *nn.Network {
+	t.Helper()
+	net, _ := testTask(t, 30)
+	return net
+}
+
+func TestManagerQuorumRecordsAbsent(t *testing.T) {
+	for _, concurrent := range []bool{false, true} {
+		t.Run(fmt.Sprintf("concurrent=%v", concurrent), func(t *testing.T) {
+			mgr := buildQuorumPool(t, 1, concurrent)
+			report, err := mgr.RunEpoch()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.Absent != 1 || report.Accepted != 2 || report.Rejected != 0 {
+				t.Fatalf("absent=%d accepted=%d rejected=%d, want 1/2/0",
+					report.Absent, report.Accepted, report.Rejected)
+			}
+			if len(report.Outcomes) != 3 {
+				t.Fatalf("outcomes = %d, want one per worker", len(report.Outcomes))
+			}
+			o := report.Outcomes[0]
+			if o.Outcome != OutcomeAbsent || o.Accepted || o.WorkerID != "wA" {
+				t.Fatalf("worker 0 outcome = %+v, want absent wA", o)
+			}
+			for _, o := range report.Outcomes[1:] {
+				if o.Outcome != OutcomeAccepted || !o.Accepted {
+					t.Fatalf("responsive worker outcome = %+v", o)
+				}
+			}
+
+			// Epoch 1: the worker is back; everyone participates again.
+			report, err = mgr.RunEpoch()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.Absent != 0 || report.Accepted != 3 {
+				t.Fatalf("epoch 1: absent=%d accepted=%d, want 0/3", report.Absent, report.Accepted)
+			}
+		})
+	}
+}
+
+func TestManagerStrictModeAbortsOnUnavailable(t *testing.T) {
+	// Quorum 0 keeps the historical behaviour: any collection failure,
+	// including an availability one, aborts the epoch.
+	mgr := buildQuorumPool(t, 0, false)
+	if _, err := mgr.RunEpoch(); !errors.Is(err, ErrWorkerUnavailable) {
+		t.Fatalf("err = %v, want the collection failure surfaced", err)
+	}
+}
+
+func TestManagerQuorumNotMet(t *testing.T) {
+	// Quorum 3 with one of three workers down: the epoch must fail with an
+	// availability error rather than settle.
+	mgr := buildQuorumPool(t, 3, false)
+	_, err := mgr.RunEpoch()
+	if !errors.Is(err, ErrWorkerUnavailable) {
+		t.Fatalf("err = %v, want quorum failure wrapping ErrWorkerUnavailable", err)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	cases := map[Outcome]string{
+		OutcomeAccepted: "accepted",
+		OutcomeRejected: "rejected",
+		OutcomeAbsent:   "absent",
+		Outcome(0):      "unknown",
+	}
+	for o, want := range cases {
+		if o.String() != want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", o, o.String(), want)
+		}
+	}
+}

@@ -186,11 +186,49 @@ type Calibration struct {
 	NumProbes int        // checkpoints measured
 }
 
+// ErrWorkerUnavailable marks a worker that could not be reached within its
+// deadline: requests timed out or the transport reported the peer gone.
+// Transports wrap their terminal delivery failures in it so the manager can
+// classify the worker as absent (OutcomeAbsent) rather than adversarial —
+// an unreachable honest worker must never count toward FalseRejections.
+var ErrWorkerUnavailable = errors.New("rpol: worker unavailable")
+
+// Outcome classifies how a worker's epoch concluded from the manager's view.
+type Outcome int
+
+const (
+	// OutcomeAccepted means the submission arrived and passed verification.
+	OutcomeAccepted Outcome = iota + 1
+	// OutcomeRejected means the submission arrived and failed verification.
+	OutcomeRejected
+	// OutcomeAbsent means no submission arrived within the worker's deadline
+	// (crash, partition, or persistent loss). Absent workers are neither
+	// accepted nor counted as detected adversaries.
+	OutcomeAbsent
+)
+
+// String names the outcome for spans and reports.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeAccepted:
+		return "accepted"
+	case OutcomeRejected:
+		return "rejected"
+	case OutcomeAbsent:
+		return "absent"
+	default:
+		return "unknown"
+	}
+}
+
 // VerifyOutcome describes the verification of one worker's submission.
 type VerifyOutcome struct {
 	WorkerID string
 	Epoch    int
 	Accepted bool
+	// Outcome is the three-way classification; Accepted is retained for
+	// compatibility and always equals (Outcome == OutcomeAccepted).
+	Outcome Outcome
 	// SampledCheckpoints are the interval start indices the manager chose.
 	SampledCheckpoints []int
 	// LSHMisses counts sampled intervals whose re-executed output failed

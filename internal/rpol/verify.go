@@ -98,6 +98,13 @@ func (v *Verifier) VerifySubmission(opener ProofOpener, shard *dataset.Dataset, 
 	span := v.observer().Start(p.Trace, "verify.submission",
 		obs.String("worker", result.WorkerID), obs.String("scheme", v.Scheme.String()))
 	defer func() {
+		if out.Outcome == 0 {
+			if out.Accepted {
+				out.Outcome = OutcomeAccepted
+			} else {
+				out.Outcome = OutcomeRejected
+			}
+		}
 		v.observer().Counter("rpol_submissions_verified_total").Inc()
 		if out.Accepted {
 			v.observer().Counter("rpol_verify_accept_total").Inc()

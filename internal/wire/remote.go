@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
 
 	"rpol/internal/gpu"
 	"rpol/internal/netsim"
@@ -12,13 +15,61 @@ import (
 	"rpol/internal/tensor"
 )
 
+// RetryPolicy bounds one logical request when the fabric may lose or delay
+// messages: each attempt waits Timeout for the reply on the injected clock,
+// failed attempts are retried with the timeout scaled by Backoff, and after
+// Attempts exhausted attempts the call fails with an error wrapping
+// rpol.ErrWorkerUnavailable so the manager classifies the worker as absent.
+//
+// Deadlines are measured exclusively on Clock — never the wall clock — so
+// seeded runs replay identically: under the default obs.SimClock every
+// reading advances logical time by one tick, which bounds the poll loop, and
+// fabric-injected delays advance the same clock, consuming the deadline
+// budget exactly as a slow network would.
+type RetryPolicy struct {
+	// Attempts is the maximum number of send attempts per call (default 3).
+	Attempts int
+	// Timeout is the first attempt's reply deadline (default 50ms of
+	// logical time).
+	Timeout time.Duration
+	// Backoff multiplies the timeout after each failed attempt (default 2).
+	Backoff float64
+	// Clock supplies deadline readings (default: a fresh obs.SimClock).
+	Clock obs.Clock
+}
+
+// normalized fills zero fields with the defaults above.
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 50 * time.Millisecond
+	}
+	if p.Backoff < 1 {
+		p.Backoff = 2
+	}
+	if p.Clock == nil {
+		p.Clock = obs.NewSimClock(0)
+	}
+	return p
+}
+
 // ManagerPort is the manager's single bus endpoint, shared by all of its
 // RemoteWorker proxies. The manager drives the protocol sequentially (one
 // outstanding request at a time), so a simple matched request/response
 // exchange suffices; an unexpected interleaved message is a protocol error.
+//
+// Without a RetryPolicy the port blocks forever on each reply (the historical
+// behaviour, appropriate for a reliable in-process fabric). With one, every
+// request carries a fresh correlation Seq, replies are awaited against a
+// logical-clock deadline, and stale replies to abandoned attempts are
+// discarded instead of corrupting the next exchange.
 type ManagerPort struct {
-	ep  Transport
-	obs *obs.Observer
+	ep     Transport
+	obs    *obs.Observer
+	policy *RetryPolicy
+	seq    atomic.Uint64
 }
 
 // NewManagerPort registers the manager's endpoint on the in-memory bus.
@@ -45,8 +96,26 @@ func NewManagerPortOver(t Transport) (*ManagerPort, error) {
 // netsim.Message framing model the fabric meters use.
 func (mp *ManagerPort) SetObserver(o *obs.Observer) { mp.obs = o }
 
+// SetRetryPolicy enables deadline-bounded delivery with bounded retries. A
+// nil policy restores the historical block-forever behaviour. The policy
+// requires a PollingTransport endpoint (both fabrics provide one); on any
+// other transport it is ignored.
+func (mp *ManagerPort) SetRetryPolicy(p *RetryPolicy) {
+	if p == nil {
+		mp.policy = nil
+		return
+	}
+	norm := p.normalized()
+	mp.policy = &norm
+}
+
 // call sends a request to the peer and waits for its reply of wantKind.
 func (mp *ManagerPort) call(to, kind string, payload []byte, wantKind string) ([]byte, error) {
+	if mp.policy != nil {
+		if pt, ok := mp.ep.(PollingTransport); ok {
+			return mp.callRetry(pt, to, kind, payload, wantKind)
+		}
+	}
 	if err := mp.ep.Send(to, kind, payload); err != nil {
 		return nil, fmt.Errorf("wire call %s/%s: %w", to, kind, err)
 	}
@@ -68,6 +137,54 @@ func (mp *ManagerPort) call(to, kind string, payload []byte, wantKind string) ([
 		return nil, fmt.Errorf("wire call %s/%s: got kind %q: %w", to, kind, msg.Kind, ErrRemote)
 	}
 	return msg.Payload, nil
+}
+
+// callRetry is the deadline-bounded exchange: stamp the request with a fresh
+// Seq, poll for the correlated reply until the logical deadline, and retry
+// with backoff. Replies whose From or Seq don't match are stale responses to
+// attempts this port already abandoned (the port runs one outstanding request
+// at a time) and are discarded.
+func (mp *ManagerPort) callRetry(pt PollingTransport, to, kind string, payload []byte, wantKind string) ([]byte, error) {
+	pol := *mp.policy
+	seq := mp.seq.Add(1)
+	timeout := pol.Timeout
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if attempt > 0 {
+			mp.obs.Counter("net_retries_total").Inc()
+		}
+		if err := sendSeq(mp.ep, to, kind, seq, payload); err != nil {
+			return nil, fmt.Errorf("wire call %s/%s: %w", to, kind, err)
+		}
+		mp.obs.Counter("wire_manager_messages_sent_total").Inc()
+		mp.obs.Counter("wire_manager_bytes_sent_total").Add(netsim.Message{Kind: kind, Payload: payload}.Size())
+		deadline := pol.Clock.Now() + timeout.Nanoseconds()
+		for pol.Clock.Now() < deadline {
+			msg, ok := pt.TryRecv()
+			if !ok {
+				// Yield so fabric goroutines (e.g. the TCP pump) can make
+				// progress; on the self-advancing SimClock every poll also
+				// consumes a tick of the deadline, so the loop is bounded.
+				runtime.Gosched()
+				continue
+			}
+			mp.obs.Counter("wire_manager_messages_recv_total").Inc()
+			mp.obs.Counter("wire_manager_bytes_recv_total").Add(msg.Size())
+			if msg.From != to || msg.Seq != seq {
+				continue // stale reply to an abandoned attempt
+			}
+			if msg.Kind == KindError {
+				return nil, fmt.Errorf("wire call %s/%s: %s: %w", to, kind, msg.Payload, ErrRemote)
+			}
+			if msg.Kind != wantKind {
+				return nil, fmt.Errorf("wire call %s/%s: got kind %q: %w", to, kind, msg.Kind, ErrRemote)
+			}
+			return msg.Payload, nil
+		}
+		mp.obs.Counter("net_timeouts_total").Inc()
+		timeout = time.Duration(float64(timeout) * pol.Backoff)
+	}
+	return nil, fmt.Errorf("wire call %s/%s: no reply after %d attempts: %w",
+		to, kind, pol.Attempts, rpol.ErrWorkerUnavailable)
 }
 
 // RemoteWorker satisfies rpol.Worker by proxying every interaction over the

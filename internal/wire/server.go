@@ -51,9 +51,11 @@ func NewWorkerServerOver(t Transport, worker rpol.Worker) (*WorkerServer, error)
 // under wire_worker_{messages,bytes}_{sent,recv}_total counters.
 func (s *WorkerServer) SetObserver(o *obs.Observer) { s.obs = o }
 
-// send delivers a reply and accounts it.
-func (s *WorkerServer) send(to, kind string, payload []byte) error {
-	err := s.ep.Send(to, kind, payload)
+// send delivers a reply and accounts it. seq echoes the request's
+// correlation number so a retrying manager can match the reply to the
+// attempt it belongs to (zero for uncorrelated requests).
+func (s *WorkerServer) send(to, kind string, seq uint64, payload []byte) error {
+	err := sendSeq(s.ep, to, kind, seq, payload)
 	if err == nil {
 		s.obs.Counter("wire_worker_messages_sent_total").Inc()
 		s.obs.Counter("wire_worker_bytes_sent_total").Add(netsim.Message{Kind: kind, Payload: payload}.Size())
@@ -79,7 +81,7 @@ func (s *WorkerServer) Run() error {
 		s.obs.Counter("wire_worker_bytes_recv_total").Add(msg.Size())
 		if err := s.handle(msg); err != nil {
 			// Reply with the error; keep serving.
-			_ = s.send(msg.From, KindError, []byte(err.Error()))
+			_ = s.send(msg.From, KindError, msg.Seq, []byte(err.Error()))
 		}
 	}
 }
@@ -99,7 +101,7 @@ func (s *WorkerServer) handle(msg netsim.Message) error {
 		if err != nil {
 			return err
 		}
-		return s.send(msg.From, KindResult, payload)
+		return s.send(msg.From, KindResult, msg.Seq, payload)
 	case KindOpenRequest:
 		var req OpenRequestMsg
 		if err := json.Unmarshal(msg.Payload, &req); err != nil {
@@ -116,7 +118,7 @@ func (s *WorkerServer) handle(msg netsim.Message) error {
 		if err != nil {
 			return err
 		}
-		return s.send(msg.From, KindOpenResponse, payload)
+		return s.send(msg.From, KindOpenResponse, msg.Seq, payload)
 	default:
 		return fmt.Errorf("unknown message kind %q", msg.Kind)
 	}

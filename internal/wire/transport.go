@@ -13,7 +13,39 @@ type Transport interface {
 	Recv() (netsim.Message, error)
 }
 
+// PollingTransport is the optional non-blocking surface deadline-driven
+// callers need: a ManagerPort with a RetryPolicy polls TryRecv against its
+// logical-clock deadline instead of blocking in Recv. Both fabrics'
+// endpoints provide it.
+type PollingTransport interface {
+	Transport
+	// TryRecv returns the next message if one is queued.
+	TryRecv() (netsim.Message, bool)
+}
+
+// SeqTransport is the optional correlation surface: senders stamp requests
+// with a sequence number the peer echoes, so a retrying caller can discard
+// stale replies to attempts it already gave up on. Both fabrics' endpoints
+// provide it.
+type SeqTransport interface {
+	// SendSeq delivers a message carrying the given correlation number.
+	SendSeq(to, kind string, seq uint64, payload []byte) error
+}
+
 var (
-	_ Transport = (*netsim.Endpoint)(nil)
-	_ Transport = (*netsim.TCPEndpoint)(nil)
+	_ Transport        = (*netsim.Endpoint)(nil)
+	_ Transport        = (*netsim.TCPEndpoint)(nil)
+	_ PollingTransport = (*netsim.Endpoint)(nil)
+	_ PollingTransport = (*netsim.TCPEndpoint)(nil)
+	_ SeqTransport     = (*netsim.Endpoint)(nil)
+	_ SeqTransport     = (*netsim.TCPEndpoint)(nil)
 )
+
+// sendSeq stamps seq when the transport supports correlation and falls back
+// to a plain send otherwise.
+func sendSeq(t Transport, to, kind string, seq uint64, payload []byte) error {
+	if st, ok := t.(SeqTransport); ok {
+		return st.SendSeq(to, kind, seq, payload)
+	}
+	return t.Send(to, kind, payload)
+}

@@ -67,6 +67,44 @@ type (
 	WorkerServer = wire.WorkerServer
 )
 
+// Fault injection and tolerance.
+type (
+	// FaultPlan is a seeded, deterministic fault-injection schedule for the
+	// message fabrics: per-link drops, delays, and partitions plus
+	// per-worker crash-restart windows, replayed bit-identically for the
+	// same seed.
+	FaultPlan = netsim.FaultPlan
+	// FaultConfig parameterizes a FaultPlan (rates, delay bound, window and
+	// cycle lengths).
+	FaultConfig = netsim.FaultConfig
+	// RetryPolicy bounds a ManagerPort request with per-attempt deadlines
+	// and backoff on the injected logical clock; exhausted attempts fail
+	// with an error wrapping ErrWorkerUnavailable.
+	RetryPolicy = wire.RetryPolicy
+	// Outcome classifies a worker's epoch: accepted, rejected, or absent.
+	Outcome = rpol.Outcome
+)
+
+// Outcome values.
+const (
+	OutcomeAccepted = rpol.OutcomeAccepted
+	OutcomeRejected = rpol.OutcomeRejected
+	OutcomeAbsent   = rpol.OutcomeAbsent
+)
+
+// ErrWorkerUnavailable marks workers that missed their transport deadline;
+// the manager records them as OutcomeAbsent under a quorum instead of
+// treating them as adversarial.
+var ErrWorkerUnavailable = rpol.ErrWorkerUnavailable
+
+// NewFaultPlan derives a deterministic fault plan from seed; use
+// DefaultFaultConfig for the standard moderate fault mix.
+func NewFaultPlan(seed int64, cfg FaultConfig) *FaultPlan { return netsim.NewFaultPlan(seed, cfg) }
+
+// DefaultFaultConfig returns the moderate fault mix the -faultseed flag
+// applies.
+func DefaultFaultConfig() FaultConfig { return netsim.DefaultFaultConfig() }
+
 // NewManager builds a pool manager over pre-constructed workers. See
 // rpol.ManagerConfig for the knobs (scheme, sampling count q, calibration
 // factors, decentralized verification).
