@@ -31,16 +31,22 @@ func main() {
 		steps   = flag.Int("steps", 10, "training steps per epoch per worker")
 		amlayer = flag.Bool("amlayer", true, "prepend the address-encoded mapping layer")
 		seed    = flag.Int64("seed", 1, "simulation seed")
+		jdir    = flag.String("journal", "", "directory for the durable epoch journal (empty disables journaling)")
+		resume  = flag.Bool("resume", false, "recover the pool's position from -journal before running (requires -journal)")
 		obsOpts obscli.Options
 	)
 	obsOpts.Register(flag.CommandLine)
 	flag.Parse()
+	if *resume && *jdir == "" {
+		fmt.Fprintln(os.Stderr, "rpolsim: -resume requires -journal")
+		os.Exit(1)
+	}
 	observer, finishObs, err := obsOpts.Setup(os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpolsim:", err)
 		os.Exit(1)
 	}
-	if err := run(*task, *scheme, *workers, *adv1, *adv2, *epochs, *steps, *amlayer, *seed, observer, obsOpts.Table); err != nil {
+	if err := run(*task, *scheme, *workers, *adv1, *adv2, *epochs, *steps, *amlayer, *seed, *jdir, *resume, observer, obsOpts.Table); err != nil {
 		fmt.Fprintln(os.Stderr, "rpolsim:", err)
 		os.Exit(1)
 	}
@@ -63,7 +69,7 @@ func parseScheme(s string) (rpol.Scheme, error) {
 	}
 }
 
-func run(task, schemeName string, workers int, adv1, adv2 float64, epochs, steps int, useAMLayer bool, seed int64, observer *obs.Observer, phaseTable bool) error {
+func run(task, schemeName string, workers int, adv1, adv2 float64, epochs, steps int, useAMLayer bool, seed int64, jdir string, resume bool, observer *obs.Observer, phaseTable bool) error {
 	scheme, err := parseScheme(schemeName)
 	if err != nil {
 		return err
@@ -78,16 +84,22 @@ func run(task, schemeName string, workers int, adv1, adv2 float64, epochs, steps
 		UseAMLayer:    useAMLayer,
 		Seed:          seed,
 		Obs:           observer,
+		Journal:       jdir,
+		Resume:        resume,
 	})
 	if err != nil {
 		return err
 	}
+	defer p.Close()
 
 	fmt.Printf("pool: task=%s scheme=%s workers=%d adv1=%.0f%% adv2=%.0f%%\n\n",
 		task, scheme, workers, adv1*100, adv2*100)
+	if n := p.CompletedEpochs(); n > 0 {
+		fmt.Printf("resumed from journal: %d epochs already sealed\n", n)
+	}
 	fmt.Println("epoch  accuracy  accepted  rejected  absent  detected  missed  false-rej  verify-comm")
 	phases := obs.PhaseBreakdown{}
-	for e := 0; e < epochs; e++ {
+	for e := p.CompletedEpochs(); e < epochs; e++ {
 		s, err := p.RunEpoch()
 		if err != nil {
 			return err

@@ -78,6 +78,16 @@ func TestPackageFilter(t *testing.T) {
 	if code := rpolvet([]string{"./internal/parallel"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("internal/parallel scan: exit %d: %s", code, stderr.String())
 	}
+	// Same bar for the durability layer: crash recovery replays seeded fault
+	// schedules bit-identically, which the analyzers' invariants (no wall
+	// clock, no global rand, no map-order leakage) are load-bearing for.
+	for _, pkg := range []string{"./internal/fsio", "./internal/journal"} {
+		stdout.Reset()
+		stderr.Reset()
+		if code := rpolvet([]string{pkg}, &stdout, &stderr); code != 0 {
+			t.Fatalf("%s scan: exit %d: %s", pkg, code, stderr.String())
+		}
+	}
 	if code := rpolvet([]string{"./no/such/package"}, &stdout, &stderr); code != 2 {
 		t.Errorf("unknown pattern: exit %d, want 2", code)
 	}

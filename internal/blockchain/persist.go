@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
+
+	"rpol/internal/fsio"
 )
 
 // chainFile is the on-disk chain encoding.
@@ -47,7 +49,9 @@ func (c *Chain) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("blockchain save: %w", err)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	// Checksummed frame + atomic rename: a crash mid-save leaves the previous
+	// chain file, and any later on-disk bit rot fails the checksum on load.
+	if err := fsio.WriteFileAtomic(path, fsio.EncodeFile(data)); err != nil {
 		return fmt.Errorf("blockchain save: %w", err)
 	}
 	return nil
@@ -59,8 +63,13 @@ func Load(path string) (*Chain, error) {
 	if err != nil {
 		return nil, fmt.Errorf("blockchain load: %w", err)
 	}
+	// Pre-fsio chain files are raw JSON; DecodeFile passes them through.
+	payload, _, err := fsio.DecodeFile(data)
+	if err != nil {
+		return nil, fmt.Errorf("blockchain load: %v: %w", err, ErrCorruptChain)
+	}
 	var file chainFile
-	if err := json.Unmarshal(data, &file); err != nil {
+	if err := json.Unmarshal(payload, &file); err != nil {
 		return nil, fmt.Errorf("blockchain load: %w", err)
 	}
 	if file.Version != chainFileVersion {

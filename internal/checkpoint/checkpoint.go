@@ -14,7 +14,9 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"sync"
 
+	"rpol/internal/fsio"
 	"rpol/internal/tensor"
 )
 
@@ -36,6 +38,11 @@ type Store interface {
 var (
 	ErrNotFound = errors.New("checkpoint: not found")
 	ErrBadIndex = errors.New("checkpoint: negative index")
+	// ErrCorruptCheckpoint marks a stored snapshot whose bytes fail the
+	// checksum or do not decode: a torn write, a bit flip, or truncation.
+	// Callers fall back to an earlier intact checkpoint instead of feeding
+	// garbage weights into training or verification.
+	ErrCorruptCheckpoint = errors.New("checkpoint: corrupt snapshot")
 )
 
 // MemoryStore keeps snapshots in process memory.
@@ -88,24 +95,39 @@ func (s *MemoryStore) Clear() error {
 }
 
 // DiskStore persists snapshots as one file per checkpoint under a
-// directory, using the canonical wire encoding.
+// directory. Each file is a checksummed fsio frame around the canonical
+// wire encoding, written atomically (temp file + rename), so a crash
+// mid-Put leaves the previous snapshot rather than a torn hybrid and Get
+// detects any corruption instead of decoding garbage weights. Files
+// written before the framed format (raw wire encoding) still load.
 //
-// Put reuses an internal encode buffer (checkpoints land every interval, and
-// re-encoding a full weight vector per Put doubled the write's allocation
-// cost), so concurrent Puts are not safe; concurrent Gets are.
+// Put reuses internal encode buffers under a mutex (checkpoints land every
+// interval, and re-encoding a full weight vector per Put doubled the
+// write's allocation cost), so concurrent Puts and Gets are safe.
 type DiskStore struct {
-	dir    string
-	encBuf []byte
+	fs  fsio.FS
+	dir string
+
+	mu      sync.Mutex
+	encBuf  []byte // wire-encoded payload scratch
+	fileBuf []byte // framed file scratch
 }
 
 var _ Store = (*DiskStore)(nil)
 
-// NewDiskStore creates (if needed) and uses the given directory.
+// NewDiskStore creates (if needed) and uses the given directory on the
+// production filesystem.
 func NewDiskStore(dir string) (*DiskStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return NewDiskStoreFS(fsio.OS, dir)
+}
+
+// NewDiskStoreFS is NewDiskStore over an injected filesystem (fault
+// injection in crash-recovery tests).
+func NewDiskStoreFS(fs fsio.FS, dir string) (*DiskStore, error) {
+	if err := fs.MkdirAll(dir); err != nil {
 		return nil, fmt.Errorf("checkpoint dir: %w", err)
 	}
-	return &DiskStore{dir: dir}, nil
+	return &DiskStore{fs: fs, dir: dir}, nil
 }
 
 // Dir returns the backing directory.
@@ -115,44 +137,52 @@ func (s *DiskStore) path(idx int) string {
 	return filepath.Join(s.dir, "ckpt-"+strconv.Itoa(idx)+".bin")
 }
 
-// Put writes the snapshot's wire encoding to disk.
+// Put atomically writes the snapshot's checksummed wire encoding to disk.
 func (s *DiskStore) Put(idx int, w tensor.Vector) error {
 	if idx < 0 {
 		return fmt.Errorf("index %d: %w", idx, ErrBadIndex)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.encBuf = w.AppendEncode(s.encBuf[:0])
-	if err := os.WriteFile(s.path(idx), s.encBuf, 0o644); err != nil {
+	s.fileBuf = fsio.AppendFile(s.fileBuf[:0], s.encBuf)
+	if err := s.fs.WriteFileAtomic(s.path(idx), s.fileBuf); err != nil {
 		return fmt.Errorf("checkpoint put %d: %w", idx, err)
 	}
 	return nil
 }
 
-// Get reads and decodes the snapshot from disk.
+// Get reads, verifies, and decodes the snapshot from disk. Corrupt or torn
+// files fail with ErrCorruptCheckpoint.
 func (s *DiskStore) Get(idx int) (tensor.Vector, error) {
-	data, err := os.ReadFile(s.path(idx))
+	data, err := s.fs.ReadFile(s.path(idx))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("index %d: %w", idx, ErrNotFound)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint get %d: %w", idx, err)
 	}
-	w, err := tensor.DecodeVector(data)
+	payload, _, err := fsio.DecodeFile(data)
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint get %d: %w", idx, err)
+		return nil, fmt.Errorf("checkpoint get %d: %v: %w", idx, err, ErrCorruptCheckpoint)
+	}
+	w, err := tensor.DecodeVector(payload)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint get %d: %v: %w", idx, err, ErrCorruptCheckpoint)
 	}
 	return w, nil
 }
 
 // list returns the stored checkpoint files.
 func (s *DiskStore) list() ([]string, error) {
-	entries, err := os.ReadDir(s.dir)
+	names, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, err
 	}
 	var files []string
-	for _, e := range entries {
-		if !e.IsDir() && filepath.Ext(e.Name()) == ".bin" {
-			files = append(files, filepath.Join(s.dir, e.Name()))
+	for _, name := range names {
+		if filepath.Ext(name) == ".bin" {
+			files = append(files, filepath.Join(s.dir, name))
 		}
 	}
 	sort.Strings(files)
@@ -168,7 +198,7 @@ func (s *DiskStore) Len() int {
 	return len(files)
 }
 
-// Bytes returns the on-disk footprint.
+// Bytes returns the on-disk footprint (framing overhead included).
 func (s *DiskStore) Bytes() int64 {
 	files, err := s.list()
 	if err != nil {
@@ -176,8 +206,8 @@ func (s *DiskStore) Bytes() int64 {
 	}
 	var total int64
 	for _, f := range files {
-		if info, err := os.Stat(f); err == nil {
-			total += info.Size()
+		if size, err := s.fs.Size(f); err == nil {
+			total += size
 		}
 	}
 	return total
@@ -190,7 +220,7 @@ func (s *DiskStore) Clear() error {
 		return fmt.Errorf("checkpoint clear: %w", err)
 	}
 	for _, f := range files {
-		if err := os.Remove(f); err != nil {
+		if err := s.fs.Remove(f); err != nil {
 			return fmt.Errorf("checkpoint clear: %w", err)
 		}
 	}

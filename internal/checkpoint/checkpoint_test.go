@@ -2,13 +2,18 @@ package checkpoint
 
 import (
 	"errors"
+	"os"
+	"sync"
 	"testing"
 
+	"rpol/internal/fsio"
 	"rpol/internal/tensor"
 )
 
 // storeUnderTest runs the shared contract tests against any Store.
-func storeUnderTest(t *testing.T, s Store) {
+// perFileOverhead is the framing cost Bytes reports per snapshot beyond the
+// wire encoding (zero for memory, fsio.FileOverhead for disk).
+func storeUnderTest(t *testing.T, s Store, perFileOverhead int) {
 	t.Helper()
 	if s.Len() != 0 || s.Bytes() != 0 {
 		t.Fatalf("fresh store not empty: len %d, bytes %d", s.Len(), s.Bytes())
@@ -24,7 +29,7 @@ func storeUnderTest(t *testing.T, s Store) {
 	if s.Len() != 2 {
 		t.Errorf("Len = %d", s.Len())
 	}
-	wantBytes := int64(2 * tensor.EncodedSize(3))
+	wantBytes := int64(2 * (tensor.EncodedSize(3) + perFileOverhead))
 	if s.Bytes() != wantBytes {
 		t.Errorf("Bytes = %d, want %d", s.Bytes(), wantBytes)
 	}
@@ -69,7 +74,7 @@ func storeUnderTest(t *testing.T, s Store) {
 }
 
 func TestMemoryStoreContract(t *testing.T) {
-	storeUnderTest(t, NewMemoryStore())
+	storeUnderTest(t, NewMemoryStore(), 0)
 }
 
 func TestDiskStoreContract(t *testing.T) {
@@ -77,7 +82,7 @@ func TestDiskStoreContract(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	storeUnderTest(t, s)
+	storeUnderTest(t, s, fsio.FileOverhead)
 }
 
 func TestMemoryStoreCopies(t *testing.T) {
@@ -125,6 +130,117 @@ func TestDiskStoreBitExactRoundTrip(t *testing.T) {
 	}
 	if s.Dir() == "" {
 		t.Error("Dir empty")
+	}
+}
+
+// TestDiskStoreConcurrentPuts is the -race regression for the shared
+// encode-buffer data race: the parallel runtime's workers checkpoint
+// concurrently through one store, so concurrent Puts (and Gets) must be
+// safe and every snapshot must land intact.
+func TestDiskStoreConcurrentPuts(t *testing.T) {
+	s, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := tensor.NewVector(64)
+			for j := range w {
+				w[j] = float64(i*1000 + j)
+			}
+			if err := s.Put(i, w); err != nil {
+				t.Error(err)
+			}
+			if _, err := s.Get(i); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != n {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i := 0; i < n; i++ {
+		got, err := s.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != float64(i*1000) || got[63] != float64(i*1000+63) {
+			t.Fatalf("snapshot %d interleaved with another Put: %v...", i, got[:2])
+		}
+	}
+}
+
+// TestDiskStoreDetectsCorruption: a truncated or bit-flipped snapshot file
+// must surface as ErrCorruptCheckpoint, never as garbage weights.
+func TestDiskStoreDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tensor.NewRNG(9).NormalVector(32, 0, 1)
+	if err := s.Put(0, w); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(s.path(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit flip in the payload.
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x08
+	if err := os.WriteFile(s.path(0), flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(0); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("bit flip: err = %v, want ErrCorruptCheckpoint", err)
+	}
+
+	// Truncation (torn write).
+	if err := os.WriteFile(s.path(0), data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(0); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("truncation: err = %v, want ErrCorruptCheckpoint", err)
+	}
+
+	// Intact again after a fresh Put.
+	if err := s.Put(0, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(0)
+	if err != nil || !got.Equal(w, 0) {
+		t.Fatalf("after re-put: %v", err)
+	}
+}
+
+// TestDiskStoreReadsLegacyFiles: snapshots written by the pre-fsio format
+// (raw wire encoding, no checksum frame) still load.
+func TestDiskStoreReadsLegacyFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := tensor.Vector{3.5, -1.25, 0.75}
+	if err := os.WriteFile(s.path(2), w.Encode(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(w, 0) {
+		t.Fatalf("legacy read = %v", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
 	}
 }
 

@@ -1,0 +1,341 @@
+package fsio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+	"sync"
+)
+
+// ErrInjectedCrash is the error every FaultFS operation returns once its
+// plan has killed the process's write stream. Callers treat it like a
+// process death: the run is over, and recovery happens in a fresh process
+// over whatever bytes made it to disk.
+var ErrInjectedCrash = errors.New("fsio: injected crash")
+
+// FaultPlan is a deterministic filesystem fault schedule, the storage twin
+// of netsim.FaultPlan: every decision is a pure function of (seed, path,
+// write ordinal) — never of goroutine scheduling or the wall clock — so a
+// seeded crash replays bit-identically, which is what lets the recovery
+// tests crash a run at every write ordinal and compare resumed state
+// against the crash-free run.
+//
+// A nil *FaultPlan is valid and injects nothing.
+type FaultPlan struct {
+	seed int64
+	cfg  FaultConfig
+}
+
+// FaultConfig parameterizes a FaultPlan. Rates are probabilities in [0, 1];
+// a zero config injects nothing even with a non-zero seed.
+type FaultConfig struct {
+	// CrashAtWrite, when non-zero, kills the write stream at exactly the
+	// (CrashAtWrite−1)-th write ordinal (so 1 crashes the first write). The
+	// dying write persists a deterministic prefix of its bytes — appends
+	// leave a torn tail; atomic writes leave the old file — and every
+	// subsequent operation fails with ErrInjectedCrash.
+	CrashAtWrite uint64
+	// CrashRate is the per-write probability of the same death, for
+	// randomized soaks rather than exhaustive sweeps.
+	CrashRate float64
+	// ShortWriteRate is the per-write probability that a write silently
+	// persists only a prefix of its bytes while reporting success —
+	// modelling lost trailing sectors discovered only at read time.
+	ShortWriteRate float64
+	// BitFlipRate is the per-write probability that one deterministically
+	// chosen bit of the payload is flipped — modelling bit rot the
+	// checksum layer must catch.
+	BitFlipRate float64
+}
+
+// NewFaultPlan derives a plan from the seed. The same (seed, cfg) always
+// yields the same schedule.
+func NewFaultPlan(seed int64, cfg FaultConfig) *FaultPlan {
+	return &FaultPlan{seed: seed, cfg: cfg}
+}
+
+// CrashAtWrite is the exhaustive-sweep constructor: a plan whose only fault
+// is a crash at the given 0-based write ordinal. seed still individualizes
+// the dying write's persisted prefix length.
+func CrashAtWrite(seed int64, ordinal uint64) *FaultPlan {
+	return NewFaultPlan(seed, FaultConfig{CrashAtWrite: ordinal + 1})
+}
+
+// WriteFault is one write's injected behaviour.
+type WriteFault struct {
+	// Crash kills the stream at this write: a prefix persists, the
+	// operation fails, and the FaultFS goes permanently down.
+	Crash bool
+	// Short silently persists only a prefix while reporting success.
+	Short bool
+	// FlipBit corrupts one payload bit while reporting success.
+	FlipBit bool
+	// Fraction positions the fault within the payload: the persisted
+	// prefix length (Crash/Short) or the flipped bit (FlipBit) is this
+	// fraction of the way through, in [0, 1).
+	Fraction float64
+}
+
+// Decide returns the fault injected into the ord-th write (a process-global
+// ordinal maintained by the FaultFS) landing on path. Only the path's base
+// name enters the hash: fault schedules then replay identically when the
+// same run executes under a different root directory (every recovery test
+// runs in a fresh temp dir).
+func (p *FaultPlan) Decide(path string, ord uint64) WriteFault {
+	if p == nil {
+		return WriteFault{}
+	}
+	path = filepath.Base(path)
+	if p.cfg.CrashAtWrite != 0 && ord == p.cfg.CrashAtWrite-1 {
+		return WriteFault{Crash: true, Fraction: p.uniform("crash-keep", path, ord)}
+	}
+	if p.cfg.CrashRate > 0 && p.uniform("crash", path, ord) < p.cfg.CrashRate {
+		return WriteFault{Crash: true, Fraction: p.uniform("crash-keep", path, ord)}
+	}
+	if p.cfg.ShortWriteRate > 0 && p.uniform("short", path, ord) < p.cfg.ShortWriteRate {
+		return WriteFault{Short: true, Fraction: p.uniform("short-keep", path, ord)}
+	}
+	if p.cfg.BitFlipRate > 0 && p.uniform("flip", path, ord) < p.cfg.BitFlipRate {
+		return WriteFault{FlipBit: true, Fraction: p.uniform("flip-pos", path, ord)}
+	}
+	return WriteFault{}
+}
+
+// hash mixes the seed with the decision's identity into 64 uniform bits
+// (FNV-1a finalized with SplitMix64, as in netsim).
+func (p *FaultPlan) hash(kind, path string, n uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(p.seed))
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte(kind))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(path))
+	_, _ = h.Write([]byte{0})
+	binary.BigEndian.PutUint64(buf[:], n)
+	_, _ = h.Write(buf[:])
+	return splitmix64(h.Sum64())
+}
+
+// uniform maps a decision's hash to [0, 1).
+func (p *FaultPlan) uniform(kind, path string, n uint64) float64 {
+	return float64(p.hash(kind, path, n)>>11) / float64(uint64(1)<<53)
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a strong 64-bit
+// mix that decorrelates the structured FNV input.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// FaultFS wraps an FS with a FaultPlan. Every data write — one
+// WriteFileAtomic call or one Appender.Write call — consumes one
+// process-global write ordinal; the plan maps (path, ordinal) to a fault.
+// After an injected crash the FaultFS is permanently down: every operation,
+// reads included, fails with ErrInjectedCrash, exactly as the filesystem
+// looks to a process that just died. A nil plan counts ordinals without
+// injecting — the recovery sweep uses that to size its crash schedule.
+type FaultFS struct {
+	inner FS
+	plan  *FaultPlan
+
+	mu   sync.Mutex
+	ord  uint64
+	down bool
+}
+
+var _ FS = (*FaultFS)(nil)
+
+// NewFaultFS wraps inner with the plan.
+func NewFaultFS(inner FS, plan *FaultPlan) *FaultFS {
+	return &FaultFS{inner: inner, plan: plan}
+}
+
+// Writes returns the number of write ordinals consumed so far.
+func (f *FaultFS) Writes() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ord
+}
+
+// Down reports whether an injected crash has killed this filesystem.
+func (f *FaultFS) Down() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.down
+}
+
+// prefixLen maps a fault's fraction to a strict prefix of an n-byte payload.
+func prefixLen(frac float64, n int) int {
+	keep := int(frac * float64(n))
+	if keep >= n && n > 0 {
+		keep = n - 1
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	return keep
+}
+
+// corrupt applies a short-write or bit-flip fault to data, returning the
+// bytes that actually persist. The input is not modified.
+func corrupt(fault WriteFault, data []byte) []byte {
+	switch {
+	case fault.Short:
+		return data[:prefixLen(fault.Fraction, len(data))]
+	case fault.FlipBit && len(data) > 0:
+		out := append([]byte(nil), data...)
+		bit := int(fault.Fraction * float64(len(out)*8))
+		if bit >= len(out)*8 {
+			bit = len(out)*8 - 1
+		}
+		out[bit/8] ^= 1 << (bit % 8)
+		return out
+	default:
+		return data
+	}
+}
+
+// guard fails the operation when the filesystem is already down.
+func (f *FaultFS) guard() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		return ErrInjectedCrash
+	}
+	return nil
+}
+
+// decide consumes one write ordinal and, on a crash fault, marks the
+// filesystem down.
+func (f *FaultFS) decide(path string) (WriteFault, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down {
+		return WriteFault{}, ErrInjectedCrash
+	}
+	fault := f.plan.Decide(path, f.ord)
+	f.ord++
+	if fault.Crash {
+		f.down = true
+	}
+	return fault, nil
+}
+
+// MkdirAll passes through (directory creation is not a data write).
+func (f *FaultFS) MkdirAll(dir string) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+// WriteFileAtomic consumes one write ordinal. A crash fault persists
+// nothing — the temp-file + rename discipline means a death mid-write
+// leaves the previous file — while short writes and bit flips corrupt the
+// payload that lands, modelling storage that lies about durability.
+func (f *FaultFS) WriteFileAtomic(path string, data []byte) error {
+	fault, err := f.decide(path)
+	if err != nil {
+		return err
+	}
+	if fault.Crash {
+		return fmt.Errorf("atomic write %s at ordinal %d: %w", path, f.ord-1, ErrInjectedCrash)
+	}
+	return f.inner.WriteFileAtomic(path, corrupt(fault, data))
+}
+
+// ReadFile passes through unless the filesystem is down.
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if err := f.guard(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(path)
+}
+
+// Append returns a fault-injecting handle over the inner appender.
+func (f *FaultFS) Append(path string) (Appender, error) {
+	if err := f.guard(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Append(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultAppender{fs: f, path: path, inner: inner}, nil
+}
+
+// Remove passes through unless the filesystem is down.
+func (f *FaultFS) Remove(path string) error {
+	if err := f.guard(); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+// ReadDir passes through unless the filesystem is down.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	if err := f.guard(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// Size passes through unless the filesystem is down.
+func (f *FaultFS) Size(path string) (int64, error) {
+	if err := f.guard(); err != nil {
+		return 0, err
+	}
+	return f.inner.Size(path)
+}
+
+// faultAppender applies the plan to each append. A crash mid-append
+// persists a deterministic prefix — the torn tail journal recovery must
+// discard — then kills the filesystem.
+type faultAppender struct {
+	fs    *FaultFS
+	path  string
+	inner Appender
+}
+
+func (a *faultAppender) Write(data []byte) (int, error) {
+	fault, err := a.fs.decide(a.path)
+	if err != nil {
+		return 0, err
+	}
+	if fault.Crash {
+		keep := prefixLen(fault.Fraction, len(data))
+		if keep > 0 {
+			if _, err := a.inner.Write(data[:keep]); err != nil {
+				return 0, err
+			}
+			_ = a.inner.Sync()
+		}
+		return keep, fmt.Errorf("append %s at ordinal %d: %w", a.path, a.fs.Writes()-1, ErrInjectedCrash)
+	}
+	persisted := corrupt(fault, data)
+	if _, err := a.inner.Write(persisted); err != nil {
+		return 0, err
+	}
+	// Short writes and bit flips report full success: the caller learns
+	// about them at read time, through the checksum layer.
+	return len(data), nil
+}
+
+func (a *faultAppender) Sync() error {
+	if err := a.fs.guard(); err != nil {
+		return err
+	}
+	return a.inner.Sync()
+}
+
+func (a *faultAppender) Close() error {
+	// Closing must work even when down, so crashed runs can release their
+	// handles before the recovery process takes over.
+	return a.inner.Close()
+}

@@ -1,0 +1,245 @@
+package fsio
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{[]byte("alpha"), {}, []byte("a longer third payload with \x00 bytes \xff")}
+	var buf []byte
+	for _, p := range payloads {
+		buf = AppendFrame(buf, p)
+	}
+	rest := buf
+	for i, want := range payloads {
+		got, r, err := ReadFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d payload = %q, want %q", i, got, want)
+		}
+		rest = r
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestReadFrameTornAtEveryPrefix(t *testing.T) {
+	full := AppendFrame(nil, []byte("torn tail victim"))
+	for cut := 0; cut < len(full); cut++ {
+		_, _, err := ReadFrame(full[:cut])
+		if !errors.Is(err, ErrTornFrame) {
+			t.Fatalf("cut %d: err = %v, want ErrTornFrame", cut, err)
+		}
+	}
+}
+
+func TestReadFrameDetectsBitFlips(t *testing.T) {
+	full := AppendFrame(nil, []byte("bit flip victim"))
+	for i := range full {
+		flipped := append([]byte(nil), full...)
+		flipped[i] ^= 0x01
+		_, _, err := ReadFrame(flipped)
+		if err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+		// A flipped length byte may read as a torn frame (declared length
+		// beyond the buffer); every other flip must be a checksum failure.
+		if !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrTornFrame) {
+			t.Fatalf("flip at byte %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+func TestEncodeDecodeFile(t *testing.T) {
+	payload := []byte(`{"kind":"state"}`)
+	enc := EncodeFile(payload)
+	got, legacy, err := DecodeFile(enc)
+	if err != nil || legacy {
+		t.Fatalf("DecodeFile: legacy=%v err=%v", legacy, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q", got)
+	}
+
+	// Pre-fsio files carry no magic and pass through verbatim.
+	raw := []byte(`{"version":1}`)
+	got, legacy, err = DecodeFile(raw)
+	if err != nil || !legacy {
+		t.Fatalf("legacy DecodeFile: legacy=%v err=%v", legacy, err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatalf("legacy payload = %q", got)
+	}
+
+	// A flipped payload bit fails the checksum.
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)/2] ^= 0x10
+	if _, _, err := DecodeFile(bad); err == nil {
+		t.Fatal("corrupted file decoded")
+	}
+
+	// Trailing garbage after the frame is corruption, not extra frames.
+	if _, _, err := DecodeFile(append(append([]byte(nil), enc...), 0xEE)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("trailing garbage: err = %v", err)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.bin")
+	if err := OS.WriteFileAtomic(path, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.WriteFileAtomic(path, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := OS.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "second" {
+		t.Fatalf("content = %q", data)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temp file left behind")
+	}
+}
+
+func TestFaultFSCrashAtAtomicWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	if err := OS.WriteFileAtomic(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFaultFS(OS, CrashAtWrite(7, 0))
+	err := ffs.WriteFileAtomic(path, []byte("new"))
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("err = %v", err)
+	}
+	// Atomicity: the dying write leaves the previous content.
+	data, err := OS.ReadFile(path)
+	if err != nil || string(data) != "old" {
+		t.Fatalf("after crash: %q, %v", data, err)
+	}
+	// The filesystem is permanently down.
+	if !ffs.Down() {
+		t.Fatal("not down after crash")
+	}
+	if _, err := ffs.ReadFile(path); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("read after crash: %v", err)
+	}
+	if err := ffs.MkdirAll(filepath.Join(dir, "x")); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("mkdir after crash: %v", err)
+	}
+}
+
+func TestFaultFSCrashMidAppendLeavesTornPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	payload := bytes.Repeat([]byte("0123456789"), 20)
+
+	ffs := NewFaultFS(OS, CrashAtWrite(11, 1))
+	ap, err := ffs.Append(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ap.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ap.Write(payload)
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("second write err = %v", err)
+	}
+	if n >= len(payload) {
+		t.Fatalf("crash persisted all %d bytes", n)
+	}
+	if err := ap.Close(); err != nil {
+		t.Fatalf("close after crash: %v", err)
+	}
+	data, err := OS.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(payload) + n; len(data) != want {
+		t.Fatalf("persisted %d bytes, want %d", len(data), want)
+	}
+	if !bytes.Equal(data[:len(payload)], payload) {
+		t.Fatal("intact prefix corrupted")
+	}
+}
+
+func TestFaultFSShortWriteAndBitFlipReportSuccess(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("abcd"), 64)
+
+	short := NewFaultFS(OS, NewFaultPlan(3, FaultConfig{ShortWriteRate: 1}))
+	p1 := filepath.Join(dir, "short.bin")
+	if err := short.WriteFileAtomic(p1, payload); err != nil {
+		t.Fatalf("short write should report success: %v", err)
+	}
+	data, _ := OS.ReadFile(p1)
+	if len(data) >= len(payload) {
+		t.Fatalf("short write persisted %d of %d bytes", len(data), len(payload))
+	}
+
+	flip := NewFaultFS(OS, NewFaultPlan(3, FaultConfig{BitFlipRate: 1}))
+	p2 := filepath.Join(dir, "flip.bin")
+	if err := flip.WriteFileAtomic(p2, payload); err != nil {
+		t.Fatalf("bit flip should report success: %v", err)
+	}
+	data, _ = OS.ReadFile(p2)
+	if len(data) != len(payload) {
+		t.Fatalf("bit flip changed length: %d", len(data))
+	}
+	diff := 0
+	for i := range data {
+		if data[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d corrupted bytes, want exactly 1", diff)
+	}
+}
+
+func TestFaultFSWriteOrdinalsAreDeterministic(t *testing.T) {
+	run := func() []byte {
+		dir := t.TempDir()
+		ffs := NewFaultFS(OS, NewFaultPlan(99, FaultConfig{ShortWriteRate: 0.5, BitFlipRate: 0.5}))
+		var out []byte
+		for i := 0; i < 8; i++ {
+			p := filepath.Join(dir, "f.bin")
+			if err := ffs.WriteFileAtomic(p, bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+				t.Fatal(err)
+			}
+			data, err := OS.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = AppendFrame(out, data)
+		}
+		if ffs.Writes() != 8 {
+			t.Fatalf("Writes = %d", ffs.Writes())
+		}
+		return out
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("same seed produced different fault effects")
+	}
+}
+
+func TestChecksumDistinguishesInputs(t *testing.T) {
+	a := Checksum([]byte("a"))
+	b := Checksum([]byte("b"))
+	if a == b {
+		t.Fatal("trivial collision")
+	}
+	if Checksum([]byte("a")) != a {
+		t.Fatal("checksum not stable")
+	}
+}

@@ -183,6 +183,20 @@ func (d *Device) Perturb(weights tensor.Vector) {
 	}
 }
 
+// SkipPerturb advances the device's noise stream past one Perturb call at
+// the given weight dimension without touching any weights. Crash recovery
+// uses it to fast-forward a worker's device through the steps already
+// persisted in checkpoints: replaying the RNG draws (and materializing the
+// lazy run bias exactly when Perturb would) leaves the device in the
+// bit-identical state a live run would have reached.
+func (d *Device) SkipPerturb(dim int) {
+	if len(d.noiseBuf) != dim {
+		d.noiseBuf = tensor.NewVector(dim)
+	}
+	d.rng.FillNormal(d.noiseBuf, 0, d.runScale*whiteFraction)
+	d.runBiasFor(dim)
+}
+
 // ExecTime models the wall-clock time to execute the given number of
 // floating-point operations at sustained throughput.
 func (d *Device) ExecTime(flops float64) time.Duration {

@@ -233,3 +233,31 @@ func TestRunSeedIndividualizesRuns(t *testing.T) {
 		t.Error("same run seed must replay identically")
 	}
 }
+
+func TestSkipPerturbMatchesPerturbStream(t *testing.T) {
+	// Two devices with the same run seed: one perturbs three times, the
+	// other skips two and perturbs once. The third draws must coincide
+	// bit-for-bit — this is what makes crash-recovery fast-forward exact.
+	live, err := NewDevice(GA10, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := NewDevice(GA10, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dim = 48
+	var third tensor.Vector
+	for i := 0; i < 3; i++ {
+		w := tensor.NewVector(dim)
+		live.Perturb(w)
+		third = w
+	}
+	resumed.SkipPerturb(dim)
+	resumed.SkipPerturb(dim)
+	w := tensor.NewVector(dim)
+	resumed.Perturb(w)
+	if !w.Equal(third, 0) {
+		t.Error("SkipPerturb desynchronized the noise stream")
+	}
+}

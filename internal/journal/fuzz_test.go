@@ -1,0 +1,56 @@
+package journal
+
+import (
+	"bytes"
+	"testing"
+
+	"rpol/internal/fsio"
+)
+
+// FuzzJournalReplay fuzzes the recovery path: arbitrary bytes must never
+// panic, and whatever Replay keeps must be a consistent prefix — strictly
+// increasing sequence numbers, every record re-encodable to the exact bytes
+// it was parsed from, and the accounting (kept frames + discarded tail)
+// covering the input.
+func FuzzJournalReplay(f *testing.F) {
+	// Intact two-record journal.
+	r1, _ := encodeRecord(nil, Record{Seq: 1, Kind: KindTask, Data: []byte(`{"epoch":0}`)})
+	r2, _ := encodeRecord(nil, Record{Seq: 2, Kind: KindSeal, Data: []byte(`{"epoch":0}`)})
+	intact := append(append([]byte(nil), r1...), r2...)
+	f.Add(intact)
+	// Torn tail: second record cut mid-frame.
+	f.Add(intact[:len(r1)+3])
+	// Duplicate sequence number.
+	f.Add(append(append([]byte(nil), intact...), r1...))
+	// Frame-valid but record-invalid payload (too short for the header).
+	f.Add(fsio.AppendFrame(nil, []byte("tiny")))
+	// Raw garbage and pathological length prefixes.
+	f.Add([]byte("not a journal"))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, torn, dups := Replay(data)
+		if torn < 0 || torn > len(data) {
+			t.Fatalf("discarded tail %d of %d input bytes", torn, len(data))
+		}
+		var last uint64
+		var reenc []byte
+		for i, r := range recs {
+			if i > 0 && r.Seq <= last {
+				t.Fatalf("record %d: seq %d after %d", i, r.Seq, last)
+			}
+			last = r.Seq
+			var err error
+			reenc, err = encodeRecord(reenc, r)
+			if err != nil {
+				t.Fatalf("record %d does not re-encode: %v", i, err)
+			}
+		}
+		// With no duplicates, the kept prefix re-encodes to the input's
+		// leading bytes: Replay neither invents nor reorders records.
+		if dups == 0 && !bytes.Equal(reenc, data[:len(data)-torn]) {
+			t.Fatalf("prefix mismatch: kept %d records over %d bytes", len(recs), len(data)-torn)
+		}
+	})
+}

@@ -7,14 +7,20 @@
 package pool
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 
 	"rpol/internal/adversary"
 	"rpol/internal/amlayer"
+	"rpol/internal/checkpoint"
 	"rpol/internal/dataset"
+	"rpol/internal/fsio"
 	"rpol/internal/gpu"
+	"rpol/internal/journal"
 	"rpol/internal/modelzoo"
 	"rpol/internal/netsim"
 	"rpol/internal/nn"
@@ -84,6 +90,24 @@ type Config struct {
 	// one). Instrumentation does not change protocol results: a seeded run
 	// with and without an observer produces identical EpochStats.
 	Obs *obs.Observer
+	// Journal is a directory for the pool's durability layer: an
+	// append-only epoch journal (epoch.wal), a per-epoch state snapshot
+	// (state.bin), and one on-disk checkpoint store per honest worker.
+	// Empty disables journaling. With a journal, the manager derives its
+	// per-epoch randomness from (Seed, epoch) — a seeded journaled run is
+	// still fully deterministic, but its sampling stream differs from the
+	// same seed without a journal.
+	Journal string
+	// Resume, with Journal set, recovers the pool's position from the
+	// journal instead of starting fresh: sealed epochs are replayed from
+	// their seal records (global model, rewards, worker noise streams) and
+	// the in-flight epoch restarts from each worker's intact durable
+	// checkpoint prefix. The result is bit-identical to the uninterrupted
+	// run. An empty or missing journal resumes as a fresh run.
+	Resume bool
+	// FS is the filesystem the durability layer writes through (nil uses
+	// the real one). Crash-recovery tests inject an fsio.FaultFS here.
+	FS fsio.FS
 }
 
 func (c *Config) applyDefaults() {
@@ -107,6 +131,17 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Workers == 0 {
 		c.Workers = parallel.DefaultWorkers()
+	}
+	if c.Journal != "" {
+		if c.Workers <= 0 {
+			// Journaled runs pin the deterministic parallel runtime so the
+			// verification path is a pure function of (seed, epoch) — the
+			// serial fallback threads one stateful device through history.
+			c.Workers = 1
+		}
+		if c.FS == nil {
+			c.FS = fsio.OS
+		}
 	}
 	if c.Faults == nil {
 		if c.FaultSeed != 0 {
@@ -144,6 +179,8 @@ func (c Config) Validate() error {
 		return errors.New("pool: sample count must not be negative")
 	case c.Verifiers < 0:
 		return errors.New("pool: verifier count must not be negative")
+	case c.Resume && c.Journal == "":
+		return errors.New("pool: resume requires a journal directory")
 	}
 	return nil
 }
@@ -209,7 +246,29 @@ type Pool struct {
 	testYs   []int
 	rewards  map[string]float64
 	obs      *obs.Observer
+
+	// Durability layer (nil/empty without Config.Journal).
+	fs        fsio.FS
+	journal   *journal.Journal
+	recovered []journal.Seal
 }
+
+// diskState is the atomically-written per-epoch snapshot (state.bin): the
+// completed-epoch count, the global model's wire encoding, and the last
+// epoch's seal. It is written BEFORE the seal record is journaled, so a
+// crash between the two is reconciled on resume by adopting LastSeal as the
+// missing seal — the invariant is state.Epoch ∈ {#seals, #seals+1}.
+type diskState struct {
+	Epoch    int           `json:"epoch"`
+	Global   []byte        `json:"global"`
+	LastSeal *journal.Seal `json:"lastSeal,omitempty"`
+}
+
+// Durability file names under Config.Journal.
+const (
+	journalFile = "epoch.wal"
+	stateFile   = "state.bin"
+)
 
 // EpochStats records one epoch's outcome for the experiment harness.
 type EpochStats struct {
@@ -305,6 +364,9 @@ func New(cfg Config) (*Pool, error) {
 	profiles := gpu.Profiles()
 	members := make([]member, 0, cfg.NumWorkers)
 	workers := make([]rpol.Worker, 0, cfg.NumWorkers)
+	// raw keeps the unwrapped workers: fault wrappers forward rpol.Worker
+	// only, so recovery fast-forwarding must reach through them.
+	raw := make([]rpol.Worker, 0, cfg.NumWorkers)
 	shardMap := make(map[string]*dataset.Dataset, cfg.NumWorkers)
 	for i := 0; i < cfg.NumWorkers; i++ {
 		profile := profiles[i%len(profiles)]
@@ -342,12 +404,54 @@ func New(cfg Config) (*Pool, error) {
 			hw.SetObserver(observer)
 			w = hw
 		}
+		raw = append(raw, w)
 		if cfg.Faults != nil {
 			w = &faultWorker{Worker: w, plan: cfg.Faults}
 		}
 		members = append(members, member{worker: w, role: role})
 		workers = append(workers, w)
 		shardMap[w.ID()] = shard
+	}
+
+	// Durability layer: open (or create) the epoch journal and give every
+	// honest worker a disk-backed checkpoint store that streams through it.
+	var (
+		j   *journal.Journal
+		st  *journal.State
+		rec *journal.Recovery
+	)
+	if cfg.Journal != "" {
+		if err := cfg.FS.MkdirAll(cfg.Journal); err != nil {
+			return nil, fmt.Errorf("pool journal dir: %w", err)
+		}
+		walPath := filepath.Join(cfg.Journal, journalFile)
+		if cfg.Resume {
+			j, rec, err = journal.Open(cfg.FS, walPath, observer)
+			if err != nil {
+				return nil, fmt.Errorf("pool journal: %w", err)
+			}
+			st, err = journal.Reconstruct(rec.Records)
+			if err != nil {
+				return nil, fmt.Errorf("pool journal: %w", err)
+			}
+		} else {
+			j, err = journal.Create(cfg.FS, walPath, observer)
+			if err != nil {
+				return nil, fmt.Errorf("pool journal: %w", err)
+			}
+		}
+		for _, w := range raw {
+			hw, ok := w.(*rpol.HonestWorker)
+			if !ok {
+				continue
+			}
+			store, err := checkpoint.NewDiskStoreFS(cfg.FS, filepath.Join(cfg.Journal, "ckpt-"+hw.ID()))
+			if err != nil {
+				return nil, fmt.Errorf("pool journal: %w", err)
+			}
+			hw.SetStore(store)
+			hw.SetJournal(j)
+		}
 	}
 
 	managerNet, err := buildNet()
@@ -369,9 +473,12 @@ func New(cfg Config) (*Pool, error) {
 		Workers:           cfg.Workers,
 		Quorum:            cfg.Quorum,
 		Obs:               observer,
+		Journal:           j,
 		// In-process workers each own their network and trainer, so the
-		// collection phase can safely run them concurrently.
-		ConcurrentCollection: true,
+		// collection phase can safely run them concurrently — except under a
+		// journal, where serial collection keeps the order of durable writes
+		// (checkpoint streams, commit records) a pure function of the seed.
+		ConcurrentCollection: cfg.Journal == "",
 	}, managerNet, workers, shardMap, shards[cfg.NumWorkers])
 	if err != nil {
 		return nil, err
@@ -387,7 +494,7 @@ func New(cfg Config) (*Pool, error) {
 		testXs[i] = ex.Features
 		testYs[i] = ex.Label
 	}
-	return &Pool{
+	p := &Pool{
 		cfg:      cfg,
 		spec:     spec,
 		manager:  manager,
@@ -398,7 +505,144 @@ func New(cfg Config) (*Pool, error) {
 		testYs:   testYs,
 		rewards:  make(map[string]float64),
 		obs:      observer,
-	}, nil
+		fs:       cfg.FS,
+		journal:  j,
+	}
+	if cfg.Resume && st != nil {
+		if err := p.applyRecovery(st, raw); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// applyRecovery rewinds the freshly-built pool to the journaled position:
+// it reconciles the seal history with the state file, restores the global
+// model and reward ledger, fast-forwards every worker's noise stream past
+// the epochs it trained, and arms honest workers to adopt the in-flight
+// epoch's durable checkpoint prefix.
+func (p *Pool) applyRecovery(st *journal.State, raw []rpol.Worker) error {
+	// Reconcile the one crash window the write order leaves open: state.bin
+	// lands atomically BEFORE the seal record, so the state file may be one
+	// epoch ahead of the journal — its embedded seal is the missing record.
+	var ds diskState
+	haveState := false
+	stateData, err := p.fs.ReadFile(filepath.Join(p.cfg.Journal, stateFile))
+	switch {
+	case err == nil:
+		payload, _, err := fsio.DecodeFile(stateData)
+		if err != nil {
+			return fmt.Errorf("pool resume: state file: %w", err)
+		}
+		if err := json.Unmarshal(payload, &ds); err != nil {
+			return fmt.Errorf("pool resume: state file: %w", err)
+		}
+		haveState = true
+	case errors.Is(err, os.ErrNotExist):
+		// No epoch ever sealed; resume is a fresh run.
+	default:
+		return fmt.Errorf("pool resume: %w", err)
+	}
+	if !haveState {
+		if len(st.Sealed) > 0 {
+			return fmt.Errorf("pool resume: %d sealed epochs but no state file", len(st.Sealed))
+		}
+	} else {
+		switch {
+		case ds.Epoch == len(st.Sealed)+1 && ds.LastSeal != nil:
+			// Crashed between writing state.bin and journaling the seal.
+			if err := p.journal.LogSeal(*ds.LastSeal); err != nil {
+				return fmt.Errorf("pool resume: %w", err)
+			}
+			st.Sealed = append(st.Sealed, *ds.LastSeal)
+			if st.InFlight >= 0 && st.InFlight <= ds.LastSeal.Epoch {
+				st.ClearInFlight()
+			}
+		case ds.Epoch == len(st.Sealed):
+			// Clean: every sealed epoch has its record.
+		default:
+			return fmt.Errorf("pool resume: state file at epoch %d, journal sealed %d",
+				ds.Epoch, len(st.Sealed))
+		}
+	}
+	completed := len(st.Sealed)
+	p.recovered = append([]journal.Seal(nil), st.Sealed...)
+
+	if completed > 0 {
+		global, err := tensor.DecodeVector(ds.Global)
+		if err != nil {
+			return fmt.Errorf("pool resume: global model: %w", err)
+		}
+		if err := p.manager.Restore(completed, global); err != nil {
+			return fmt.Errorf("pool resume: %w", err)
+		}
+		if got := fsio.Checksum(global.Encode()); got != st.Sealed[completed-1].GlobalDigest {
+			return fmt.Errorf("pool resume: global model digest %x does not match seal %x",
+				got, st.Sealed[completed-1].GlobalDigest)
+		}
+	}
+
+	// Replay the reward ledger from the seal records.
+	for _, seal := range st.Sealed {
+		for _, id := range seal.AcceptedWorkers {
+			p.rewards[id]++
+		}
+	}
+
+	// Fast-forward each worker's hardware noise stream past the epochs it
+	// actually trained (fault-plan-down epochs trained nothing — the plan is
+	// a pure function of (seed, worker, epoch), so this is replayable).
+	for _, w := range raw {
+		ff, ok := w.(rpol.EpochFastForwarder)
+		if !ok {
+			continue
+		}
+		trained := 0
+		for e := 0; e < completed; e++ {
+			if p.cfg.Faults == nil || !p.cfg.Faults.WorkerDown(w.ID(), e) {
+				trained++
+			}
+		}
+		ff.FastForwardEpochs(trained, p.cfg.StepsPerEpoch, p.cfg.CheckpointEvery)
+	}
+
+	// Arm the in-flight epoch's checkpoint-prefix adoption. The task record
+	// must announce exactly the epoch and global model the restored manager
+	// will re-announce; anything else means the prefix belongs to a
+	// different history and retraining from scratch is the safe choice.
+	if st.InFlight == completed && st.Task != nil &&
+		st.Task.GlobalDigest == fsio.Checksum(p.manager.Global().Encode()) {
+		for _, w := range raw {
+			hw, ok := w.(*rpol.HonestWorker)
+			if !ok {
+				continue
+			}
+			if digests := st.CheckpointDigests(hw.ID()); len(digests) > 0 {
+				hw.PrepareResume(completed, digests)
+			}
+		}
+	}
+	p.obs.Counter("pool_resumes_total").Inc()
+	return nil
+}
+
+// CompletedEpochs returns the number of sealed epochs (including recovered
+// ones after a resume).
+func (p *Pool) CompletedEpochs() int { return p.manager.Epoch() }
+
+// Recovered returns the seal records a resumed pool replayed its position
+// from (nil for a fresh pool).
+func (p *Pool) Recovered() []journal.Seal {
+	return append([]journal.Seal(nil), p.recovered...)
+}
+
+// Close releases the pool's durability resources (the journal's append
+// handle). Safe on a pool without a journal.
+func (p *Pool) Close() error {
+	if p.journal == nil {
+		return nil
+	}
+	return p.journal.Close()
 }
 
 // Spec returns the pool's task spec.
@@ -510,7 +754,53 @@ func (p *Pool) RunEpoch() (*EpochStats, error) {
 	}
 	stats.TestAccuracy = acc
 	p.obs.Gauge("pool_test_accuracy").Set(acc)
+	if p.journal != nil {
+		if err := p.sealEpoch(stats, report); err != nil {
+			return nil, err
+		}
+	}
 	return stats, nil
+}
+
+// sealEpoch makes the settled epoch durable. Write order matters: the state
+// snapshot (completed count + global model + the seal itself) lands
+// atomically FIRST, then the seal record is appended to the journal. A crash
+// between the two leaves state.bin one epoch ahead — applyRecovery adopts
+// its embedded LastSeal as the missing record, so the invariant
+// state.Epoch ∈ {#seals, #seals+1} always reconciles.
+func (p *Pool) sealEpoch(stats *EpochStats, report *rpol.EpochReport) error {
+	accepted := make([]string, 0, stats.Accepted)
+	for _, o := range report.Outcomes {
+		if o.Accepted {
+			accepted = append(accepted, o.WorkerID)
+		}
+	}
+	global := p.manager.Global().Encode()
+	seal := journal.Seal{
+		Epoch:           stats.Epoch,
+		TestAccuracy:    stats.TestAccuracy,
+		Accepted:        stats.Accepted,
+		Rejected:        stats.Rejected,
+		Absent:          stats.AbsentWorkers,
+		Detected:        stats.DetectedAdversaries,
+		Missed:          stats.MissedAdversaries,
+		FalseRejections: stats.FalseRejections,
+		VerifyCommBytes: stats.VerifyCommBytes,
+		ReexecSteps:     stats.ReexecSteps,
+		GlobalDigest:    fsio.Checksum(global),
+		AcceptedWorkers: accepted,
+	}
+	payload, err := json.Marshal(diskState{Epoch: stats.Epoch + 1, Global: global, LastSeal: &seal})
+	if err != nil {
+		return fmt.Errorf("pool seal: %w", err)
+	}
+	if err := p.fs.WriteFileAtomic(filepath.Join(p.cfg.Journal, stateFile), fsio.EncodeFile(payload)); err != nil {
+		return fmt.Errorf("pool seal: %w", err)
+	}
+	if err := p.journal.LogSeal(seal); err != nil {
+		return fmt.Errorf("pool seal: %w", err)
+	}
+	return nil
 }
 
 // RunEpochs runs n epochs and returns the stats history.

@@ -1,0 +1,266 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rpol/internal/fsio"
+	"rpol/internal/journal"
+	"rpol/internal/rpol"
+)
+
+// journaledConfig is the recovery suite's pool: small enough to sweep every
+// crash point, structured enough (multiple checkpoints per epoch, multiple
+// workers, sampled verification) that the crash points land in every phase
+// of the durable write schedule.
+func journaledConfig(workers int, dir string, fs fsio.FS) Config {
+	return Config{
+		TaskName:        "resnet18-cifar10",
+		Scheme:          rpol.SchemeV2,
+		NumWorkers:      2,
+		StepsPerEpoch:   6,
+		CheckpointEvery: 3,
+		Samples:         2,
+		Seed:            99,
+		Workers:         workers,
+		Journal:         dir,
+		FS:              fs,
+	}
+}
+
+func sealSummary(s journal.Seal) epochSummary {
+	return epochSummary{
+		Epoch:           s.Epoch,
+		TestAccuracy:    s.TestAccuracy,
+		Accepted:        s.Accepted,
+		Rejected:        s.Rejected,
+		Absent:          s.Absent,
+		Detected:        s.Detected,
+		Missed:          s.Missed,
+		FalseRejections: s.FalseRejections,
+		VerifyCommBytes: s.VerifyCommBytes,
+		ReexecSteps:     s.ReexecSteps,
+	}
+}
+
+func globalDigest(p *Pool) uint64 {
+	return fsio.Checksum(p.Manager().Global().Encode())
+}
+
+func sameRewards(a, b map[string]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// runBaseline runs the uninterrupted journaled pool and returns its ground
+// truth: per-epoch summaries, the final global model digest, the reward
+// ledger, and the total number of durable writes the run issued (the crash
+// sweep's schedule size).
+func runBaseline(t *testing.T, workers, epochs int) ([]epochSummary, uint64, map[string]float64, uint64) {
+	t.Helper()
+	counter := fsio.NewFaultFS(fsio.OS, nil)
+	p, err := New(journaledConfig(workers, t.TempDir(), counter))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	history, err := p.RunEpochs(epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	summaries := make([]epochSummary, len(history))
+	for i, s := range history {
+		summaries[i] = summarize(s)
+	}
+	return summaries, globalDigest(p), p.Rewards(), counter.Writes()
+}
+
+// TestJournaledRunMatchesPlainSchedule sanity-checks the baseline itself:
+// two journaled runs with the same seed in different directories are
+// bit-identical, and journaling leaves the zero-false-rejection invariant
+// intact.
+func TestJournaledRunIsDeterministic(t *testing.T) {
+	first, firstDigest, _, writes := runBaseline(t, 1, 2)
+	second, secondDigest, _, _ := runBaseline(t, 1, 2)
+	for e := range first {
+		if first[e] != second[e] {
+			t.Fatalf("epoch %d diverged between journaled runs:\n  %+v\n  %+v", e, first[e], second[e])
+		}
+		if first[e].FalseRejections != 0 {
+			t.Fatalf("epoch %d: journaled honest pool rejected %d honest workers", e, first[e].FalseRejections)
+		}
+	}
+	if firstDigest != secondDigest {
+		t.Fatalf("global digests diverged: %x vs %x", firstDigest, secondDigest)
+	}
+	if writes < 20 {
+		t.Fatalf("only %d durable writes across 2 epochs; the crash sweep needs a denser schedule", writes)
+	}
+}
+
+// TestResumeAfterCleanStop is the graceful half of recovery: run one epoch,
+// close the pool, reopen with Resume, run the second epoch — and the spliced
+// history must be bit-identical to the uninterrupted run.
+func TestResumeAfterCleanStop(t *testing.T) {
+	const epochs = 2
+	want, wantDigest, wantRewards, _ := runBaseline(t, 1, epochs)
+
+	dir := t.TempDir()
+	p, err := New(journaledConfig(1, dir, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []epochSummary{summarize(stats)}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rcfg := journaledConfig(1, dir, nil)
+	rcfg.Resume = true
+	resumed, err := New(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if resumed.CompletedEpochs() != 1 {
+		t.Fatalf("resumed pool at epoch %d, want 1", resumed.CompletedEpochs())
+	}
+	if rec := resumed.Recovered(); len(rec) != 1 || sealSummary(rec[0]) != got[0] {
+		t.Fatalf("recovered seals %+v do not match the epoch actually run", rec)
+	}
+	for resumed.CompletedEpochs() < epochs {
+		stats, err := resumed.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, summarize(stats))
+	}
+	for e := range want {
+		if got[e] != want[e] {
+			t.Fatalf("epoch %d diverged after clean-stop resume:\n  want %+v\n  got  %+v", e, want[e], got[e])
+		}
+	}
+	if d := globalDigest(resumed); d != wantDigest {
+		t.Fatalf("global digest %x after resume, want %x", d, wantDigest)
+	}
+	if !sameRewards(resumed.Rewards(), wantRewards) {
+		t.Fatalf("rewards %v after resume, want %v", resumed.Rewards(), wantRewards)
+	}
+}
+
+// TestCrashRecoveryEquivalence is the exhaustive crash sweep: for every
+// durable-write ordinal in the baseline schedule, run the pool with a fault
+// plan that kills the filesystem at exactly that write, then resume from
+// whatever survived on disk and finish the run. Every crash point must
+// recover to EpochStats, a reward ledger, and a global model bit-identical
+// to the uninterrupted run.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	const epochs = 2
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
+			t.Parallel()
+			want, wantDigest, wantRewards, total := runBaseline(t, workers, epochs)
+
+			// -short keeps a representative stride through the schedule;
+			// the full sweep (CI's crash-soak step) hits every ordinal.
+			stride := uint64(1)
+			if testing.Short() {
+				stride = 7
+			}
+			for ord := uint64(0); ord < total; ord += stride {
+				if !crashAndRecover(t, workers, epochs, ord, want, wantDigest, wantRewards) {
+					return
+				}
+			}
+		})
+	}
+}
+
+// crashAndRecover replays one crash point: run against a FaultFS that dies
+// at write ordinal ord, then resume on the real filesystem and compare the
+// spliced history against the baseline. Returns false once the subtest has
+// failed fatally enough to stop the sweep.
+func crashAndRecover(t *testing.T, workers, epochs int, ord uint64, want []epochSummary, wantDigest uint64, wantRewards map[string]float64) bool {
+	t.Helper()
+	dir := t.TempDir()
+	crashFS := fsio.NewFaultFS(fsio.OS, fsio.CrashAtWrite(int64(ord)+1, ord))
+	sawCrash := false
+	crashed, err := New(journaledConfig(workers, dir, crashFS))
+	if err != nil {
+		if !errors.Is(err, fsio.ErrInjectedCrash) {
+			t.Errorf("ordinal %d: New failed with non-injected error: %v", ord, err)
+			return false
+		}
+		sawCrash = true
+	} else {
+		for e := 0; e < epochs; e++ {
+			if _, err := crashed.RunEpoch(); err != nil {
+				if !errors.Is(err, fsio.ErrInjectedCrash) {
+					t.Errorf("ordinal %d: epoch failed with non-injected error: %v", ord, err)
+					return false
+				}
+				sawCrash = true
+				break
+			}
+		}
+		_ = crashed.Close() // the handle may already be down; release it regardless
+	}
+	if !sawCrash {
+		t.Errorf("ordinal %d: run completed without hitting the injected crash (write schedule drifted from the baseline count)", ord)
+		return false
+	}
+
+	rcfg := journaledConfig(workers, dir, nil)
+	rcfg.Resume = true
+	resumed, err := New(rcfg)
+	if err != nil {
+		t.Errorf("ordinal %d: resume: %v", ord, err)
+		return false
+	}
+	defer resumed.Close()
+	got := make([]epochSummary, 0, epochs)
+	for _, seal := range resumed.Recovered() {
+		got = append(got, sealSummary(seal))
+	}
+	for resumed.CompletedEpochs() < epochs {
+		stats, err := resumed.RunEpoch()
+		if err != nil {
+			t.Errorf("ordinal %d: resumed epoch: %v", ord, err)
+			return false
+		}
+		got = append(got, summarize(stats))
+	}
+	if len(got) != len(want) {
+		t.Errorf("ordinal %d: recovered %d epochs, want %d", ord, len(got), len(want))
+		return false
+	}
+	ok := true
+	for e := range want {
+		if got[e] != want[e] {
+			t.Errorf("ordinal %d: epoch %d diverged after crash recovery:\n  want %+v\n  got  %+v", ord, e, want[e], got[e])
+			ok = false
+		}
+	}
+	if d := globalDigest(resumed); d != wantDigest {
+		t.Errorf("ordinal %d: global digest %x after recovery, want %x", ord, d, wantDigest)
+		ok = false
+	}
+	if !sameRewards(resumed.Rewards(), wantRewards) {
+		t.Errorf("ordinal %d: rewards %v after recovery, want %v", ord, resumed.Rewards(), wantRewards)
+		ok = false
+	}
+	return ok
+}

@@ -6,7 +6,9 @@ import (
 	"sync"
 
 	"rpol/internal/dataset"
+	"rpol/internal/fsio"
 	"rpol/internal/gpu"
+	"rpol/internal/journal"
 	"rpol/internal/lsh"
 	"rpol/internal/nn"
 	"rpol/internal/obs"
@@ -71,6 +73,15 @@ type ManagerConfig struct {
 	// ParallelVerifiers, which fans independent submissions across verifier
 	// instances rather than parallelizing one submission's compute.
 	Workers int
+	// Journal, when set, makes the manager log every protocol transition
+	// (task announced, commitment received, samples drawn, verdict recorded)
+	// to the durable epoch journal, and derives its sampling RNG and
+	// verification device freshly at each epoch start as a pure function of
+	// (Seed, epoch) — so a resumed run re-enters any epoch with bit-identical
+	// randomness instead of depending on a cross-epoch stream position no
+	// crash survivor can reconstruct. Journal append failures abort the
+	// epoch: an unrecorded transition must not take effect.
+	Journal *journal.Journal
 	// Obs routes the manager's metrics and spans. Nil falls back to the
 	// process-wide default observer (disabled unless a command installed
 	// one); instrumentation never changes protocol results because it
@@ -162,6 +173,38 @@ func NewManager(cfg ManagerConfig, net *nn.Network, workers []Worker, shards map
 // Global returns a copy of the current global model weights.
 func (m *Manager) Global() tensor.Vector { return m.global.Clone() }
 
+// Restore rewinds the manager to the state after `completed` epochs with
+// the given global model — crash recovery replaying a journal calls it
+// before re-running the in-flight epoch. Only meaningful under a Journal
+// (per-epoch derived randomness); without one the sampling stream position
+// cannot be reconstructed.
+func (m *Manager) Restore(completed int, global tensor.Vector) error {
+	if completed < 0 {
+		return fmt.Errorf("rpol manager restore: negative epoch count %d", completed)
+	}
+	if len(global) != len(m.global) {
+		return fmt.Errorf("rpol manager restore: global has %d weights, want %d", len(global), len(m.global))
+	}
+	m.epoch = completed
+	m.global = global.Clone()
+	m.lastCal = nil
+	return nil
+}
+
+// deriveEpochState re-seeds the manager's sampling RNG and verification
+// device for the given epoch. Under a Journal every epoch's randomness is a
+// pure function of (Seed, epoch), which is what makes a resumed epoch
+// bit-identical to its uninterrupted counterpart.
+func (m *Manager) deriveEpochState(epoch int) error {
+	m.rng = tensor.NewRNG(prf.SeedFromString(fmt.Sprintf("rpol/epoch-rng/%d/%d", m.cfg.Seed, epoch)))
+	device, err := gpu.NewDevice(m.cfg.GPU, m.cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("rpol manager: %w", err)
+	}
+	m.device = device
+	return nil
+}
+
 // Epoch returns the number of completed epochs.
 func (m *Manager) Epoch() int { return m.epoch }
 
@@ -192,6 +235,19 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 	epochSpan := m.obs.Start(nil, "manager.epoch",
 		obs.Int("epoch", int64(epoch)), obs.String("scheme", m.cfg.Scheme.String()))
 	defer epochSpan.End()
+
+	if m.cfg.Journal != nil {
+		if err := m.deriveEpochState(epoch); err != nil {
+			return nil, err
+		}
+		if err := m.cfg.Journal.LogTask(journal.Task{
+			Epoch:        epoch,
+			GlobalDigest: fsio.Checksum(m.global.Encode()),
+			Workers:      len(m.workers),
+		}); err != nil {
+			return nil, fmt.Errorf("rpol manager: %w", err)
+		}
+	}
 
 	baseParams := TaskParams{
 		Epoch:           epoch,
@@ -313,6 +369,20 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 		if n := len(result.LSHDigests); n > 0 {
 			report.Phases.Add(obs.PhaseLSH, obs.PhaseTotals{Count: int64(n)})
 		}
+		if m.cfg.Journal != nil {
+			var digest uint64
+			if result.Commit != nil {
+				digest = fsio.Checksum(result.Commit.Encode())
+			}
+			if err := m.cfg.Journal.LogCommit(journal.Commit{
+				Epoch:          epoch,
+				Worker:         result.WorkerID,
+				Digest:         digest,
+				NumCheckpoints: result.NumCheckpoints,
+			}); err != nil {
+				return nil, fmt.Errorf("rpol manager: %w", err)
+			}
+		}
 	}
 
 	verified, err := m.verifyAll(verifier, live)
@@ -335,6 +405,25 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 	}
 	accepted := make([]*EpochResult, 0, len(m.workers))
 	for i, outcome := range outcomes {
+		if m.cfg.Journal != nil {
+			if outcome.Outcome != OutcomeAbsent {
+				if err := m.cfg.Journal.LogSamples(journal.Samples{
+					Epoch:   epoch,
+					Worker:  outcome.WorkerID,
+					Indices: outcome.SampledCheckpoints,
+				}); err != nil {
+					return nil, fmt.Errorf("rpol manager: %w", err)
+				}
+			}
+			if err := m.cfg.Journal.LogVerdict(journal.Verdict{
+				Epoch:   epoch,
+				Worker:  outcome.WorkerID,
+				Outcome: outcome.Outcome.String(),
+				Reason:  outcome.FailReason,
+			}); err != nil {
+				return nil, fmt.Errorf("rpol manager: %w", err)
+			}
+		}
 		report.Outcomes = append(report.Outcomes, outcome)
 		if outcome.Outcome == OutcomeAbsent {
 			report.Absent++

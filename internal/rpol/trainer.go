@@ -43,6 +43,11 @@ type Trainer struct {
 	// results are bit-identical for every n. RunEpoch adopts the task's
 	// TaskParams.Workers; verification sets the field directly.
 	Workers int
+	// Sink, when set, receives every checkpoint the moment RunEpoch snapshots
+	// it (index 0 carries the initial weights). Workers use it to stream
+	// checkpoints to durable storage as they are produced, so a crash loses
+	// at most the interval in flight. A Sink error aborts the epoch.
+	Sink func(idx, step int, w tensor.Vector) error
 
 	// Lazily-built parallel runtime (first parallel training step).
 	pool *parallel.Pool
@@ -130,16 +135,41 @@ func (t *Trainer) ExecuteInterval(start tensor.Vector, startStep, steps int, h H
 // checkpoints every CheckpointEvery steps (including the initial weights
 // and the final weights). It returns the trace of snapshots.
 func (t *Trainer) RunEpoch(p TaskParams) (*Trace, error) {
+	return t.ResumeEpoch(p, nil)
+}
+
+// ResumeEpoch is RunEpoch continuing from an already-trained prefix of the
+// same epoch (recovered checkpoints). The prefix's snapshots are adopted
+// verbatim — the Sink sees only checkpoints produced by this call — and
+// training restarts at the prefix's last step. Optimizer state resets at
+// every checkpoint boundary and batches are a pure function of the step
+// index, so a prefix-resumed epoch is bit-identical to an uninterrupted one
+// provided the Device's noise stream was fast-forwarded (FastForward) past
+// the prefix's steps. A nil or empty prefix is a fresh epoch.
+func (t *Trainer) ResumeEpoch(p TaskParams, prefix *Trace) (*Trace, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	t.SetWorkers(p.Workers)
-	trace := &Trace{
-		Checkpoints: []tensor.Vector{p.Global.Clone()},
-		Steps:       []int{0},
+	trace := &Trace{}
+	if prefix != nil && len(prefix.Checkpoints) > 0 {
+		if len(prefix.Checkpoints) != len(prefix.Steps) {
+			return nil, fmt.Errorf("rpol resume: prefix has %d checkpoints, %d steps",
+				len(prefix.Checkpoints), len(prefix.Steps))
+		}
+		for i, w := range prefix.Checkpoints {
+			trace.Checkpoints = append(trace.Checkpoints, w.Clone())
+			trace.Steps = append(trace.Steps, prefix.Steps[i])
+		}
+	} else {
+		trace.Checkpoints = []tensor.Vector{p.Global.Clone()}
+		trace.Steps = []int{0}
+		if err := t.emit(trace); err != nil {
+			return nil, err
+		}
 	}
-	cur := p.Global.Clone()
-	step := 0
+	cur := trace.Checkpoints[len(trace.Checkpoints)-1].Clone()
+	step := trace.Steps[len(trace.Steps)-1]
 	for step < p.Steps {
 		interval := p.CheckpointEvery
 		if step+interval > p.Steps {
@@ -153,8 +183,39 @@ func (t *Trainer) RunEpoch(p TaskParams) (*Trace, error) {
 		cur = next
 		trace.Checkpoints = append(trace.Checkpoints, cur.Clone())
 		trace.Steps = append(trace.Steps, step)
+		if err := t.emit(trace); err != nil {
+			return nil, err
+		}
 	}
 	return trace, nil
+}
+
+// emit streams the trace's newest checkpoint to the Sink, if any.
+func (t *Trainer) emit(trace *Trace) error {
+	if t.Sink == nil {
+		return nil
+	}
+	idx := len(trace.Checkpoints) - 1
+	if err := t.Sink(idx, trace.Steps[idx], trace.Checkpoints[idx]); err != nil {
+		return fmt.Errorf("rpol checkpoint sink at %d: %w", idx, err)
+	}
+	return nil
+}
+
+// FastForward advances the trainer's device noise stream past the given
+// number of already-executed training steps without training. Each live
+// step perturbs every parameter tensor once, so the skip replays exactly
+// that pattern. No-op without a device.
+func (t *Trainer) FastForward(steps int) {
+	if t.Device == nil {
+		return
+	}
+	params := t.Net.Params()
+	for s := 0; s < steps; s++ {
+		for _, p := range params {
+			t.Device.SkipPerturb(len(p))
+		}
+	}
 }
 
 // Final returns the last checkpoint of the trace (the epoch's final

@@ -5,7 +5,9 @@ import (
 
 	"rpol/internal/checkpoint"
 	"rpol/internal/dataset"
+	"rpol/internal/fsio"
 	"rpol/internal/gpu"
+	"rpol/internal/journal"
 	"rpol/internal/nn"
 	"rpol/internal/obs"
 	"rpol/internal/tensor"
@@ -20,12 +22,20 @@ type HonestWorker struct {
 	trainer *Trainer
 	store   checkpoint.Store
 	obs     *obs.Observer
+	journal *journal.Journal
+
+	// One-shot resume state installed by PrepareResume: the epoch whose
+	// durable checkpoint prefix may be adopted, and the journaled digest of
+	// each stored snapshot. -1 means no resume pending.
+	resumeEpoch   int
+	resumeDigests map[int]uint64
 
 	lastTrace  *Trace
 	lastResult *EpochResult
 }
 
 var _ Worker = (*HonestWorker)(nil)
+var _ EpochFastForwarder = (*HonestWorker)(nil)
 
 // NewHonestWorker builds a worker executing on the given GPU profile.
 // runSeed individualizes this worker's hardware nondeterminism.
@@ -38,9 +48,10 @@ func NewHonestWorker(id string, profile gpu.Profile, runSeed int64, net *nn.Netw
 		return nil, fmt.Errorf("rpol worker %s: empty shard", id)
 	}
 	return &HonestWorker{
-		id:      id,
-		profile: profile,
-		trainer: &Trainer{Net: net, Shard: shard, Device: device},
+		id:          id,
+		profile:     profile,
+		trainer:     &Trainer{Net: net, Shard: shard, Device: device},
+		resumeEpoch: -1,
 	}, nil
 }
 
@@ -58,6 +69,33 @@ func (w *HonestWorker) ShardSize() int { return w.trainer.Shard.Len() }
 // openings then round-trip through the store's serialization — exactly what
 // a real worker whose checkpoints exceed RAM does.
 func (w *HonestWorker) SetStore(st checkpoint.Store) { w.store = st }
+
+// SetJournal directs the worker to log every durably stored checkpoint to
+// j. Requires a store (SetStore): the journal records promises about files
+// on disk. With a journal set, checkpoints stream to the store as training
+// produces them (instead of in one batch after the epoch), so a crash loses
+// at most the interval in flight.
+func (w *HonestWorker) SetJournal(j *journal.Journal) { w.journal = j }
+
+// PrepareResume arms the worker to adopt the durable checkpoint prefix of
+// the given epoch on its next RunEpoch call. digests maps checkpoint index
+// to the journaled fsio.Checksum of its stored bytes; a snapshot is adopted
+// only while its on-disk bytes still hash to the journaled digest. One-shot:
+// the armed state clears on the next RunEpoch whether or not it applies.
+func (w *HonestWorker) PrepareResume(epoch int, digests map[int]uint64) {
+	w.resumeEpoch = epoch
+	w.resumeDigests = digests
+}
+
+// FastForwardEpochs advances the worker's device noise stream past epochs
+// it trained before a crash (each epoch draws stepsPerEpoch perturbations
+// per parameter tensor).
+func (w *HonestWorker) FastForwardEpochs(epochs, stepsPerEpoch, checkpointEvery int) {
+	_ = checkpointEvery // honest noise is per-step, not per-checkpoint
+	if epochs > 0 && stepsPerEpoch > 0 {
+		w.trainer.FastForward(epochs * stepsPerEpoch)
+	}
+}
 
 // SetObserver routes the worker's training metrics and spans through o.
 func (w *HonestWorker) SetObserver(o *obs.Observer) {
@@ -84,7 +122,7 @@ func (w *HonestWorker) StorageBytes() int64 {
 func (w *HonestWorker) RunEpoch(p TaskParams) (*EpochResult, error) {
 	trainSpan := w.obs.Start(p.Trace, "worker.train",
 		obs.String("worker", w.id), obs.Int("steps", int64(p.Steps)))
-	trace, err := w.trainer.RunEpoch(p)
+	trace, err := w.runTraining(p)
 	if err != nil {
 		trainSpan.End(obs.String("error", err.Error()))
 		return nil, fmt.Errorf("rpol worker %s: %w", w.id, err)
@@ -94,6 +132,14 @@ func (w *HonestWorker) RunEpoch(p TaskParams) (*EpochResult, error) {
 	update, err := BindFinalCheckpoint(trace, p.Global)
 	if err != nil {
 		return nil, fmt.Errorf("rpol worker %s: %w", w.id, err)
+	}
+	if w.journal != nil && w.store != nil {
+		// BindFinalCheckpoint rewrote the final snapshot; re-persist and
+		// re-journal it (the later record's digest wins on replay).
+		last := len(trace.Checkpoints) - 1
+		if err := w.persistCheckpoint(p.Epoch, last, trace.Steps[last], trace.Checkpoints[last]); err != nil {
+			return nil, fmt.Errorf("rpol worker %s: %w", w.id, err)
+		}
 	}
 	commitSpan := w.obs.Start(p.Trace, "worker.commit", obs.String("worker", w.id))
 	commit, digests, err := BuildCommitmentPool(poolFor(p.Workers), trace.Checkpoints, p.LSH)
@@ -108,7 +154,9 @@ func (w *HonestWorker) RunEpoch(p TaskParams) (*EpochResult, error) {
 	if len(digests) > 0 {
 		w.obs.Counter("rpol_lsh_digests_total").Add(int64(len(digests)))
 	}
-	if w.store != nil {
+	if w.store != nil && w.journal == nil {
+		// Historical batch persistence; the journaled path streamed every
+		// checkpoint to the store during training instead.
 		if err := w.store.Clear(); err != nil {
 			return nil, fmt.Errorf("rpol worker %s: %w", w.id, err)
 		}
@@ -129,6 +177,102 @@ func (w *HonestWorker) RunEpoch(p TaskParams) (*EpochResult, error) {
 		NumCheckpoints: len(trace.Checkpoints),
 	}
 	return w.lastResult, nil
+}
+
+// runTraining executes the epoch's training through whichever persistence
+// mode is configured: plain (in-memory trace), or journaled streaming with
+// optional crash-resume from the durable checkpoint prefix.
+func (w *HonestWorker) runTraining(p TaskParams) (*Trace, error) {
+	if w.journal == nil || w.store == nil {
+		return w.trainer.RunEpoch(p)
+	}
+	prefix, err := w.loadResumePrefix(p)
+	if err != nil {
+		return nil, err
+	}
+	if prefix == nil {
+		// Fresh epoch: drop the previous epoch's snapshots before streaming.
+		if err := w.store.Clear(); err != nil {
+			return nil, err
+		}
+	} else {
+		w.obs.Counter("rpol_resumed_checkpoints_total").Add(int64(len(prefix.Checkpoints)))
+	}
+	w.trainer.Sink = func(idx, step int, cp tensor.Vector) error {
+		return w.persistCheckpoint(p.Epoch, idx, step, cp)
+	}
+	defer func() { w.trainer.Sink = nil }()
+	return w.trainer.ResumeEpoch(p, prefix)
+}
+
+// persistCheckpoint makes one snapshot durable: the store write lands first
+// (atomic), then the journal records its digest. A crash between the two
+// leaves an unrecorded file, which resume simply retrains over.
+func (w *HonestWorker) persistCheckpoint(epoch, idx, step int, cp tensor.Vector) error {
+	if err := w.store.Put(idx, cp); err != nil {
+		return err
+	}
+	return w.journal.LogCheckpoint(journal.Checkpoint{
+		Epoch:  epoch,
+		Worker: w.id,
+		Index:  idx,
+		Step:   step,
+		Digest: fsio.Checksum(cp.Encode()),
+	})
+}
+
+// loadResumePrefix adopts the longest intact prefix of the armed epoch's
+// durable checkpoints: indices must be journaled, their stored bytes must
+// hash to the journaled digest, and checkpoint 0 must be bit-identical to
+// the distributed global model (a stale store from an earlier run fails
+// one of these). The final checkpoint is never adopted — BindFinalCheckpoint
+// rewrites it after training, so its journaled digest does not match the
+// trained weights the last interval must resume from; retraining the last
+// interval is always safe. The device noise stream is fast-forwarded past
+// the adopted steps so the retrained suffix draws the exact noise an
+// uninterrupted run would.
+func (w *HonestWorker) loadResumePrefix(p TaskParams) (*Trace, error) {
+	if w.resumeEpoch != p.Epoch || len(w.resumeDigests) == 0 {
+		w.resumeEpoch = -1
+		w.resumeDigests = nil
+		return nil, nil
+	}
+	digests := w.resumeDigests
+	w.resumeEpoch = -1
+	w.resumeDigests = nil
+
+	prefix := &Trace{}
+	final := p.NumCheckpoints() - 1
+	for idx := 0; idx < final; idx++ {
+		want, ok := digests[idx]
+		if !ok {
+			break
+		}
+		cp, err := w.store.Get(idx)
+		if err != nil {
+			// Missing or corrupt snapshot: fall back to the prefix before it.
+			w.obs.Counter("rpol_resume_corrupt_checkpoints_total").Inc()
+			break
+		}
+		if fsio.Checksum(cp.Encode()) != want {
+			w.obs.Counter("rpol_resume_corrupt_checkpoints_total").Inc()
+			break
+		}
+		if idx == 0 && !cp.Equal(p.Global, 0) {
+			return nil, nil // stale store from a different epoch
+		}
+		step := idx * p.CheckpointEvery
+		if step > p.Steps {
+			step = p.Steps
+		}
+		prefix.Checkpoints = append(prefix.Checkpoints, cp)
+		prefix.Steps = append(prefix.Steps, step)
+	}
+	if len(prefix.Checkpoints) == 0 {
+		return nil, nil
+	}
+	w.trainer.FastForward(prefix.Steps[len(prefix.Steps)-1])
+	return prefix, nil
 }
 
 // OpenCheckpoint serves the raw weights of checkpoint idx from the last

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"rpol/internal/checkpoint"
+	"rpol/internal/fsio"
 	"rpol/internal/gpu"
 	"rpol/internal/tensor"
 )
@@ -28,8 +29,11 @@ func TestHonestWorkerWithDiskStore(t *testing.T) {
 	if store.Len() != result.NumCheckpoints {
 		t.Errorf("store holds %d of %d checkpoints", store.Len(), result.NumCheckpoints)
 	}
-	if worker.StorageBytes() != int64(result.NumCheckpoints*tensor.EncodedSize(len(p.Global))) {
-		t.Errorf("StorageBytes = %d", worker.StorageBytes())
+	// Each on-disk snapshot carries the checksummed-frame overhead on top of
+	// its wire encoding.
+	wantBytes := int64(result.NumCheckpoints * (tensor.EncodedSize(len(p.Global)) + fsio.FileOverhead))
+	if worker.StorageBytes() != wantBytes {
+		t.Errorf("StorageBytes = %d, want %d", worker.StorageBytes(), wantBytes)
 	}
 
 	// Verification works end-to-end through the disk round trip.

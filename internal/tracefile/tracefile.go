@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"rpol/internal/fsio"
 	"rpol/internal/prf"
 	"rpol/internal/rpol"
 	"rpol/internal/tensor"
@@ -130,26 +131,33 @@ func (f *File) Trace() (*rpol.Trace, error) {
 	return trace, nil
 }
 
-// Write serializes the trace file to path.
+// Write serializes the trace file to path as a checksummed fsio frame,
+// atomically: a crash mid-write leaves the previous trace (or nothing)
+// rather than a torn file a verifier would choke on.
 func (f *File) Write(path string) error {
 	data, err := json.MarshalIndent(f, "", " ")
 	if err != nil {
 		return fmt.Errorf("tracefile write: %w", err)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := fsio.WriteFileAtomic(path, fsio.EncodeFile(data)); err != nil {
 		return fmt.Errorf("tracefile write: %w", err)
 	}
 	return nil
 }
 
-// Read parses a trace file from path.
+// Read parses a trace file from path. Checksum failures surface as
+// ErrCorrupt; files written before the framed format (raw JSON) still load.
 func Read(path string) (*File, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("tracefile read: %w", err)
 	}
+	payload, _, err := fsio.DecodeFile(data)
+	if err != nil {
+		return nil, fmt.Errorf("tracefile read: %v: %w", err, ErrCorrupt)
+	}
 	var f File
-	if err := json.Unmarshal(data, &f); err != nil {
+	if err := json.Unmarshal(payload, &f); err != nil {
 		return nil, fmt.Errorf("tracefile parse: %w", err)
 	}
 	if f.Version != FormatVersion {
