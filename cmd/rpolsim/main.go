@@ -33,6 +33,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		jdir    = flag.String("journal", "", "directory for the durable epoch journal (empty disables journaling)")
 		resume  = flag.Bool("resume", false, "recover the pool's position from -journal before running (requires -journal)")
+		linger  = flag.Duration("linger", 0, "keep the process (and any -serve/-pprof endpoints) alive this long after the run, e.g. 30s")
 		obsOpts obscli.Options
 	)
 	obsOpts.Register(flag.CommandLine)
@@ -50,6 +51,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rpolsim:", err)
 		os.Exit(1)
 	}
+	// -linger holds the -serve/-pprof endpoints open after the workload so
+	// external scrapers (CI smoke, a late rpoltop) can still probe the
+	// finished run; finishObs then shuts the listeners down.
+	obs.WallSleep(*linger)
 	if err := finishObs(); err != nil {
 		fmt.Fprintln(os.Stderr, "rpolsim:", err)
 		os.Exit(1)

@@ -1,0 +1,32 @@
+// Command rpoltop is a live terminal dashboard for a running simulation's
+// observability plane (rpolsim -serve / rpolbench -serve). It polls the
+// /snapshot, /delta, /events, and /healthz endpoints and renders the
+// fleet's state — per-worker verdict tallies, pool progress, network and
+// journal rates, and the live event tail — refreshing in place.
+//
+// Usage:
+//
+//	rpoltop -addr localhost:7070             # live view, refresh every 2s
+//	rpoltop -addr localhost:7070 -once       # one frame, then exit
+//	rpoltop -file metrics.json -once         # offline view of a saved snapshot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "observability plane address (host:port of a -serve run)")
+		interval = flag.Duration("interval", 0, "refresh interval (default 2s); also the window for rate columns")
+		once     = flag.Bool("once", false, "render a single frame and exit")
+		file     = flag.String("file", "", "render a saved metrics snapshot (JSON, as served by /metrics?format=json) instead of polling")
+	)
+	flag.Parse()
+	if err := run(*addr, *interval, *once, *file, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rpoltop:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,304 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"rpol/internal/obs"
+	"rpol/internal/obshttp"
+)
+
+// defaultInterval is the refresh cadence when -interval is not given.
+const defaultInterval = 2 * time.Second
+
+// tailLen bounds the rendered event tail.
+const tailLen = 8
+
+// workerStat aggregates one worker's verdict history from the event stream.
+type workerStat struct {
+	accepted  int64
+	rejected  int64
+	absent    int64
+	lastEpoch int64
+}
+
+// model is everything one frame renders. It is pure data: the fetch layer
+// fills it, render turns it into a string, and the golden test constructs
+// it directly.
+type model struct {
+	source      string // address or file the frame describes
+	seq         uint64 // metrics stream sequence of the applied state
+	snap        obs.Snapshot
+	delta       obs.Delta // last increment, for the rate columns
+	intervalSec float64   // rate window; 0 renders rates as "-"
+	health      *obshttp.HealthResponse
+	workers     map[string]*workerStat
+	tail        []obs.StreamEvent
+	dropped     uint64 // events lost to the ring across the session
+}
+
+// applyEvents folds a batch of stream events into the per-worker tallies
+// and the bounded tail.
+func (m *model) applyEvents(evs []obs.StreamEvent, dropped uint64) {
+	m.dropped += dropped
+	for _, ev := range evs {
+		if ev.Worker != "" {
+			if m.workers == nil {
+				m.workers = make(map[string]*workerStat)
+			}
+			ws := m.workers[ev.Worker]
+			if ws == nil {
+				ws = &workerStat{}
+				m.workers[ev.Worker] = ws
+			}
+			switch ev.Kind {
+			case obs.EventVerdictAccepted:
+				ws.accepted++
+			case obs.EventVerdictRejected:
+				ws.rejected++
+			case obs.EventWorkerAbsent:
+				ws.absent++
+			}
+			if ev.Epoch > ws.lastEpoch {
+				ws.lastEpoch = ev.Epoch
+			}
+		}
+		m.tail = append(m.tail, ev)
+	}
+	if len(m.tail) > tailLen {
+		m.tail = m.tail[len(m.tail)-tailLen:]
+	}
+}
+
+// poolRows are the headline counters, in display order.
+var poolRows = []struct{ label, metric string }{
+	{"epochs sealed", "pool_epochs_total"},
+	{"verdicts accepted", "rpol_accepted_total"},
+	{"verdicts rejected", "rpol_rejected_total"},
+	{"workers absent", "rpol_absent_total"},
+	{"adversaries detected", "pool_detected_adversaries_total"},
+	{"adversaries missed", "pool_missed_adversaries_total"},
+	{"false rejections", "pool_false_rejections_total"},
+}
+
+// rate formats a per-second rate over the frame's interval. A Full delta
+// is the entire run's state, not an interval's increment, so it rates as
+// "-" rather than implying a burst.
+func (m *model) rate(increment int64) string {
+	if m.intervalSec <= 0 || increment == 0 || m.delta.Full {
+		return "-"
+	}
+	return strconv.FormatFloat(float64(increment)/m.intervalSec, 'g', 4, 64) + "/s"
+}
+
+// render draws one frame. Pure: no clock, no IO — the golden test calls it
+// on a canned model.
+func render(m *model) string {
+	var b strings.Builder
+
+	// Header: source, stream position, liveness.
+	fmt.Fprintf(&b, "rpoltop — %s  seq=%d", m.source, m.seq)
+	if m.health != nil {
+		status := "OK"
+		if !m.health.Healthy {
+			status = "STALLED"
+		}
+		fmt.Fprintf(&b, "  health=%s epochs=%d age=%s",
+			status, m.health.Epochs, time.Duration(m.health.AgeNS))
+	}
+	if acc, ok := m.snap.Gauges["pool_test_accuracy"]; ok {
+		fmt.Fprintf(&b, "  accuracy=%.4f", acc)
+	}
+	if m.dropped > 0 {
+		fmt.Fprintf(&b, "  events_dropped=%d", m.dropped)
+	}
+	b.WriteString("\n\n")
+
+	// Pool progress.
+	rows := make([][]string, 0, len(poolRows))
+	for _, r := range poolRows {
+		rows = append(rows, []string{
+			r.label,
+			strconv.FormatInt(m.snap.Counters[r.metric], 10),
+			m.rate(m.delta.Counters[r.metric]),
+		})
+	}
+	b.WriteString(obs.RenderTable([]string{"pool", "total", "rate"}, rows))
+
+	// Per-worker tallies from the event stream.
+	if len(m.workers) > 0 {
+		names := make([]string, 0, len(m.workers))
+		for name := range m.workers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		rows = rows[:0]
+		for _, name := range names {
+			ws := m.workers[name]
+			rows = append(rows, []string{
+				name,
+				strconv.FormatInt(ws.accepted, 10),
+				strconv.FormatInt(ws.rejected, 10),
+				strconv.FormatInt(ws.absent, 10),
+				strconv.FormatInt(ws.lastEpoch, 10),
+			})
+		}
+		b.WriteString("\n")
+		b.WriteString(obs.RenderTable(
+			[]string{"worker", "accepted", "rejected", "absent", "epoch"}, rows))
+	}
+
+	// Network and durability counters, discovered by prefix so new
+	// transports and journal metrics appear without dashboard changes.
+	names := make([]string, 0, len(m.snap.Counters))
+	for name := range m.snap.Counters {
+		if strings.HasPrefix(name, "net_") || strings.HasPrefix(name, "journal_") ||
+			strings.HasPrefix(name, "recovery_") {
+			names = append(names, name)
+		}
+	}
+	if len(names) > 0 {
+		sort.Strings(names)
+		rows = rows[:0]
+		for _, name := range names {
+			rows = append(rows, []string{
+				name,
+				strconv.FormatInt(m.snap.Counters[name], 10),
+				m.rate(m.delta.Counters[name]),
+			})
+		}
+		b.WriteString("\n")
+		b.WriteString(obs.RenderTable([]string{"net / journal", "total", "rate"}, rows))
+	}
+
+	// Live event tail.
+	if len(m.tail) > 0 {
+		b.WriteString("\nevents:\n")
+		for _, ev := range m.tail {
+			fmt.Fprintf(&b, "  [%d] %s", ev.Seq, ev.Kind)
+			if ev.Worker != "" {
+				fmt.Fprintf(&b, " %s", ev.Worker)
+			}
+			fmt.Fprintf(&b, " epoch=%d", ev.Epoch)
+			if ev.Detail != "" {
+				fmt.Fprintf(&b, " (%s)", ev.Detail)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// client polls one observability plane.
+type client struct {
+	base string // http://host:port
+	m    *model
+}
+
+func (c *client) get(path string, into any) error {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("%s: %s: %s", c.base+path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.Unmarshal(body, into)
+}
+
+// refresh advances the model by one poll round: metrics delta, event tail,
+// health. The first round (seq 0) receives the full snapshot.
+func (c *client) refresh() error {
+	var d obs.Delta
+	if err := c.get("/delta?since="+strconv.FormatUint(c.m.seq, 10), &d); err != nil {
+		return err
+	}
+	c.m.snap = c.m.snap.Apply(d) // Apply discards the mirror on a Full delta
+	c.m.seq = d.Seq
+	c.m.delta = d
+
+	var er struct {
+		Latest  uint64            `json:"latest"`
+		Dropped uint64            `json:"dropped"`
+		Events  []obs.StreamEvent `json:"events"`
+	}
+	since := uint64(0)
+	if n := len(c.m.tail); n > 0 {
+		since = c.m.tail[n-1].Seq
+	}
+	if err := c.get("/events?since="+strconv.FormatUint(since, 10), &er); err != nil {
+		return err
+	}
+	c.m.applyEvents(er.Events, er.Dropped)
+
+	var hr obshttp.HealthResponse
+	if err := c.get("/healthz", &hr); err != nil {
+		return err
+	}
+	c.m.health = &hr
+	return nil
+}
+
+// clearScreen is the ANSI erase+home sequence the live loop prefixes each
+// frame with.
+const clearScreen = "\x1b[2J\x1b[H"
+
+// run is the dashboard entry point, factored from main for testing.
+func run(addr string, interval time.Duration, once bool, file string, out io.Writer) error {
+	if interval <= 0 {
+		interval = defaultInterval
+	}
+	if file != "" {
+		return renderFile(file, out)
+	}
+	if addr == "" {
+		return errors.New("one of -addr or -file is required")
+	}
+	c := &client{
+		base: "http://" + addr,
+		m:    &model{source: addr, intervalSec: interval.Seconds()},
+	}
+	for {
+		if err := c.refresh(); err != nil {
+			return err
+		}
+		if once {
+			_, err := io.WriteString(out, render(c.m))
+			return err
+		}
+		if _, err := io.WriteString(out, clearScreen+render(c.m)); err != nil {
+			return err
+		}
+		// The refresh pace is wall time by definition — an operator is
+		// watching — so the wait routes through the one sanctioned sleep.
+		obs.WallSleep(interval)
+	}
+}
+
+// renderFile draws a single offline frame from a saved metrics snapshot
+// (the JSON served by /metrics?format=json, or obs.Snapshot.JSON output).
+func renderFile(path string, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	_, err = io.WriteString(out, render(&model{source: path, snap: snap}))
+	return err
+}

@@ -88,6 +88,25 @@ func TestPackageFilter(t *testing.T) {
 			t.Fatalf("%s scan: exit %d: %s", pkg, code, stderr.String())
 		}
 	}
+	// The live observability plane and its dashboard must be clean with
+	// zero suppressions: they run next to the deterministic protocol, so
+	// every wall-clock touch has to route through internal/obs, not be
+	// waived away.
+	for _, pkg := range []string{"./internal/obshttp", "./internal/obscli", "./cmd/rpoltop"} {
+		stdout.Reset()
+		stderr.Reset()
+		if code := rpolvet([]string{"-json", pkg}, &stdout, &stderr); code != 0 {
+			t.Fatalf("%s scan: exit %d: %s", pkg, code, stderr.String())
+		}
+		var r report
+		if err := json.Unmarshal(stdout.Bytes(), &r); err != nil {
+			t.Fatalf("%s: bad JSON: %v", pkg, err)
+		}
+		if len(r.Suppressed) != 0 {
+			t.Errorf("%s carries %d rpolvet:ignore suppressions, want none: %v",
+				pkg, len(r.Suppressed), r.Suppressed)
+		}
+	}
 	if code := rpolvet([]string{"./no/such/package"}, &stdout, &stderr); code != 2 {
 		t.Errorf("unknown pattern: exit %d, want 2", code)
 	}

@@ -180,6 +180,12 @@ func Open(fs fsio.FS, path string, o *obs.Observer) (*Journal, *Recovery, error)
 	if torn > 0 {
 		o.Counter("recovery_discarded_tail_total").Add(int64(torn))
 	}
+	if len(recs) > 0 || torn > 0 || dups > 0 {
+		o.Publish(obs.StreamEvent{
+			Kind:   obs.EventJournalRecovery,
+			Detail: fmt.Sprintf("replayed=%d tornBytes=%d dups=%d", len(recs), torn, dups),
+		})
+	}
 	j := &Journal{fs: fs, path: path, obs: o, ap: ap, nextSeq: nextSeq}
 	return j, &Recovery{Records: recs, DiscardedTailBytes: torn, SkippedDuplicates: dups}, nil
 }

@@ -41,6 +41,25 @@ type Bus struct {
 	faults  *FaultPlan
 	clock   obs.Clock
 	linkSeq map[string]uint64
+	events  *obs.Events
+}
+
+// publishFault mirrors an injected fault into a live event stream: the
+// transport's explicit log if one was attached with StreamEvents, else the
+// process-wide default observer's log. Unobserved transports pay only two
+// nil checks on the (already rare) fault path.
+func publishFault(events *obs.Events, what, msgKind, from, to string) {
+	if events == nil {
+		events = obs.Default().Events()
+	}
+	if events == nil {
+		return
+	}
+	events.Publish(obs.StreamEvent{
+		Kind:   obs.EventFaultInjected,
+		Worker: to,
+		Detail: what + " " + msgKind + " " + from + "->" + to,
+	})
 }
 
 // Errors returned by Bus operations.
@@ -82,6 +101,15 @@ func (b *Bus) InjectFaults(plan *FaultPlan, clock obs.Clock) {
 
 // Observe mirrors the bus's traffic into reg under net_bus_* counters.
 func (b *Bus) Observe(reg *obs.Registry) { b.meter.Attach(reg, "bus") }
+
+// StreamEvents mirrors injected faults into e as fault_injected events (in
+// addition to the meter's counters). Nil falls back to the process-wide
+// default observer's event log, if any.
+func (b *Bus) StreamEvents(e *obs.Events) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events = e
+}
 
 // Endpoint is one party's handle on the bus.
 type Endpoint struct {
@@ -153,10 +181,12 @@ func (e *Endpoint) SendSeq(to, kind string, seq uint64, payload []byte) error {
 			// sees success and only the meter (and the receiver's silence)
 			// records the loss.
 			b.meter.RecordInjectedDrop(e.name, to, kind, msg.Size())
+			publishFault(b.events, "drop", kind, e.name, to)
 			return nil
 		}
 		if fault.Delay > 0 {
 			b.meter.RecordInjectedDelay()
+			publishFault(b.events, "delay", kind, e.name, to)
 			if adv, ok := b.clock.(advancer); ok {
 				adv.Advance(fault.Delay)
 			}

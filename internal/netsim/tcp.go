@@ -36,6 +36,7 @@ type TCPHub struct {
 	faults  *FaultPlan
 	clock   obs.Clock
 	linkSeq map[string]uint64
+	events  *obs.Events
 
 	wg sync.WaitGroup
 }
@@ -84,6 +85,15 @@ func (h *TCPHub) Meter() *Meter { return h.meter }
 
 // Observe mirrors the hub's traffic into reg under net_tcp_* counters.
 func (h *TCPHub) Observe(reg *obs.Registry) { h.meter.Attach(reg, "tcp") }
+
+// StreamEvents mirrors injected faults into e as fault_injected events (in
+// addition to the meter's counters). Nil falls back to the process-wide
+// default observer's event log, if any.
+func (h *TCPHub) StreamEvents(e *obs.Events) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.events = e
+}
 
 // InjectFaults applies a deterministic fault plan to every subsequently
 // routed message (registration handshakes are exempt — a plan describes a
@@ -211,10 +221,12 @@ func (h *TCPHub) route(msg Message) {
 		fault := h.faults.Decide(msg.From, msg.To, n)
 		if fault.Drop {
 			h.meter.RecordInjectedDrop(msg.From, msg.To, msg.Kind, msg.Size())
+			publishFault(h.events, "drop", msg.Kind, msg.From, msg.To)
 			return
 		}
 		if fault.Delay > 0 {
 			h.meter.RecordInjectedDelay()
+			publishFault(h.events, "delay", msg.Kind, msg.From, msg.To)
 			if adv, ok := h.clock.(advancer); ok {
 				adv.Advance(fault.Delay)
 			}

@@ -52,3 +52,15 @@ func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
 
 // Now returns nanoseconds elapsed since the clock was created.
 func (c *WallClock) Now() int64 { return int64(time.Since(c.start)) }
+
+// WallSleep pauses the calling goroutine for d of real time. It lives here
+// because internal/obs is the one package sanctioned to touch the ambient
+// clock (rpolvet's nowallclock analyzer): interactive operator tools — the
+// rpoltop dashboard's refresh loop — wait on real time by definition, and
+// routing those waits through obs keeps the determinism invariant
+// meaningful everywhere else. Protocol code must never call it.
+func WallSleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

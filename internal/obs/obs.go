@@ -16,18 +16,41 @@ package obs
 
 import "sync/atomic"
 
-// Observer bundles a metrics registry and a tracer so instrumented code
-// threads one handle. The zero value and nil are both valid (fully
-// disabled).
+// Observer bundles a metrics registry, a tracer, and a live event log so
+// instrumented code threads one handle. The zero value and nil are both
+// valid (fully disabled).
 type Observer struct {
 	registry *Registry
 	tracer   *Tracer
+	events   *Events
 }
 
-// NewObserver pairs a registry with a tracer; either may be nil.
+// NewObserver pairs a registry with a tracer; either may be nil. Attach a
+// live event log with AttachEvents.
 func NewObserver(reg *Registry, tr *Tracer) *Observer {
 	return &Observer{registry: reg, tracer: tr}
 }
+
+// AttachEvents installs the live event log instrumented code publishes
+// into (nil detaches). Call before the observer starts being shared.
+func (o *Observer) AttachEvents(e *Events) {
+	if o == nil {
+		return
+	}
+	o.events = e
+}
+
+// Events returns the observer's live event log (nil when disabled).
+func (o *Observer) Events() *Events {
+	if o == nil {
+		return nil
+	}
+	return o.events
+}
+
+// Publish appends an event to the observer's live event log; a nil
+// observer (or one without an event log) no-ops.
+func (o *Observer) Publish(ev StreamEvent) { o.Events().Publish(ev) }
 
 // Registry returns the observer's metrics registry (nil when disabled).
 func (o *Observer) Registry() *Registry {

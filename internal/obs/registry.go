@@ -184,6 +184,47 @@ type HistogramSnapshot struct {
 	Count  int64     `json:"count"`
 }
 
+// Quantile estimates the q-th quantile (q in [0, 1]) of the recorded
+// distribution from the bucket tallies, interpolating linearly within the
+// bucket the rank falls into — the standard exposition-format estimate. A
+// rank landing in the +Inf overflow bucket is clamped to the highest finite
+// bound (the mean when there are no finite bounds); an empty histogram
+// estimates 0.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count <= 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	for i, c := range h.Counts {
+		if float64(cum+c) < rank || c == 0 {
+			cum += c
+			continue
+		}
+		if i >= len(h.Bounds) {
+			break // overflow bucket: clamp below
+		}
+		upper := h.Bounds[i]
+		lower := 0.0
+		if i > 0 {
+			lower = h.Bounds[i-1]
+		} else if upper < 0 {
+			lower = upper
+		}
+		return lower + (upper-lower)*((rank-float64(cum))/float64(c))
+	}
+	if len(h.Bounds) == 0 {
+		return h.Sum / float64(h.Count)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // Snapshot is a frozen, isolated copy of a registry's state: mutating the
 // registry after the fact does not change it.
 type Snapshot struct {

@@ -99,6 +99,8 @@ func MetricsTable(s Snapshot) string {
 	for name, h := range s.Histograms {
 		var sb strings.Builder
 		fmt.Fprintf(&sb, "count=%d sum=%g", h.Count, h.Sum)
+		fmt.Fprintf(&sb, " p50=%g p95=%g p99=%g",
+			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
 		for i, bound := range h.Bounds {
 			fmt.Fprintf(&sb, " le%g=%d", bound, h.Counts[i])
 		}

@@ -68,14 +68,17 @@ func TestMetricsTableGolden(t *testing.T) {
 	r.Gauge("rpol_alpha").Set(0.5)
 	r.Histogram("rpol_repro_error", []float64{1}).Observe(0.25)
 	got := MetricsTable(r.Snapshot())
+	// The single 0.25 observation sits in the [0, 1] bucket, so the
+	// interpolated quantile estimates are the ranks themselves: p50 = 0.5,
+	// p95 = 0.95, p99 = 0.99.
 	want := "" +
-		"┌───────────┬───────────────────┬────────────────────────────────┐\n" +
-		"│ kind      │ metric            │ value                          │\n" +
-		"├───────────┼───────────────────┼────────────────────────────────┤\n" +
-		"│ counter   │ rpol_epochs_total │ 2                              │\n" +
-		"│ gauge     │ rpol_alpha        │ 0.5                            │\n" +
-		"│ histogram │ rpol_repro_error  │ count=1 sum=0.25 le1=1 leInf=0 │\n" +
-		"└───────────┴───────────────────┴────────────────────────────────┘\n"
+		"┌───────────┬───────────────────┬──────────────────────────────────────────────────────────┐\n" +
+		"│ kind      │ metric            │ value                                                    │\n" +
+		"├───────────┼───────────────────┼──────────────────────────────────────────────────────────┤\n" +
+		"│ counter   │ rpol_epochs_total │ 2                                                        │\n" +
+		"│ gauge     │ rpol_alpha        │ 0.5                                                      │\n" +
+		"│ histogram │ rpol_repro_error  │ count=1 sum=0.25 p50=0.5 p95=0.95 p99=0.99 le1=1 leInf=0 │\n" +
+		"└───────────┴───────────────────┴──────────────────────────────────────────────────────────┘\n"
 	if got != want {
 		t.Errorf("metrics table:\n%s\nwant:\n%s", got, want)
 	}

@@ -1,22 +1,26 @@
 // Package obscli wires the runtime flag surface shared by the rpolbench
-// and rpolsim commands: -metrics, -table, -trace, -pprof, -wallclock,
-// -jobs, and -faultseed. It builds the obs.Observer those flags describe,
-// installs it as the process-wide default (so pools constructed deep inside
-// experiment runners record into it), installs the -jobs compute default
-// and the -faultseed fault plan, and renders the snapshot when the run
-// finishes.
+// and rpolsim commands: -metrics, -table, -trace, -serve, -pprof,
+// -wallclock, -jobs, and -faultseed. It builds the obs.Observer those flags
+// describe, installs it as the process-wide default (so pools constructed
+// deep inside experiment runners record into it), installs the -jobs
+// compute default and the -faultseed fault plan, starts the live exposition
+// and profiling servers, and renders the snapshot when the run finishes.
 package obscli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // -pprof registers the profiling handlers
 	"os"
+	"time"
 
 	"rpol/internal/netsim"
 	"rpol/internal/obs"
+	"rpol/internal/obshttp"
 	"rpol/internal/parallel"
 )
 
@@ -29,6 +33,11 @@ type Options struct {
 	Table bool
 	// TraceFile receives the JSONL span trace when non-empty.
 	TraceFile string
+	// Serve exposes the live observability plane (/metrics, /snapshot,
+	// /delta, /events, /healthz) on this address while the run is in
+	// flight (e.g. "localhost:7070"). Implies an observer with an event
+	// log attached.
+	Serve string
 	// PprofAddr serves net/http/pprof when non-empty (e.g. "localhost:6060").
 	PprofAddr string
 	// WallClock timestamps trace spans with real elapsed time instead of the
@@ -44,13 +53,28 @@ type Options struct {
 	// worker crash-restart windows, replayed bit-identically for the same
 	// seed. 0 (the default) injects no faults.
 	FaultSeed int64
+
+	// BoundServe and BoundPprof are the resolved listen addresses after
+	// Setup (":0" ports filled in); empty when the server was not requested.
+	BoundServe string
+	BoundPprof string
 }
+
+// DefaultMaxSealAge is the /healthz liveness threshold a -serve endpoint
+// enforces: the run reports unhealthy when no epoch has sealed for this
+// long on the event log's clock.
+const DefaultMaxSealAge = 2 * time.Minute
+
+// shutdownTimeout bounds how long finish waits for in-flight scrapes
+// before force-closing the exposition and pprof listeners.
+const shutdownTimeout = 2 * time.Second
 
 // Register declares the flags on fs (the default flag.CommandLine in main).
 func (o *Options) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&o.Metrics, "metrics", false, "print a metrics snapshot after the run")
 	fs.BoolVar(&o.Table, "table", false, "render the metrics snapshot as a box-drawing table (implies -metrics)")
 	fs.StringVar(&o.TraceFile, "trace", "", "write a JSONL span trace to this file")
+	fs.StringVar(&o.Serve, "serve", "", "serve live metrics/events HTTP endpoints on this address (e.g. localhost:7070)")
 	fs.StringVar(&o.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.BoolVar(&o.WallClock, "wallclock", false, "timestamp trace spans with wall time (non-deterministic) instead of simulated time")
 	fs.IntVar(&o.Jobs, "jobs", 0, "deterministic compute workers per task (0 = serial; results are bit-identical for any value ≥ 1)")
@@ -59,7 +83,7 @@ func (o *Options) Register(fs *flag.FlagSet) {
 
 // enabled reports whether any flag asks for an observer.
 func (o *Options) enabled() bool {
-	return o.Metrics || o.Table || o.TraceFile != ""
+	return o.Metrics || o.Table || o.TraceFile != "" || o.Serve != ""
 }
 
 // ProtocolClock returns the clock experiment timings should read: an
@@ -74,12 +98,35 @@ func (o *Options) ProtocolClock() obs.Clock {
 	return nil
 }
 
+// serveHTTP binds addr and serves handler in the background, returning the
+// bound address and a bounded-deadline stopper. Startup (bind) failures are
+// returned synchronously so a typo'd address fails the command instead of
+// a goroutine racing os.Exit.
+func serveHTTP(addr string, handler http.Handler) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: handler}
+	go func() { _ = srv.Serve(ln) }()
+	stop := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return srv.Close()
+		}
+		return nil
+	}
+	return ln.Addr().String(), stop, nil
+}
+
 // Setup builds the observer the options describe, installs it as the
-// process-wide default, and starts the pprof server if requested. The
-// returned finish func must run after the workload: it prints the snapshot
-// to out and closes the trace file, returning the first trace write error.
-// When no observability flag is set the observer is nil and finish only
-// serves pprof cleanup (a no-op).
+// process-wide default, and starts the exposition and pprof servers if
+// requested. The returned finish func must run after the workload: it
+// prints the snapshot to out, closes the trace file, and shuts the HTTP
+// servers down with a bounded deadline so no listener outlives the
+// command. When no observability flag is set the observer is nil and
+// finish is a no-op.
 func (o *Options) Setup(out io.Writer) (*obs.Observer, func() error, error) {
 	// -jobs and -faultseed configure process-wide defaults regardless of
 	// whether any observability flag is set.
@@ -87,18 +134,27 @@ func (o *Options) Setup(out io.Writer) (*obs.Observer, func() error, error) {
 	if o.FaultSeed != 0 {
 		netsim.SetDefaultFaultPlan(netsim.NewFaultPlan(o.FaultSeed, netsim.DefaultFaultConfig()))
 	}
+	var stops []func() error
 	if o.PprofAddr != "" {
-		ln := o.PprofAddr
-		go func() {
-			// The profiling server runs for the process lifetime; failure to
-			// bind is reported but never fatal to the workload.
-			if err := http.ListenAndServe(ln, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "pprof:", err)
+		addr, stop, err := serveHTTP(o.PprofAddr, http.DefaultServeMux)
+		if err != nil {
+			return nil, nil, fmt.Errorf("pprof: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "pprof listening on", addr)
+		o.BoundPprof = addr
+		stops = append(stops, stop)
+	}
+	stopAll := func() error {
+		var first error
+		for _, stop := range stops {
+			if err := stop(); err != nil && first == nil {
+				first = err
 			}
-		}()
+		}
+		return first
 	}
 	if !o.enabled() {
-		return nil, func() error { return nil }, nil
+		return nil, stopAll, nil
 	}
 
 	reg := obs.NewRegistry()
@@ -112,13 +168,28 @@ func (o *Options) Setup(out io.Writer) (*obs.Observer, func() error, error) {
 			return nil, nil, fmt.Errorf("trace file: %w", err)
 		}
 		traceSink = f
-		var clock obs.Clock
-		if o.WallClock {
-			clock = obs.NewWallClock()
-		}
-		tracer = obs.NewTracer(f, clock) // nil clock selects the SimClock
+		tracer = obs.NewTracer(f, o.ProtocolClock()) // nil clock selects the SimClock
 	}
 	observer := obs.NewObserver(reg, tracer)
+	if o.Serve != "" {
+		// The event log backing -serve runs on a wall clock: /healthz ages
+		// the last seal against real time, which is what a liveness probe
+		// means operationally. Event timestamps are operator-facing only —
+		// the protocol's deterministic results never read them.
+		events := obs.NewEvents(0, obs.NewWallClock())
+		events.Observe(reg)
+		observer.AttachEvents(events)
+		addr, stop, err := serveHTTP(o.Serve, obshttp.NewServer(obshttp.Config{
+			Observer:   observer,
+			MaxSealAge: DefaultMaxSealAge,
+		}).Handler())
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "observability plane listening on", addr)
+		o.BoundServe = addr
+		stops = append(stops, stop)
+	}
 	obs.SetDefault(observer)
 
 	finish := func() error {
@@ -137,7 +208,7 @@ func (o *Options) Setup(out io.Writer) (*obs.Observer, func() error, error) {
 				return fmt.Errorf("trace: %w", err)
 			}
 		}
-		return nil
+		return stopAll()
 	}
 	return observer, finish, nil
 }

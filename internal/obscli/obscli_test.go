@@ -2,6 +2,8 @@ package obscli
 
 import (
 	"flag"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -14,11 +16,12 @@ func TestRegisterDeclaresFlags(t *testing.T) {
 	var o Options
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	o.Register(fs)
-	err := fs.Parse([]string{"-metrics", "-table", "-trace", "t.jsonl", "-pprof", "localhost:0", "-wallclock"})
+	err := fs.Parse([]string{"-metrics", "-table", "-trace", "t.jsonl", "-serve", "localhost:0", "-pprof", "localhost:0", "-wallclock"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !o.Metrics || !o.Table || o.TraceFile != "t.jsonl" || o.PprofAddr != "localhost:0" || !o.WallClock {
+	if !o.Metrics || !o.Table || o.TraceFile != "t.jsonl" || o.Serve != "localhost:0" ||
+		o.PprofAddr != "localhost:0" || !o.WallClock {
 		t.Errorf("parsed options: %+v", o)
 	}
 }
@@ -75,6 +78,84 @@ func TestSetupMetricsAndTrace(t *testing.T) {
 	}
 	if len(events) != 2 {
 		t.Errorf("trace has %d events, want 2", len(events))
+	}
+}
+
+// TestSetupServeLifecycle brings the live exposition plane up via the flag
+// surface, scrapes it, and proves finish() releases the listener: the bug
+// this guards against is HTTP servers leaking past the run.
+func TestSetupServeLifecycle(t *testing.T) {
+	prev := obs.Default()
+	defer obs.SetDefault(prev)
+
+	o := Options{Serve: "localhost:0"}
+	var out strings.Builder
+	observer, finish, err := o.Setup(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.BoundServe == "" {
+		t.Fatal("Setup did not record the bound serve address")
+	}
+	if observer.Events() == nil {
+		t.Fatal("-serve observer has no event log attached")
+	}
+	observer.Counter("demo_total").Add(2)
+	observer.Publish(obs.StreamEvent{Kind: obs.EventEpochSealed, Epoch: 0})
+
+	resp, err := http.Get("http://" + o.BoundServe + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if !strings.Contains(string(body), "counter demo_total 2") {
+		t.Errorf("/metrics = %q", body)
+	}
+	resp, err = http.Get("http://" + o.BoundServe + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d", resp.StatusCode)
+	}
+
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + o.BoundServe + "/metrics"); err == nil {
+		t.Error("serve listener still accepting after finish()")
+	}
+}
+
+// TestSetupPprofLifecycle checks the same contract for -pprof, which used
+// to leak its listener for the process lifetime.
+func TestSetupPprofLifecycle(t *testing.T) {
+	prev := obs.Default()
+	defer obs.SetDefault(prev)
+
+	o := Options{PprofAddr: "localhost:0"}
+	_, finish, err := o.Setup(os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.BoundPprof == "" {
+		t.Fatal("Setup did not record the bound pprof address")
+	}
+	resp, err := http.Get("http://" + o.BoundPprof + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof endpoint = %d", resp.StatusCode)
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + o.BoundPprof + "/debug/pprof/cmdline"); err == nil {
+		t.Error("pprof listener still accepting after finish()")
 	}
 }
 

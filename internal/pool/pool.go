@@ -623,6 +623,11 @@ func (p *Pool) applyRecovery(st *journal.State, raw []rpol.Worker) error {
 		}
 	}
 	p.obs.Counter("pool_resumes_total").Inc()
+	p.obs.Publish(obs.StreamEvent{
+		Kind:   obs.EventPoolResumed,
+		Epoch:  int64(completed),
+		Detail: fmt.Sprintf("sealed=%d inFlight=%d", completed, st.InFlight),
+	})
 	return nil
 }
 
@@ -754,6 +759,12 @@ func (p *Pool) RunEpoch() (*EpochStats, error) {
 	}
 	stats.TestAccuracy = acc
 	p.obs.Gauge("pool_test_accuracy").Set(acc)
+	p.obs.Publish(obs.StreamEvent{
+		Kind:  obs.EventEpochSealed,
+		Epoch: int64(stats.Epoch),
+		Detail: fmt.Sprintf("accuracy=%.4f accepted=%d rejected=%d absent=%d",
+			acc, stats.Accepted, stats.Rejected, stats.AbsentWorkers),
+	})
 	if p.journal != nil {
 		if err := p.sealEpoch(stats, report); err != nil {
 			return nil, err

@@ -427,6 +427,12 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 		report.Outcomes = append(report.Outcomes, outcome)
 		if outcome.Outcome == OutcomeAbsent {
 			report.Absent++
+			m.obs.Publish(obs.StreamEvent{
+				Kind:   obs.EventWorkerAbsent,
+				Worker: outcome.WorkerID,
+				Epoch:  int64(epoch),
+				Detail: outcome.FailReason,
+			})
 			workerSpans[i].End(obs.String("outcome", outcome.Outcome.String()))
 			continue
 		}
@@ -444,8 +450,19 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 		if outcome.Accepted {
 			report.Accepted++
 			accepted = append(accepted, results[i])
+			m.obs.Publish(obs.StreamEvent{
+				Kind:   obs.EventVerdictAccepted,
+				Worker: outcome.WorkerID,
+				Epoch:  int64(epoch),
+			})
 		} else {
 			report.Rejected++
+			m.obs.Publish(obs.StreamEvent{
+				Kind:   obs.EventVerdictRejected,
+				Worker: outcome.WorkerID,
+				Epoch:  int64(epoch),
+				Detail: outcome.FailReason,
+			})
 		}
 		workerSpans[i].End(obs.Bool("accepted", outcome.Accepted))
 	}

@@ -252,10 +252,22 @@ func (w *HonestWorker) loadResumePrefix(p TaskParams) (*Trace, error) {
 		if err != nil {
 			// Missing or corrupt snapshot: fall back to the prefix before it.
 			w.obs.Counter("rpol_resume_corrupt_checkpoints_total").Inc()
+			w.obs.Publish(obs.StreamEvent{
+				Kind:   obs.EventCheckpointCorrupt,
+				Worker: w.id,
+				Epoch:  int64(p.Epoch),
+				Detail: fmt.Sprintf("checkpoint %d unreadable: %v", idx, err),
+			})
 			break
 		}
 		if fsio.Checksum(cp.Encode()) != want {
 			w.obs.Counter("rpol_resume_corrupt_checkpoints_total").Inc()
+			w.obs.Publish(obs.StreamEvent{
+				Kind:   obs.EventCheckpointCorrupt,
+				Worker: w.id,
+				Epoch:  int64(p.Epoch),
+				Detail: fmt.Sprintf("checkpoint %d digest mismatch", idx),
+			})
 			break
 		}
 		if idx == 0 && !cp.Equal(p.Global, 0) {
