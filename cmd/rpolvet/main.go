@@ -6,12 +6,29 @@
 //
 //	rpolvet ./...
 //	rpolvet -json ./internal/commitment ./internal/wire
+//	rpolvet -sarif ./...
+//	rpolvet -baseline .rpolvet-baseline.json ./...
+//	rpolvet -diff ./...
+//	rpolvet -fix ./...
 //
 // rpolvet loads every non-test package of the enclosing module, runs the
 // analyzers on the packages matching the given patterns (default ./...),
 // and prints findings as file:line:col lines, or as a JSON report with
-// -json. It exits 1 when there are findings, 2 on load errors, and 0 on a
-// clean run. Deliberate exceptions are annotated in the source:
+// -json, or as SARIF 2.1.0 with -sarif. It exits 1 when there are findings,
+// 2 on load errors, and 0 on a clean run.
+//
+// -fix applies the suggested fixes analyzers attach to findings, rewriting
+// the source files in place; -diff previews the same rewrites as a diff
+// without touching anything. With -fix the run fails only if unfixable
+// findings remain, so a fix-clean tree is exactly one where -fix is a no-op.
+//
+// -baseline FILE loads a checked-in budget of known findings
+// (.rpolvet-baseline.json): budgeted findings are reported as baselined
+// instead of failing the run, any finding beyond the budget fails as usual,
+// and a budget entry no longer backed by real findings is stale and fails
+// the run until the baseline is re-written smaller (-writebaseline FILE) —
+// the budget only ratchets downward. Deliberate per-line exceptions are
+// annotated in the source:
 //
 //	//rpolvet:ignore <analyzer> <reason>
 //
@@ -26,6 +43,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"rpol/internal/lint"
@@ -41,6 +59,10 @@ type report struct {
 	Analyzers  []analyzerInfo    `json:"analyzers"`
 	Findings   []lint.Diagnostic `json:"findings"`
 	Suppressed []lint.Diagnostic `json:"suppressed"`
+	// Baselined are findings absorbed by the -baseline budget; Stale are
+	// budget entries no longer backed by findings (they fail the run).
+	Baselined []lint.Diagnostic    `json:"baselined,omitempty"`
+	Stale     []lint.BaselineEntry `json:"stale_baseline,omitempty"`
 }
 
 type analyzerInfo struct {
@@ -52,7 +74,16 @@ func rpolvet(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rpolvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit a JSON report instead of text lines")
+	sarifOut := fs.Bool("sarif", false, "emit a SARIF 2.1.0 report instead of text lines")
+	applyFix := fs.Bool("fix", false, "apply suggested fixes to the source files; fails only on unfixable findings")
+	diffOut := fs.Bool("diff", false, "preview suggested fixes as a diff without writing files")
+	baselinePath := fs.String("baseline", "", "budget `file` of known findings; budgeted findings pass, stale budget fails")
+	writeBaseline := fs.String("writebaseline", "", "write the current findings as a baseline budget to `file` and exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "rpolvet: -json and -sarif are mutually exclusive")
 		return 2
 	}
 	patterns := fs.Args()
@@ -89,15 +120,46 @@ func rpolvet(args []string, stdout, stderr io.Writer) int {
 
 	analyzers := lint.All()
 	findings, suppressed := lint.Run(pkgs, analyzers)
+
+	if *writeBaseline != "" {
+		b := lint.NewBaseline(findings, root)
+		if err := lint.WriteBaseline(*writeBaseline, b); err != nil {
+			fmt.Fprintln(stderr, "rpolvet:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "rpolvet: wrote %d baseline entr(ies) covering %d finding(s) to %s\n",
+			len(b.Budget), len(findings), *writeBaseline)
+		return 0
+	}
+
+	var baselined []lint.Diagnostic
+	var stale []lint.BaselineEntry
+	if *baselinePath != "" {
+		b, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "rpolvet:", err)
+			return 2
+		}
+		findings, baselined, stale = b.Apply(findings, root)
+	}
+
+	if *applyFix || *diffOut {
+		return runFixes(findings, *diffOut, stdout, stderr, cwd, len(pkgs))
+	}
+
 	relativize(findings, cwd)
 	relativize(suppressed, cwd)
+	relativize(baselined, cwd)
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		r := report{
 			Module:     mod.Path,
 			Analyzers:  make([]analyzerInfo, 0, len(analyzers)),
 			Findings:   findings,
 			Suppressed: suppressed,
+			Baselined:  baselined,
+			Stale:      stale,
 		}
 		if r.Findings == nil {
 			r.Findings = []lint.Diagnostic{}
@@ -114,26 +176,102 @@ func rpolvet(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "rpolvet:", err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(lint.SARIFLog(analyzers, findings, suppressed)); err != nil {
+			fmt.Fprintln(stderr, "rpolvet:", err)
+			return 2
+		}
+	default:
 		for _, d := range findings {
 			fmt.Fprintln(stdout, d)
+		}
+		for _, e := range stale {
+			fmt.Fprintf(stdout, "rpolvet: stale baseline entry: %s %s (budget exceeds remaining findings by %d); shrink it with -writebaseline\n",
+				e.Analyzer, e.File, e.Count)
 		}
 		if len(findings) > 0 {
 			fmt.Fprintf(stdout, "rpolvet: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
 		}
 	}
-	if len(findings) > 0 {
+	if len(findings) > 0 || len(stale) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// runFixes applies (or, in diff mode, previews) the suggested fixes carried
+// by the findings. With -fix the run fails only when unfixable findings
+// remain: a fix-clean tree is one where -fix rewrites nothing and exits 0.
+func runFixes(findings []lint.Diagnostic, dryRun bool, stdout, stderr io.Writer, cwd string, npkgs int) int {
+	patched, err := lint.ApplyFixes(findings, os.ReadFile)
+	if err != nil {
+		fmt.Fprintln(stderr, "rpolvet:", err)
+		return 2
+	}
+	files := make([]string, 0, len(patched))
+	for f := range patched {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	if dryRun {
+		for _, f := range files {
+			old, err := os.ReadFile(f)
+			if err != nil {
+				fmt.Fprintln(stderr, "rpolvet:", err)
+				return 2
+			}
+			fmt.Fprint(stdout, lint.Diff(displayPath(f, cwd), old, patched[f]))
+		}
+	} else {
+		for _, f := range files {
+			if err := os.WriteFile(f, patched[f], 0o644); err != nil {
+				fmt.Fprintln(stderr, "rpolvet:", err)
+				return 2
+			}
+		}
+		if len(files) > 0 {
+			fmt.Fprintf(stdout, "rpolvet: applied fixes to %d file(s)\n", len(files))
+		}
+	}
+
+	var unfixable []lint.Diagnostic
+	for _, d := range findings {
+		if len(d.Fixes) == 0 {
+			unfixable = append(unfixable, d)
+		}
+	}
+	relativize(unfixable, cwd)
+	for _, d := range unfixable {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(unfixable) > 0 {
+		fmt.Fprintf(stdout, "rpolvet: %d unfixable finding(s) in %d package(s)\n", len(unfixable), npkgs)
+		return 1
+	}
+	return 0
+}
+
+// displayPath shortens an absolute path for output when it sits under the
+// working directory.
+func displayPath(file, cwd string) string {
+	if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return file
 }
 
 // relativize rewrites absolute file positions relative to the working
 // directory for stable, readable output.
 func relativize(ds []lint.Diagnostic, cwd string) {
 	for i := range ds {
-		if rel, err := filepath.Rel(cwd, ds[i].File); err == nil && !strings.HasPrefix(rel, "..") {
-			ds[i].File = rel
+		ds[i].File = displayPath(ds[i].File, cwd)
+		for j := range ds[i].Fixes {
+			for k := range ds[i].Fixes[j].Edits {
+				ds[i].Fixes[j].Edits[k].File = displayPath(ds[i].Fixes[j].Edits[k].File, cwd)
+			}
 		}
 	}
 }

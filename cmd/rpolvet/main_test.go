@@ -49,20 +49,105 @@ func TestSelfScanJSON(t *testing.T) {
 	if r.Module != "rpol" {
 		t.Errorf("module = %q", r.Module)
 	}
-	if len(r.Analyzers) < 5 {
-		t.Errorf("report lists %d analyzers, want >= 5", len(r.Analyzers))
+	if len(r.Analyzers) < 9 {
+		t.Errorf("report lists %d analyzers, want >= 9", len(r.Analyzers))
 	}
 	names := make(map[string]bool)
 	for _, a := range r.Analyzers {
 		names[a.Name] = true
 	}
-	for _, want := range []string{"nowallclock", "norandglobal", "maporder", "floateq", "nilsafeobs"} {
+	for _, want := range []string{
+		"nowallclock", "norandglobal", "maporder", "floateq", "nilsafeobs",
+		"locksend", "durablewrite", "goroutineleak", "seedpurity",
+	} {
 		if !names[want] {
 			t.Errorf("analyzer %q missing from report", want)
 		}
 	}
 	if len(r.Findings) != 0 {
 		t.Errorf("self-scan found %d findings: %v", len(r.Findings), r.Findings)
+	}
+}
+
+// TestSARIFOutput checks the -sarif surface: a valid SARIF 2.1.0 envelope
+// carrying one rule per analyzer and zero results on the clean repo.
+func TestSARIFOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := rpolvet([]string{"-sarif", "./internal/lint"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	var s struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string            `json:"name"`
+					Rules []json.RawMessage `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &s); err != nil {
+		t.Fatalf("bad SARIF JSON: %v\n%s", err, stdout.String())
+	}
+	if s.Version != "2.1.0" || len(s.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d, want 2.1.0 with one run", s.Version, len(s.Runs))
+	}
+	if s.Runs[0].Tool.Driver.Name != "rpolvet" {
+		t.Errorf("driver name = %q", s.Runs[0].Tool.Driver.Name)
+	}
+	if len(s.Runs[0].Tool.Driver.Rules) < 9 {
+		t.Errorf("SARIF lists %d rules, want >= 9", len(s.Runs[0].Tool.Driver.Rules))
+	}
+	if len(s.Runs[0].Results) != 0 {
+		t.Errorf("clean package produced %d SARIF results", len(s.Runs[0].Results))
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := rpolvet([]string{"-json", "-sarif", "./..."}, &stdout, &stderr); code != 2 {
+		t.Errorf("-json -sarif together: exit %d, want 2", code)
+	}
+}
+
+// TestBaselineAndFixModes exercises the debt ledger and the fix engine
+// against the real repository: the checked-in empty baseline passes, a
+// written baseline round-trips, and -diff/-fix are no-ops on a fix-clean
+// tree.
+func TestBaselineAndFixModes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := rpolvet([]string{"-baseline", "../../.rpolvet-baseline.json", "./internal/netsim"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("checked-in baseline: exit %d: %s%s", code, stdout.String(), stderr.String())
+	}
+
+	tmp := t.TempDir() + "/baseline.json"
+	stdout.Reset()
+	stderr.Reset()
+	if code := rpolvet([]string{"-writebaseline", tmp, "./internal/netsim"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-writebaseline: exit %d: %s", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := rpolvet([]string{"-baseline", tmp, "./internal/netsim"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("reloading written baseline: exit %d: %s%s", code, stdout.String(), stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := rpolvet([]string{"-diff", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-diff on clean tree: exit %d: %s%s", code, stdout.String(), stderr.String())
+	}
+	if got := stdout.String(); got != "" {
+		t.Errorf("-diff on a fix-clean tree produced output:\n%s", got)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := rpolvet([]string{"-fix", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-fix on clean tree: exit %d: %s%s", code, stdout.String(), stderr.String())
+	}
+	if got := stdout.String(); got != "" {
+		t.Errorf("-fix on a fix-clean tree produced output:\n%s", got)
 	}
 }
 

@@ -10,6 +10,10 @@ func All() []*Analyzer {
 		MapOrder,
 		FloatEq,
 		NilSafeObs,
+		LockSend,
+		DurableWrite,
+		GoroutineLeak,
+		SeedPurity,
 	}
 }
 

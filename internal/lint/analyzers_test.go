@@ -22,6 +22,10 @@ var fixtureCases = []struct {
 	{MapOrder, "rpol/internal/commitment"},
 	{FloatEq, "rpol/internal/stats"},
 	{NilSafeObs, "rpol/internal/obs"},
+	{LockSend, "rpol/internal/netsim"},
+	{DurableWrite, "rpol/internal/journal"},
+	{GoroutineLeak, "rpol/internal/obshttp"},
+	{SeedPurity, "rpol/internal/faults"},
 }
 
 func loadFixture(t *testing.T, a *Analyzer, kind, pkgPath string) (findings, suppressed []Diagnostic) {
@@ -177,13 +181,15 @@ func TestMalformedDirectives(t *testing.T) {
 		"needs an analyzer name and a reason",
 		"unknown analyzer nosuchanalyzer",
 		"nowallclock needs a reason",
+		"put a space between rpolvet:ignore and the analyzer name",
+		"must be a // line comment",
 	} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("missing directive diagnostic %q in:\n%s", want, joined)
 		}
 	}
-	if len(findings) != 3 {
-		t.Errorf("got %d directive findings, want 3: %v", len(findings), findings)
+	if len(findings) != 5 {
+		t.Errorf("got %d directive findings, want 5: %v", len(findings), findings)
 	}
 }
 

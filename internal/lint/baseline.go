@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is the checked-in debt ledger (.rpolvet-baseline.json): a budget
+// of known findings a new invariant is allowed to coexist with while the
+// burn-down happens. The budget only ratchets downward — a finding beyond an
+// entry's count fails the run as usual, and an entry whose findings have
+// been fixed goes stale and also fails the run until the baseline is
+// re-written smaller (rpolvet -writebaseline). Debt can therefore land,
+// shrink, and disappear, but never silently grow or linger.
+type Baseline struct {
+	Budget []BaselineEntry `json:"budget"`
+}
+
+// BaselineEntry waives up to Count findings with the given analyzer, file
+// (module-root-relative, slash-separated), and message. Keying on the full
+// message, not the line number, keeps entries stable across unrelated edits
+// to the same file.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	seen := map[string]bool{}
+	for _, e := range b.Budget {
+		if e.Analyzer == "" || e.File == "" || e.Message == "" || e.Count < 1 {
+			return nil, fmt.Errorf("lint: baseline %s: entry %+v needs analyzer, file, message and count >= 1", path, e)
+		}
+		if seen[e.key()] {
+			return nil, fmt.Errorf("lint: baseline %s: duplicate entry for %s %s", path, e.Analyzer, e.File)
+		}
+		seen[e.key()] = true
+	}
+	return &b, nil
+}
+
+// Apply splits findings against the budget. fresh are findings not covered
+// by any entry (they fail the run); waived are findings absorbed by the
+// budget (reported for auditing, like suppressions); stale are entries whose
+// budget exceeds the findings that actually remain — the downward ratchet:
+// a stale entry fails the run until the baseline is re-written smaller.
+// root is the module root used to relativize finding paths to entry paths.
+func (b *Baseline) Apply(findings []Diagnostic, root string) (fresh, waived []Diagnostic, stale []BaselineEntry) {
+	remaining := map[string]int{}
+	for _, e := range b.Budget {
+		remaining[e.key()] = e.Count
+	}
+	for _, d := range findings {
+		k := BaselineEntry{Analyzer: d.Analyzer, File: baselinePath(d.File, root), Message: d.Message}.key()
+		if remaining[k] > 0 {
+			remaining[k]--
+			waived = append(waived, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	for _, e := range b.Budget {
+		if left := remaining[e.key()]; left > 0 {
+			s := e
+			s.Count = left
+			stale = append(stale, s)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i].key() < stale[j].key() })
+	return fresh, waived, stale
+}
+
+// NewBaseline builds the smallest baseline covering the given findings,
+// aggregated and deterministically ordered — the -writebaseline output.
+func NewBaseline(findings []Diagnostic, root string) *Baseline {
+	counts := map[BaselineEntry]int{}
+	for _, d := range findings {
+		counts[BaselineEntry{Analyzer: d.Analyzer, File: baselinePath(d.File, root), Message: d.Message}]++
+	}
+	b := &Baseline{Budget: []BaselineEntry{}}
+	for e, n := range counts {
+		e.Count = n
+		b.Budget = append(b.Budget, e)
+	}
+	sort.Slice(b.Budget, func(i, j int) bool { return b.Budget[i].key() < b.Budget[j].key() })
+	return b
+}
+
+// WriteBaseline writes the baseline as stable, indented JSON.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// baselinePath normalizes a finding's file to the module-root-relative,
+// slash-separated form baseline entries use.
+func baselinePath(file, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return filepath.ToSlash(file)
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func baselineDiag(analyzer, file, msg string) Diagnostic {
+	return Diagnostic{Analyzer: analyzer, File: file, Message: msg}
+}
+
+func TestBaselineApply(t *testing.T) {
+	root := string(filepath.Separator) + filepath.Join("mod")
+	abs := func(rel string) string { return filepath.Join(root, rel) }
+	findings := []Diagnostic{
+		baselineDiag("locksend", abs("a/a.go"), "send under lock"),
+		baselineDiag("locksend", abs("a/a.go"), "send under lock"),
+		baselineDiag("durablewrite", abs("b/b.go"), "raw write"),
+	}
+	b := &Baseline{Budget: []BaselineEntry{
+		{Analyzer: "locksend", File: "a/a.go", Message: "send under lock", Count: 2},
+		{Analyzer: "seedpurity", File: "c/c.go", Message: "impure seed", Count: 1},
+	}}
+	fresh, waived, stale := b.Apply(findings, root)
+	if len(fresh) != 1 || fresh[0].Analyzer != "durablewrite" {
+		t.Errorf("fresh = %v, want the one durablewrite finding", fresh)
+	}
+	if len(waived) != 2 {
+		t.Errorf("waived = %v, want both locksend findings", waived)
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "seedpurity" || stale[0].Count != 1 {
+		t.Errorf("stale = %v, want the unused seedpurity entry", stale)
+	}
+}
+
+// TestBaselineRatchet checks the downward-only property: a budget larger
+// than the findings it covers goes stale by the surplus.
+func TestBaselineRatchet(t *testing.T) {
+	root := string(filepath.Separator) + "mod"
+	findings := []Diagnostic{
+		baselineDiag("locksend", filepath.Join(root, "a.go"), "send under lock"),
+	}
+	b := &Baseline{Budget: []BaselineEntry{
+		{Analyzer: "locksend", File: "a.go", Message: "send under lock", Count: 3},
+	}}
+	fresh, waived, stale := b.Apply(findings, root)
+	if len(fresh) != 0 || len(waived) != 1 {
+		t.Fatalf("fresh=%v waived=%v, want 0/1", fresh, waived)
+	}
+	if len(stale) != 1 || stale[0].Count != 2 {
+		t.Fatalf("stale = %v, want the entry with surplus 2", stale)
+	}
+}
+
+func TestNewBaselineRoundTrip(t *testing.T) {
+	root := string(filepath.Separator) + "mod"
+	findings := []Diagnostic{
+		baselineDiag("locksend", filepath.Join(root, "a.go"), "send under lock"),
+		baselineDiag("locksend", filepath.Join(root, "a.go"), "send under lock"),
+		baselineDiag("seedpurity", filepath.Join(root, "b.go"), "impure seed"),
+	}
+	b := NewBaseline(findings, root)
+	if len(b.Budget) != 2 {
+		t.Fatalf("budget = %v, want 2 aggregated entries", b.Budget)
+	}
+
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, b); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, waived, stale := loaded.Apply(findings, root)
+	if len(fresh) != 0 || len(waived) != 3 || len(stale) != 0 {
+		t.Errorf("round-tripped baseline: fresh=%v waived=%v stale=%v, want 0/3/0", fresh, waived, stale)
+	}
+}
+
+func TestLoadBaselineRejectsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"not json":    "{",
+		"zero count":  `{"budget":[{"analyzer":"locksend","file":"a.go","message":"m","count":0}]}`,
+		"no analyzer": `{"budget":[{"file":"a.go","message":"m","count":1}]}`,
+		"duplicate":   `{"budget":[{"analyzer":"a","file":"f","message":"m","count":1},{"analyzer":"a","file":"f","message":"m","count":2}]}`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadBaseline(path); err == nil {
+			t.Errorf("%s: loaded without error", name)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// DurableWrite enforces the PR 5 invariant: every byte the protocol
+// persists — journal records, checkpoints, blockchain state, trace files —
+// must travel through internal/fsio's checksummed atomic write path
+// (WriteFileAtomic, AppendFile frames, the FS interface). A raw os.WriteFile
+// in these packages is exactly the bug class PR 5 retired: a crash mid-write
+// leaves a torn file that replays as silent corruption instead of being
+// detected and discarded, and a non-atomic rename-free write can destroy the
+// previous good version too.
+//
+// The analyzer flags, inside the durable packages only:
+//
+//   - os.WriteFile / os.Create / os.CreateTemp / os.OpenFile / os.Rename
+//     (hand-rolled persistence or a hand-rolled atomic dance);
+//   - write-side *os.File methods (Write, WriteString, WriteAt, Truncate,
+//     Sync) — holding a raw file handle means the checksummed framing was
+//     bypassed;
+//   - (*bufio.Writer).Flush — a buffered flush to a file commits bytes
+//     without a frame checksum or an atomic rename.
+//
+// os.WriteFile findings carry a suggested fix (rpolvet -fix) rewriting the
+// call to fsio.WriteFileAtomic, including the import when os is otherwise
+// unused in the file.
+var DurableWrite = &Analyzer{
+	Name: "durablewrite",
+	Doc:  "persistent writes in journal/checkpoint/blockchain/tracefile must route through fsio's checksummed atomic writes, never raw os file IO",
+	Applies: pathIn(
+		"rpol/internal/journal",
+		"rpol/internal/checkpoint",
+		"rpol/internal/blockchain",
+		"rpol/internal/tracefile",
+	),
+	Run: runDurableWrite,
+}
+
+// durableOSFuncs are the os entry points that create or mutate files.
+var durableOSFuncs = map[string]bool{
+	"WriteFile": true, "Create": true, "CreateTemp": true,
+	"OpenFile": true, "Rename": true,
+}
+
+// durableFileMethods are the *os.File methods that commit bytes.
+var durableFileMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteAt": true,
+	"Truncate": true, "Sync": true,
+}
+
+func runDurableWrite(pass *Pass) {
+	info := pass.Pkg.TypesInfo
+	for _, f := range pass.Pkg.Files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkgPath, name, isPkg := pkgFunc(info, sel); isPkg {
+				if pkgPath == "os" && durableOSFuncs[name] {
+					if name == "WriteFile" && len(call.Args) == 3 {
+						fix := writeFileAtomicFix(pass, file, call, sel)
+						pass.ReportfFix(sel.Pos(), fix, "os.WriteFile bypasses fsio's checksummed atomic write path: a crash mid-write leaves a torn, undetectable file (PR 5 invariant); use fsio.WriteFileAtomic")
+						return true
+					}
+					pass.Reportf(sel.Pos(), "os.%s opens a raw persistence path around fsio's checksummed atomic writes (PR 5 invariant); route durable bytes through fsio.WriteFileAtomic or the fsio.FS interface", name)
+				}
+				return true
+			}
+			recvT := info.TypeOf(sel.X)
+			if recvT == nil {
+				return true
+			}
+			pkg, typeName := namedTypeOf(recvT)
+			switch {
+			case pkg == "os" && typeName == "File" && durableFileMethods[sel.Sel.Name]:
+				pass.Reportf(sel.Pos(), "os.File.%s writes through a raw file handle, bypassing fsio's checksummed frames (PR 5 invariant)", sel.Sel.Name)
+			case pkg == "bufio" && typeName == "Writer" && sel.Sel.Name == "Flush":
+				pass.Reportf(sel.Pos(), "bufio.Writer.Flush commits buffered bytes without a frame checksum or atomic rename (PR 5 invariant); encode through fsio frames and write atomically")
+			}
+			return true
+		})
+	}
+}
+
+// writeFileAtomicFix builds the textual rewrite from
+// os.WriteFile(path, data, perm) to fsio.WriteFileAtomic(path, data). When
+// the flagged calls are the file's only uses of the os package, the import
+// is rewritten (or dropped, when fsio is already imported) too.
+func writeFileAtomicFix(pass *Pass, f *ast.File, call *ast.CallExpr, sel *ast.SelectorExpr) *SuggestedFix {
+	file, lo, hi := pass.Offsets(sel.Pos(), sel.End())
+	edits := []TextEdit{{File: file, Start: lo, End: hi, New: "fsio.WriteFileAtomic"}}
+	// Drop the permission argument: WriteFileAtomic owns the mode.
+	_, argEnd, closePos := pass.Offsets(call.Args[1].End(), call.Rparen)
+	edits = append(edits, TextEdit{File: file, Start: argEnd, End: closePos, New: ""})
+	edits = append(edits, importRewriteEdits(pass, f)...)
+	return &SuggestedFix{
+		Message: "replace os.WriteFile with fsio.WriteFileAtomic",
+		Edits:   edits,
+	}
+}
+
+// importRewriteEdits turns the file's `"os"` import into
+// `"rpol/internal/fsio"` when every os reference in the file is an
+// os.WriteFile call being fixed — otherwise the import must stay and only
+// the calls are rewritten. When fsio is already imported the os import line
+// is deleted instead.
+func importRewriteEdits(pass *Pass, f *ast.File) []TextEdit {
+	info := pass.Pkg.TypesInfo
+	osUses, fixedUses := 0, 0
+	hasFsio := false
+	var osSpec *ast.ImportSpec
+	for _, spec := range f.Imports {
+		path, err := strconv.Unquote(spec.Path.Value)
+		if err != nil {
+			continue
+		}
+		switch path {
+		case "os":
+			osSpec = spec
+		case "rpol/internal/fsio":
+			hasFsio = true
+		}
+	}
+	if osSpec == nil {
+		return nil
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkgPath, name, isPkg := pkgFunc(info, sel); isPkg && pkgPath == "os" {
+			osUses++
+			if name == "WriteFile" {
+				fixedUses++
+			}
+		}
+		return true
+	})
+	if osUses == 0 || osUses != fixedUses {
+		return nil
+	}
+	file, lo, hi := pass.Offsets(osSpec.Path.Pos(), osSpec.Path.End())
+	if !hasFsio {
+		return []TextEdit{{File: file, Start: lo, End: hi, New: `"rpol/internal/fsio"`}}
+	}
+	// fsio already imported: delete the whole os import line.
+	pos := pass.Pkg.Fset.Position(osSpec.Pos())
+	lineStart := pos.Offset - (pos.Column - 1)
+	return []TextEdit{{File: file, Start: lineStart, End: hi + 1, New: ""}}
+}

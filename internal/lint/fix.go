@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ApplyFixes merges every suggested fix attached to the diagnostics into
+// per-file patched contents. readFile supplies the current bytes of a file
+// (os.ReadFile in the driver; an in-memory map in tests). Only files with at
+// least one edit appear in the result.
+//
+// Identical edits are deduplicated first — two findings in one file may both
+// carry the same import rewrite — then overlapping edits are rejected: a
+// textual fix engine must never guess how to merge conflicting rewrites, so
+// conflicts surface as an error for a human instead of silently corrupting
+// the file.
+func ApplyFixes(diags []Diagnostic, readFile func(string) ([]byte, error)) (map[string][]byte, error) {
+	byFile := map[string][]TextEdit{}
+	seen := map[TextEdit]bool{}
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			for _, e := range fix.Edits {
+				if seen[e] {
+					continue
+				}
+				seen[e] = true
+				byFile[e.File] = append(byFile[e.File], e)
+			}
+		}
+	}
+
+	out := make(map[string][]byte, len(byFile))
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		edits := byFile[f]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start < edits[j].Start
+			}
+			return edits[i].End < edits[j].End
+		})
+		for i := 1; i < len(edits); i++ {
+			if edits[i].Start < edits[i-1].End {
+				return nil, fmt.Errorf("lint: conflicting fixes in %s: edits [%d,%d) and [%d,%d) overlap",
+					f, edits[i-1].Start, edits[i-1].End, edits[i].Start, edits[i].End)
+			}
+		}
+		src, err := readFile(f)
+		if err != nil {
+			return nil, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		patched, err := splice(src, edits)
+		if err != nil {
+			return nil, fmt.Errorf("lint: applying fixes to %s: %w", f, err)
+		}
+		out[f] = patched
+	}
+	return out, nil
+}
+
+// splice applies non-overlapping, sorted edits to src back-to-front so
+// earlier offsets stay valid.
+func splice(src []byte, edits []TextEdit) ([]byte, error) {
+	for i := len(edits) - 1; i >= 0; i-- {
+		e := edits[i]
+		if e.Start < 0 || e.End > len(src) || e.Start > e.End {
+			return nil, fmt.Errorf("edit [%d,%d) out of range (file is %d bytes)", e.Start, e.End, len(src))
+		}
+		var b []byte
+		b = append(b, src[:e.Start]...)
+		b = append(b, e.New...)
+		b = append(b, src[e.End:]...)
+		src = b
+	}
+	return src, nil
+}
+
+// Diff renders a compact line diff between old and new contents for the
+// dry-run mode. It trims the common prefix and suffix and prints the
+// differing middle as -/+ lines — enough to audit a suggested fix without
+// pulling in a real diff algorithm.
+func Diff(path string, oldSrc, newSrc []byte) string {
+	if string(oldSrc) == string(newSrc) {
+		return ""
+	}
+	oldLines := strings.SplitAfter(string(oldSrc), "\n")
+	newLines := strings.SplitAfter(string(newSrc), "\n")
+
+	pre := 0
+	for pre < len(oldLines) && pre < len(newLines) && oldLines[pre] == newLines[pre] {
+		pre++
+	}
+	post := 0
+	for post < len(oldLines)-pre && post < len(newLines)-pre &&
+		oldLines[len(oldLines)-1-post] == newLines[len(newLines)-1-post] {
+		post++
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- %s\n+++ %s (fixed)\n", path, path)
+	fmt.Fprintf(&b, "@@ line %d @@\n", pre+1)
+	for _, l := range oldLines[pre : len(oldLines)-post] {
+		b.WriteString("-" + strings.TrimSuffix(l, "\n") + "\n")
+	}
+	for _, l := range newLines[pre : len(newLines)-post] {
+		b.WriteString("+" + strings.TrimSuffix(l, "\n") + "\n")
+	}
+	return b.String()
+}

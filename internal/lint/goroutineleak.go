@@ -1,0 +1,347 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineLeak retires the PR 6 pprof-listener class: background work that
+// nothing can ever stop. The original bug was `-pprof` spinning up
+// http.ListenAndServe in a goroutine with no server handle — the listener
+// and goroutine outlived every run that requested them. The fixed form binds
+// the listener explicitly and shuts the server down with a bounded deadline,
+// which is the shape this analyzer admits.
+//
+// Full escape analysis is undecidable, so the check is a package-local
+// reachability heuristic over the teardown idioms this codebase actually
+// uses. First it collects, package-wide:
+//
+//   - quit channels: terminal names appearing in close(ch) calls;
+//   - waited groups: receivers of sync.WaitGroup.Wait calls;
+//   - teardown receivers: values whose Shutdown/Close/Stop is called.
+//
+// Every `go` statement must then resolve to a body (an inline literal or a
+// same-package function/method) that either signals a waited WaitGroup
+// (wg.Done), receives from or ranges over a quit channel (or a
+// context.Done()), or calls into a value with package-visible teardown. A
+// `go` onto another package's code passes only when the call's receiver has
+// package-visible teardown (go srv.Serve(ln) with srv.Shutdown elsewhere).
+// Every net.Listen result must reach a Close: directly, through a teardown
+// receiver it is handed to (srv.Serve(ln)), or through a struct field that
+// the owning type's teardown closes.
+//
+// The heuristic is name-based across the package, so it can be fooled —
+// that is what the fixtures pin down — but it cannot be fooled silently in
+// the direction that matters: a goroutine or listener with no reachable
+// teardown idiom at all is always a finding.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "every go statement and net.Listen needs a reachable bounded-shutdown path: WaitGroup.Wait, a closed quit channel, or Shutdown/Close teardown (PR 6 pprof-listener leak class)",
+	Run:  runGoroutineLeak,
+}
+
+// netListenFuncs are the net entry points that open listeners.
+var netListenFuncs = map[string]bool{
+	"Listen": true, "ListenPacket": true, "ListenTCP": true,
+	"ListenUDP": true, "ListenUnix": true, "ListenIP": true,
+}
+
+// leakIndex is the package-wide teardown vocabulary.
+type leakIndex struct {
+	closedChans map[string]bool // close(X): terminal name of X
+	waitedWGs   map[string]bool // X.Wait() on sync.WaitGroup: terminal of X
+	teardowns   map[string]bool // X.Shutdown()/X.Close()/X.Stop(): terminal of X
+	decls       map[types.Object]*ast.FuncDecl
+	info        *types.Info
+}
+
+func runGoroutineLeak(pass *Pass) {
+	ix := buildLeakIndex(pass)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.GoStmt:
+				if !ix.goHasShutdownPath(s.Call) {
+					pass.Reportf(s.Pos(), "goroutine has no reachable bounded-shutdown path (no waited WaitGroup, no closed quit channel, no Shutdown/Close teardown): it outlives the run that spawned it (PR 6 pprof-listener class)")
+				}
+			case *ast.AssignStmt:
+				ix.checkListenAssign(pass, f, s)
+			}
+			return true
+		})
+	}
+}
+
+func buildLeakIndex(pass *Pass) *leakIndex {
+	ix := &leakIndex{
+		closedChans: map[string]bool{},
+		waitedWGs:   map[string]bool{},
+		teardowns:   map[string]bool{},
+		decls:       map[types.Object]*ast.FuncDecl{},
+		info:        pass.Pkg.TypesInfo,
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := ix.info.Defs[fd.Name]; obj != nil {
+					ix.decls[obj] = fd
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "close" && len(call.Args) == 1 {
+				if name := terminalName(call.Args[0]); name != "" {
+					ix.closedChans[name] = true
+				}
+				return true
+			}
+			sel, isSel := call.Fun.(*ast.SelectorExpr)
+			if !isSel {
+				return true
+			}
+			name := terminalName(sel.X)
+			if name == "" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Wait":
+				if t := ix.info.TypeOf(sel.X); t != nil {
+					if pkg, tn := namedTypeOf(t); pkg == "sync" && tn == "WaitGroup" {
+						ix.waitedWGs[name] = true
+					}
+				}
+			case "Shutdown", "Close", "Stop":
+				ix.teardowns[name] = true
+			}
+			return true
+		})
+	}
+	return ix
+}
+
+// terminalName reduces an expression to the identifier a human would name
+// it by: `h.wg` -> "wg", `client.out` -> "out", `done` -> "done".
+func terminalName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.ParenExpr:
+		return terminalName(x.X)
+	case *ast.UnaryExpr:
+		return terminalName(x.X)
+	}
+	return ""
+}
+
+// goHasShutdownPath reports whether the spawned work is reachable by one of
+// the package's teardown idioms.
+func (ix *leakIndex) goHasShutdownPath(call *ast.CallExpr) bool {
+	body := ix.resolveBody(call)
+	if body != nil {
+		return ix.bodyHasShutdownPath(body)
+	}
+	// Opaque target (another package's code): the call itself must be a
+	// method on a torn-down receiver (go srv.Serve(ln)), or hand over a quit
+	// channel the package closes.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if name := terminalName(sel.X); name != "" && ix.teardowns[name] {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		if name := terminalName(arg); name != "" && ix.closedChans[name] {
+			if t := ix.info.TypeOf(arg); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// resolveBody finds the statements the goroutine will run: an inline
+// literal's body, or the declaration of a same-package function or method.
+func (ix *leakIndex) resolveBody(call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if obj := ix.info.Uses[fun]; obj != nil {
+			if fd, ok := ix.decls[obj]; ok {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := ix.info.Uses[fun.Sel]; obj != nil {
+			if fd, ok := ix.decls[obj]; ok {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// bodyHasShutdownPath scans a goroutine body for any teardown idiom.
+func (ix *leakIndex) bodyHasShutdownPath(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := terminalName(sel.X)
+			switch sel.Sel.Name {
+			case "Done":
+				// wg.Done pairing with a package-visible wg.Wait.
+				if t := ix.info.TypeOf(sel.X); t != nil {
+					if pkg, tn := namedTypeOf(t); pkg == "sync" && tn == "WaitGroup" && ix.waitedWGs[recv] {
+						found = true
+					}
+				}
+			default:
+				// A call into a value with package-visible teardown:
+				// srv.Serve(...), h.serveConn(...) where srv/h is shut down.
+				if recv != "" && ix.teardowns[recv] {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			// <-quit / <-ctx.Done()
+			if x.Op.String() == "<-" {
+				if ix.recvIsQuit(x.X) {
+					found = true
+				}
+			}
+		case *ast.RangeStmt:
+			// for msg := range ch where ch is a closed channel.
+			if name := terminalName(x.X); name != "" && ix.closedChans[name] {
+				if t := ix.info.TypeOf(x.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// recvIsQuit reports whether a receive operand is a quit signal: a channel
+// the package closes, or a context.Done()-style call.
+func (ix *leakIndex) recvIsQuit(e ast.Expr) bool {
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel && sel.Sel.Name == "Done" {
+			return true
+		}
+		return false
+	}
+	if name := terminalName(e); name != "" && ix.closedChans[name] {
+		if t := ix.info.TypeOf(e); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkListenAssign flags net.Listen results that never reach a Close.
+func (ix *leakIndex) checkListenAssign(pass *Pass, f *ast.File, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkgPath, name, isPkg := pkgFunc(ix.info, sel)
+	if !isPkg || pkgPath != "net" || !netListenFuncs[name] {
+		return
+	}
+	id, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		pass.Reportf(call.Pos(), "net.%s result is discarded: the listener can never be closed (PR 6 leak class)", name)
+		return
+	}
+	if ix.listenerReachesClose(f, id) {
+		return
+	}
+	pass.Reportf(call.Pos(), "net.%s listener %q has no reachable Close: close it directly, hand it to a server with Shutdown/Close teardown, or store it in a field the owner's teardown closes (PR 6 pprof-listener leak class)", name, id.Name)
+}
+
+// listenerReachesClose scans the listener's file for the admissible
+// ownership transfers: a direct Close, a call on a torn-down receiver
+// taking the listener as an argument, or storage into a struct field with
+// package-visible teardown.
+func (ix *leakIndex) listenerReachesClose(f *ast.File, ln *ast.Ident) bool {
+	obj := objectOf(ix.info, ln)
+	if obj == nil {
+		return false
+	}
+	if ix.teardowns[ln.Name] {
+		return true
+	}
+	found := false
+	ast.Inspect(f, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// srv.Serve(ln) where srv has teardown.
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv := terminalName(sel.X)
+			if recv == "" || !ix.teardowns[recv] {
+				return true
+			}
+			for _, arg := range x.Args {
+				if aid, isIdent := arg.(*ast.Ident); isIdent && ix.info.Uses[aid] == obj {
+					found = true
+				}
+			}
+		case *ast.KeyValueExpr:
+			// TCPHub{listener: ln} where the field name has teardown
+			// (h.listener.Close() in the owner's Close).
+			key, isIdent := x.Key.(*ast.Ident)
+			if !isIdent {
+				return true
+			}
+			if vid, ok := x.Value.(*ast.Ident); ok && ix.info.Uses[vid] == obj && ix.teardowns[key.Name] {
+				found = true
+			}
+		case *ast.AssignStmt:
+			// h.listener = ln with field teardown.
+			for i, lhs := range x.Lhs {
+				fieldSel, isSel := lhs.(*ast.SelectorExpr)
+				if !isSel || i >= len(x.Rhs) {
+					continue
+				}
+				if vid, ok := x.Rhs[i].(*ast.Ident); ok && ix.info.Uses[vid] == obj && ix.teardowns[fieldSel.Sel.Name] {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

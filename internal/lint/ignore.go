@@ -48,33 +48,60 @@ func directiveIndex(pkg *Package, known map[string]bool) (ignoreIndex, []Diagnos
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				rest, ok := strings.CutPrefix(text, "rpolvet:ignore")
-				if !ok {
+				analyzer, reason, problem, isDirective := parseIgnoreDirective(c.Text, known)
+				if !isDirective {
 					continue
 				}
 				position := pkg.Fset.Position(c.Pos())
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					report(position.Column, position.Filename, position.Line,
-						"rpolvet:ignore needs an analyzer name and a reason")
+				if problem != "" {
+					report(position.Column, position.Filename, position.Line, problem)
 					continue
 				}
-				analyzer := fields[0]
-				if !known[analyzer] {
-					report(position.Column, position.Filename, position.Line,
-						"rpolvet:ignore names unknown analyzer "+analyzer)
-					continue
-				}
-				if len(fields) < 2 {
-					report(position.Column, position.Filename, position.Line,
-						"rpolvet:ignore "+analyzer+" needs a reason")
-					continue
-				}
-				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
 				ix.byKey[ignoreKey{position.Filename, position.Line, analyzer}] = reason
 			}
 		}
 	}
 	return ix, bad
+}
+
+// parseIgnoreDirective classifies one raw comment (including its // or
+// /* markers) as an rpolvet:ignore directive. isDirective reports whether
+// the comment reads like a waiver at all; for directives, problem is ""
+// with analyzer and reason populated when the waiver is valid, and a
+// finding message otherwise. Everything that looks like a directive but
+// does not parse is a problem, never a silent pass — a typo'd waiver that
+// quietly disabled nothing would be strictly worse than no waiver.
+func parseIgnoreDirective(text string, known map[string]bool) (analyzer, reason, problem string, isDirective bool) {
+	if !strings.HasPrefix(text, "//") {
+		// A block comment has no single anchor line, so the suppression's
+		// scope would be ambiguous; reject rather than silently skipping
+		// what reads like a waiver.
+		if strings.Contains(text, "rpolvet:ignore") {
+			return "", "", "rpolvet:ignore must be a // line comment, not a /* */ block comment", true
+		}
+		return "", "", "", false
+	}
+	trimmed := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	rest, ok := strings.CutPrefix(trimmed, "rpolvet:ignore")
+	if !ok {
+		return "", "", "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// "rpolvet:ignorenowallclock ..." must not parse as a valid waiver
+		// for nowallclock.
+		return "", "", "malformed rpolvet:ignore directive: put a space between rpolvet:ignore and the analyzer name", true
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", "rpolvet:ignore needs an analyzer name and a reason", true
+	}
+	analyzer = fields[0]
+	if !known[analyzer] {
+		return "", "", "rpolvet:ignore names unknown analyzer " + analyzer, true
+	}
+	if len(fields) < 2 {
+		return "", "", "rpolvet:ignore " + analyzer + " needs a reason", true
+	}
+	reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), analyzer))
+	return analyzer, reason, "", true
 }

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+var ignoreKnownAnalyzers = map[string]bool{
+	"nowallclock": true,
+	"locksend":    true,
+}
+
+func TestParseIgnoreDirective(t *testing.T) {
+	cases := []struct {
+		name     string
+		text     string
+		analyzer string
+		reason   string
+		problem  string // substring; "" means valid
+		isDir    bool
+	}{
+		{"valid", "//rpolvet:ignore locksend fresh channel cannot block", "locksend", "fresh channel cannot block", "", true},
+		{"valid spaced", "// rpolvet:ignore nowallclock boot banner only", "nowallclock", "boot banner only", "", true},
+		{"not a directive", "// plain comment", "", "", "", false},
+		{"empty", "//rpolvet:ignore", "", "", "needs an analyzer name and a reason", true},
+		{"unknown analyzer", "//rpolvet:ignore nosuch reason", "", "", "unknown analyzer nosuch", true},
+		{"missing reason", "//rpolvet:ignore locksend", "", "", "locksend needs a reason", true},
+		{"missing reason trailing space", "//rpolvet:ignore locksend   ", "", "", "locksend needs a reason", true},
+		{"glued analyzer", "//rpolvet:ignorenowallclock reason here", "", "", "put a space between", true},
+		{"glued junk", "//rpolvet:ignoreXYZ whatever", "", "", "put a space between", true},
+		{"block comment", "/* rpolvet:ignore locksend reason */", "", "", "must be a // line comment", true},
+		{"block comment multiline", "/*\nrpolvet:ignore locksend reason\n*/", "", "", "must be a // line comment", true},
+		{"block without directive", "/* just a comment */", "", "", "", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			analyzer, reason, problem, isDir := parseIgnoreDirective(tc.text, ignoreKnownAnalyzers)
+			if isDir != tc.isDir {
+				t.Fatalf("isDirective = %v, want %v", isDir, tc.isDir)
+			}
+			if tc.problem == "" {
+				if problem != "" {
+					t.Fatalf("unexpected problem %q", problem)
+				}
+			} else if !strings.Contains(problem, tc.problem) {
+				t.Fatalf("problem %q does not contain %q", problem, tc.problem)
+			}
+			if analyzer != tc.analyzer || reason != tc.reason {
+				t.Fatalf("got (%q, %q), want (%q, %q)", analyzer, reason, tc.analyzer, tc.reason)
+			}
+		})
+	}
+}
+
+// FuzzIgnoreDirective hammers the directive parser with arbitrary comment
+// text and checks the safety property the suppression system rests on: a
+// directive either parses into a known analyzer plus a non-empty reason, or
+// it is a problem finding — never a silent pass, and never a waiver for an
+// analyzer that does not exist.
+func FuzzIgnoreDirective(f *testing.F) {
+	seeds := []string{
+		"//rpolvet:ignore locksend fresh channel cannot block",
+		"// rpolvet:ignore nowallclock boot banner only",
+		"//rpolvet:ignore",
+		"//rpolvet:ignore ",
+		"//rpolvet:ignore locksend",
+		"//rpolvet:ignore locksend\t",
+		"//rpolvet:ignore nosuchanalyzer reason text",
+		"//rpolvet:ignorenowallclock glued",
+		"//rpolvet:ignoreXYZ junk suffix",
+		"//rpolvet:ignore\tlocksend tab separated reason",
+		"/* rpolvet:ignore locksend reason */",
+		"/*\nrpolvet:ignore locksend\nreason\n*/",
+		"//rpolvet:ignore locksend   spaced   reason   ",
+		"//rpolvet:ignore locksend locksend locksend",
+		"//not a directive at all",
+		"//rpolvet:ignor locksend truncated marker",
+		"// rpolvet:ignore", "///rpolvet:ignore locksend nested slashes",
+		"//rpolvet:ignore \x00 binary", "//rpolvet:ignore locksend \xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		analyzer, reason, problem, isDirective := parseIgnoreDirective(text, ignoreKnownAnalyzers)
+		if !isDirective {
+			if analyzer != "" || reason != "" || problem != "" {
+				t.Fatalf("non-directive returned data: (%q, %q, %q)", analyzer, reason, problem)
+			}
+			// Line comments that mention the marker at the start of their
+			// text must never be skipped silently.
+			trimmed := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+			if strings.HasPrefix(text, "//") && strings.HasPrefix(trimmed, "rpolvet:ignore") {
+				t.Fatalf("directive-shaped comment %q was silently skipped", text)
+			}
+			return
+		}
+		if problem != "" {
+			if analyzer != "" || reason != "" {
+				t.Fatalf("malformed directive leaked a waiver: (%q, %q) for %q", analyzer, reason, text)
+			}
+			return
+		}
+		if !ignoreKnownAnalyzers[analyzer] {
+			t.Fatalf("valid directive names unknown analyzer %q (text %q)", analyzer, text)
+		}
+		if strings.TrimFunc(reason, unicode.IsSpace) == "" {
+			t.Fatalf("valid directive carries an empty reason (text %q)", text)
+		}
+		if !strings.HasPrefix(text, "//") {
+			t.Fatalf("valid directive from a non-line comment %q", text)
+		}
+	})
+}

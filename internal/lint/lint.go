@@ -47,14 +47,48 @@ type Pass struct {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportfFix(pos, nil, format, args...)
+}
+
+// ReportfFix records a finding at pos carrying a suggested fix. A nil fix
+// degrades to a plain finding.
+func (p *Pass) ReportfFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
 	position := p.Pkg.Fset.Position(pos)
-	*p.diags = append(*p.diags, Diagnostic{
+	d := Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		File:     position.Filename,
 		Line:     position.Line,
 		Col:      position.Column,
 		Message:  fmt.Sprintf(format, args...),
-	})
+	}
+	if fix != nil {
+		d.Fixes = []SuggestedFix{*fix}
+	}
+	*p.diags = append(*p.diags, d)
+}
+
+// Offsets converts an AST node span to (file, byte-offset) form for building
+// TextEdits.
+func (p *Pass) Offsets(start, end token.Pos) (file string, lo, hi int) {
+	s := p.Pkg.Fset.Position(start)
+	e := p.Pkg.Fset.Position(end)
+	return s.Filename, s.Offset, e.Offset
+}
+
+// TextEdit is one byte-exact replacement in a source file: the half-open
+// offset range [Start, End) is replaced with New.
+type TextEdit struct {
+	File  string `json:"file"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	New   string `json:"new"`
+}
+
+// SuggestedFix is a machine-applicable remedy an analyzer attaches to a
+// finding. All edits of a fix are applied together (rpolvet -fix).
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
 }
 
 // Diagnostic is one finding.
@@ -68,6 +102,8 @@ type Diagnostic struct {
 	// finding was deliberately waived (such findings are reported separately
 	// and do not fail the run).
 	SuppressReason string `json:"suppress_reason,omitempty"`
+	// Fixes are machine-applicable remedies, if the analyzer knows one.
+	Fixes []SuggestedFix `json:"fixes,omitempty"`
 }
 
 func (d Diagnostic) String() string {

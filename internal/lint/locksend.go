@@ -1,0 +1,463 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockSend retires the PR 4 panic class: a channel send (or any other
+// indefinitely blocking operation) executed while a sync.Mutex or
+// sync.RWMutex is held. The original bug was Bus.Send enqueueing into an
+// endpoint inbox under the bus lock with a plain `ch <- msg`; a concurrent
+// Close closed the inbox and panicked the sender, and any full inbox would
+// have deadlocked every other bus user behind the lock. The surviving,
+// correct shape holds the lock but makes the enqueue non-blocking
+// (select with a default clause), which this analyzer deliberately admits.
+//
+// The analyzer walks each function body with a lock-state machine: Lock and
+// RLock calls on sync.Mutex/RWMutex-typed expressions push that lock,
+// Unlock/RUnlock pop it, and `defer mu.Unlock()` keeps it held through the
+// rest of the body (which is exactly what the runtime does). Branch bodies
+// are analyzed with a copy of the state, so `if closed { mu.Unlock();
+// return }` early exits do not leak state. While any lock is held, the
+// following are findings:
+//
+//   - a blocking channel send: a bare SendStmt, or a send clause of a
+//     select with no default (a select with default is non-blocking and
+//     passes);
+//   - a call into the blocking surface of net or os: Dial*/Listen* and
+//     Conn/Listener Read/Write/Accept methods, file creation/IO functions
+//     and *os.File write methods;
+//   - an event publish: (*obs.Events).Publish, which takes the event-log
+//     lock and must never nest under a transport or protocol lock;
+//   - a call to a same-package function whose body performs one of the
+//     above (one level of propagation, so helpers like a publishFault
+//     cannot hide the operation from the caller's critical section).
+//
+// Function literals run elsewhere: goroutine bodies and plain closures are
+// analyzed as their own scopes with no inherited locks. Deferred closures
+// and immediately-invoked closures inherit the state at their site, because
+// they execute on this goroutine while the locks are (still) held.
+var LockSend = &Analyzer{
+	Name: "locksend",
+	Doc:  "no blocking channel send, net/os blocking call, or event publish while a sync.Mutex/RWMutex is held (PR 4 Bus.Send panic class)",
+	Run:  runLockSend,
+}
+
+// lockBlockingNetFuncs are package-level net functions that block on the
+// network.
+var lockBlockingNetFuncs = map[string]bool{
+	"Dial": true, "DialTimeout": true, "DialTCP": true, "DialUDP": true,
+	"DialUnix": true, "DialIP": true, "Listen": true, "ListenPacket": true,
+	"ListenTCP": true, "ListenUDP": true, "ListenUnix": true,
+}
+
+// lockBlockingOSFuncs are package-level os functions that touch the
+// filesystem.
+var lockBlockingOSFuncs = map[string]bool{
+	"WriteFile": true, "ReadFile": true, "Create": true, "CreateTemp": true,
+	"Open": true, "OpenFile": true, "Rename": true, "Remove": true,
+	"RemoveAll": true, "Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"ReadDir": true, "Truncate": true,
+}
+
+// lockBlockingNetMethods block on the peer when called on a net.Conn,
+// net.Listener, or any other net type. Close is deliberately absent: it is
+// non-blocking in practice and routinely (correctly) called under the lock
+// that guards the connection table.
+var lockBlockingNetMethods = map[string]bool{
+	"Read": true, "Write": true, "Accept": true, "ReadFrom": true,
+	"WriteTo": true, "ReadFromUDP": true, "WriteToUDP": true,
+}
+
+// lockBlockingFileMethods are *os.File methods that perform IO.
+var lockBlockingFileMethods = map[string]bool{
+	"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+	"WriteString": true, "Sync": true, "Truncate": true, "ReadDir": true,
+}
+
+func runLockSend(pass *Pass) {
+	w := &lockWalker{pass: pass, info: pass.Pkg.TypesInfo}
+	w.indexFuncs()
+	w.propagate()
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				w.walkStmts(fd.Body.List, lockState{})
+			}
+		}
+	}
+}
+
+// lockState is the set of held locks, keyed by the printed source
+// expression of the lock receiver ("b.mu", "s.writeMu", ...).
+type lockState map[string]bool
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func (s lockState) any() (string, bool) {
+	// Deterministic pick for stable messages: the lexically smallest key.
+	best := ""
+	for k := range s {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best, best != ""
+}
+
+type lockWalker struct {
+	pass *Pass
+	info *types.Info
+
+	// decls maps function/method objects declared in this package to their
+	// bodies, for one-level blocking propagation.
+	decls map[types.Object]*ast.FuncDecl
+	// blockers describes, per package function, the blocking operation its
+	// body performs ("" / absent when none).
+	blockers map[types.Object]string
+
+	// collect switches the walker into the propagation pre-pass: instead of
+	// reporting, the first blocking operation found is recorded here.
+	collect  bool
+	found    string
+	foundFix *SuggestedFix
+}
+
+func (w *lockWalker) indexFuncs() {
+	w.decls = make(map[types.Object]*ast.FuncDecl)
+	w.blockers = make(map[types.Object]string)
+	for _, f := range w.pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := w.info.Defs[fd.Name]; obj != nil {
+				w.decls[obj] = fd
+			}
+		}
+	}
+}
+
+// propagate records, for every package function, whether its body performs
+// a blocking operation that a caller's critical section would inherit. The
+// body is analyzed under a sentinel held lock so the walker's own
+// select-with-default exemption applies: a helper whose sends are all
+// non-blocking does not propagate.
+func (w *lockWalker) propagate() {
+	sentinel := lockState{"<caller's lock>": true}
+	for obj, fd := range w.decls {
+		w.collect, w.found, w.foundFix = true, "", nil
+		w.walkStmts(fd.Body.List, sentinel.clone())
+		if w.found != "" {
+			w.blockers[obj] = w.found
+		}
+	}
+	w.collect, w.found, w.foundFix = false, "", nil
+}
+
+func (w *lockWalker) report(pos ast.Node, lock, what string) {
+	if w.collect {
+		if w.found == "" {
+			w.found = what
+		}
+		return
+	}
+	w.pass.Reportf(pos.Pos(), "%s while %s is held: a blocked or panicking operation inside the critical section stalls every other lock holder (PR 4 Bus.Send class); make it non-blocking or move it after Unlock", what, lock)
+}
+
+// walkStmts interprets a statement list with the given entry lock state.
+// The state mutates in place for sequential flow; nested bodies get clones.
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held lockState) {
+	for _, stmt := range stmts {
+		w.walkStmt(stmt, held)
+	}
+}
+
+func (w *lockWalker) walkStmt(stmt ast.Stmt, held lockState) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if lock, op, ok := w.lockOp(s.X); ok {
+			if op == "lock" {
+				held[lock] = true
+			} else {
+				delete(held, lock)
+			}
+			return
+		}
+		w.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the rest of the body;
+		// the runtime releases it only after every later statement ran.
+		if _, op, ok := w.lockOp(s.Call); ok && op == "unlock" {
+			return
+		}
+		// Other deferred calls run while any still-held locks are held (a
+		// deferred unlock registered earlier runs after them), so they are
+		// analyzed under the state at the defer site. Arguments evaluate
+		// immediately and are checked the same way.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			for _, arg := range s.Call.Args {
+				w.checkExpr(arg, held)
+			}
+			w.walkStmts(fl.Body.List, held.clone())
+			return
+		}
+		w.checkExpr(s.Call, held)
+	case *ast.SendStmt:
+		if lock, ok := held.any(); ok {
+			w.report(s, lock, "blocking channel send")
+		}
+		w.checkExpr(s.Chan, held)
+		w.checkExpr(s.Value, held)
+	case *ast.GoStmt:
+		// The spawned goroutine does not hold this goroutine's locks; only
+		// the argument evaluation happens here.
+		for _, arg := range s.Call.Args {
+			w.checkExpr(arg, held)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.walkStmts(fl.Body.List, lockState{})
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held.clone())
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.checkExpr(s.Cond, held)
+		w.walkStmts(s.Body.List, held.clone())
+		if s.Else != nil {
+			w.walkStmt(s.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, held)
+		}
+		body := held.clone()
+		w.walkStmts(s.Body.List, body)
+		if s.Post != nil {
+			w.walkStmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, held)
+		w.walkStmts(s.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.checkExpr(e, held)
+				}
+				w.walkStmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok && !hasDefault {
+				if lock, locked := held.any(); locked {
+					w.report(send, lock, "blocking channel send (select without default)")
+				}
+			}
+			w.walkStmts(cc.Body, held.clone())
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.checkExpr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		w.checkExpr(s.Decl, held)
+	case *ast.IncDecStmt:
+		w.checkExpr(s.X, held)
+	default:
+		// Branch/empty/etc: nothing to interpret.
+	}
+}
+
+// lockOp classifies expr as a Lock/RLock ("lock") or Unlock/RUnlock
+// ("unlock") call on a sync.Mutex or sync.RWMutex, returning the lock key.
+func (w *lockWalker) lockOp(expr ast.Expr) (lock, op string, ok bool) {
+	call, isCall := expr.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", "", false
+	}
+	t := w.info.TypeOf(sel.X)
+	if t == nil || !isSyncLockType(t) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), op, true
+}
+
+func isSyncLockType(t types.Type) bool {
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkExpr scans one expression subtree for blocking calls while locks are
+// held. Function literals found inside expressions are analyzed as fresh
+// lock scopes (they run elsewhere); the enclosing walker handles deferred
+// and go'd literals before this sees them.
+func (w *lockWalker) checkExpr(n ast.Node, held lockState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if fl, ok := m.(*ast.FuncLit); ok {
+			w.walkStmts(fl.Body.List, lockState{})
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		lock, locked := held.any()
+		if !locked {
+			return true
+		}
+		if what, blocking := w.classifyCall(call); blocking {
+			w.report(call, lock, what)
+		}
+		return true
+	})
+}
+
+// classifyCall reports whether call is a blocking operation, describing it.
+func (w *lockWalker) classifyCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		// Plain identifier call: same-package function propagation. The
+		// propagation pre-pass sees only primitive operations (w.collect),
+		// keeping the analysis exactly one level deep and independent of
+		// the order functions are examined in.
+		if id, isIdent := call.Fun.(*ast.Ident); isIdent && !w.collect {
+			if obj := w.info.Uses[id]; obj != nil {
+				if what, blocks := w.blockers[obj]; blocks {
+					return "call to " + id.Name + " (" + what + ")", true
+				}
+			}
+		}
+		return "", false
+	}
+	// Qualified package function: net.Dial, os.WriteFile, ...
+	if pkgPath, name, isPkg := pkgFunc(w.info, sel); isPkg {
+		switch {
+		case pkgPath == "net" && lockBlockingNetFuncs[name]:
+			return "net." + name + " network call", true
+		case pkgPath == "os" && lockBlockingOSFuncs[name]:
+			return "os." + name + " file IO", true
+		}
+		return "", false
+	}
+	// Method call: classify by receiver type.
+	recvT := w.info.TypeOf(sel.X)
+	if recvT == nil {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if pkg, typeName := namedTypeOf(recvT); pkg != "" {
+		switch {
+		case pkg == "net" && lockBlockingNetMethods[name]:
+			return "net " + typeName + "." + name + " network IO", true
+		case pkg == "os" && typeName == "File" && lockBlockingFileMethods[name]:
+			return "os.File." + name + " file IO", true
+		case pkg == "rpol/internal/obs" && typeName == "Events" && name == "Publish":
+			return "obs event publish", true
+		}
+	}
+	// Same-package method propagation (one level deep; see above).
+	if !w.collect {
+		if obj := w.info.Uses[sel.Sel]; obj != nil {
+			if what, blocks := w.blockers[obj]; blocks {
+				return "call to " + sel.Sel.Name + " (" + what + ")", true
+			}
+		}
+	}
+	return "", false
+}
+
+// namedTypeOf unwraps pointers and returns the defining package path and
+// type name of a named type ("" when the type is unnamed or an interface
+// from elsewhere).
+func namedTypeOf(t types.Type) (pkgPath, name string) {
+	for {
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Path(), obj.Name()
+}

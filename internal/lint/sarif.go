@@ -1,0 +1,113 @@
+package lint
+
+import "path/filepath"
+
+// SARIF output (Static Analysis Results Interchange Format 2.1.0), the
+// minimal subset code-review UIs ingest: one run, one driver, one rule per
+// analyzer, one result per finding. Suppressed findings are carried with a
+// SARIF suppression object so they render as reviewed-and-waived rather
+// than vanishing.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// SARIFLog assembles the SARIF document for a run: active findings as
+// error-level results, suppressed findings as results carrying an in-source
+// suppression with its audited justification.
+func SARIFLog(analyzers []*Analyzer, findings, suppressed []Diagnostic) any {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	results := make([]sarifResult, 0, len(findings)+len(suppressed))
+	for _, d := range findings {
+		results = append(results, sarifResultOf(d, nil))
+	}
+	for _, d := range suppressed {
+		results = append(results, sarifResultOf(d, []sarifSuppression{{
+			Kind:          "inSource",
+			Justification: d.SuppressReason,
+		}}))
+	}
+	return sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "rpolvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+func sarifResultOf(d Diagnostic, sup []sarifSuppression) sarifResult {
+	return sarifResult{
+		RuleID:  d.Analyzer,
+		Level:   "error",
+		Message: sarifMessage{Text: d.Message},
+		Locations: []sarifLocation{{
+			PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(d.File)},
+				Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+			},
+		}},
+		Suppressions: sup,
+	}
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SeedPurity extends norandglobal from "no globals" to "derivation is
+// traceable". The replay proof (paper §4) needs every randomized decision to
+// be a pure function of (seed, identity, ordinal)-style inputs: the manager
+// re-derives the worker's sampling/shuffle/fault decisions from the recorded
+// seed, so a seed that ever touches wall clock, process state, crypto
+// entropy, global rand draws, or mutable package state makes the replay
+// unreproducible even though no global generator was used.
+//
+// The analyzer locates every seed-position argument — math/rand.NewSource,
+// math/rand/v2's NewPCG/NewChaCha8, and any module-local function whose
+// parameter is named seed/salt (or ends in Seed/Salt, e.g. tensor.NewRNG,
+// prf.SeedFromString consumers, NewFaultPlan) — and walks the argument
+// expression. The expression is impure, and a finding, if it contains:
+//
+//   - a call into time, os, or crypto/rand (wall clock, pids, env, entropy);
+//   - a draw from the global math/rand state (the norandglobal set);
+//   - a reference to a mutable package-level variable (constants are fine);
+//   - a channel receive (ordering-dependent input).
+//
+// Everything else — literals, parameters, locals, struct fields, and calls
+// into deterministic derivations like hash/PRF helpers — is admitted: those
+// are exactly the traceable inputs the protocol can replay.
+var SeedPurity = &Analyzer{
+	Name: "seedpurity",
+	Doc:  "rand sources and seed parameters must be derived from pure (seed, identity, ordinal) inputs, never wall clock, entropy, global rand, mutable globals, or channel receives",
+	Run:  runSeedPurity,
+}
+
+// seedArgPositions maps stdlib constructors to the argument indexes that
+// carry seed material.
+var seedArgPositions = map[string]map[string][]int{
+	"math/rand":    {"NewSource": {0}},
+	"math/rand/v2": {"NewPCG": {0, 1}, "NewChaCha8": {0}},
+}
+
+func runSeedPurity(pass *Pass) {
+	info := pass.Pkg.TypesInfo
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, idx := range seedArgIndexes(info, call) {
+				if idx >= len(call.Args) {
+					continue
+				}
+				arg := call.Args[idx]
+				if why := seedImpurity(info, arg); why != "" {
+					pass.Reportf(arg.Pos(), "seed argument is not a pure (seed, identity, ordinal) derivation: %s makes replay unreproducible; derive the seed from recorded inputs (see internal/prf)", why)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// seedArgIndexes returns the argument positions of call that carry seed
+// material: stdlib rand constructors by table, module-local functions by
+// parameter name.
+func seedArgIndexes(info *types.Info, call *ast.CallExpr) []int {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pkgPath, name, isPkg := pkgFunc(info, sel); isPkg {
+			if byName, ok := seedArgPositions[pkgPath]; ok {
+				return byName[name]
+			}
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || !strings.HasPrefix(fn.Pkg().Path(), "rpol/") {
+		// Only module-local signatures are inspected by parameter name: the
+		// stdlib's seed positions are tabled above, and third-party code is
+		// out of scope by construction (the module is dependency-free).
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var idxs []int
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isSeedParamName(sig.Params().At(i).Name()) {
+			idxs = append(idxs, i)
+		}
+	}
+	return idxs
+}
+
+// calleeFunc resolves the called function's object, for plain and qualified
+// calls alike. Method calls resolve too (seed-named method params count).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isSeedParamName reports whether a parameter name marks seed material.
+func isSeedParamName(name string) bool {
+	lower := strings.ToLower(name)
+	return lower == "seed" || lower == "salt" ||
+		strings.HasSuffix(name, "Seed") || strings.HasSuffix(name, "Salt")
+}
+
+// seedImpurePkgs are the packages whose calls poison a seed derivation.
+var seedImpurePkgs = map[string]string{
+	"time":        "wall-clock input",
+	"os":          "process-state input",
+	"crypto/rand": "crypto entropy",
+}
+
+// seedImpurity walks a seed expression and returns a description of the
+// first impure input it contains, or "" when the expression is a traceable
+// derivation.
+func seedImpurity(info *types.Info, e ast.Expr) (why string) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if why != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, isPkg := pkgFunc(info, sel)
+			if !isPkg {
+				return true
+			}
+			if kind, bad := seedImpurePkgs[pkgPath]; bad {
+				why = pkgPath + "." + name + " (" + kind + ")"
+				return false
+			}
+			if funcs, ok := globalRandFuncs[pkgPath]; ok && funcs[name] {
+				why = pkgPath + "." + name + " (global rand draw)"
+				return false
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				why = "a channel receive (ordering-dependent input)"
+				return false
+			}
+		case *ast.Ident:
+			obj := info.Uses[x]
+			v, isVar := obj.(*types.Var)
+			if !isVar || v.Pkg() == nil {
+				return true
+			}
+			if v.Parent() == v.Pkg().Scope() {
+				why = "package-level variable " + v.Name() + " (mutable global state)"
+				return false
+			}
+		}
+		return true
+	})
+	return why
+}

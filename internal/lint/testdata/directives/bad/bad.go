@@ -17,3 +17,13 @@ func c() {
 	//rpolvet:ignore nowallclock
 	_ = 3
 }
+
+func d() {
+	//rpolvet:ignorenowallclock glued prefix must not waive anything
+	_ = 4
+}
+
+func e() {
+	/* rpolvet:ignore nowallclock block comments have no anchor line */
+	_ = 5
+}

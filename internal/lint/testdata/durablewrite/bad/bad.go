@@ -1,0 +1,33 @@
+// Package fixture exercises durablewrite true positives: raw os file IO in
+// a durable package, the PR 5 torn-write class.
+package fixture
+
+import (
+	"bufio"
+	"os"
+)
+
+func saveRaw(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o600) // want "os.WriteFile bypasses fsio's checksummed atomic write path"
+}
+
+func handRolled(path string) (*os.File, error) {
+	return os.Create(path) // want "os.Create opens a raw persistence path"
+}
+
+func swap(tmp, path string) error {
+	return os.Rename(tmp, path) // want "os.Rename opens a raw persistence path"
+}
+
+func writeHandle(f *os.File, data []byte) error {
+	_, err := f.Write(data) // want "os.File.Write writes through a raw file handle"
+	return err
+}
+
+func syncHandle(f *os.File) error {
+	return f.Sync() // want "os.File.Sync writes through a raw file handle"
+}
+
+func flushBuffered(w *bufio.Writer) error {
+	return w.Flush() // want "bufio.Writer.Flush commits buffered bytes without a frame checksum"
+}

@@ -1,0 +1,26 @@
+// Package fixture is the durable-write idiom the analyzer admits: every
+// persisted byte travels through fsio's checksummed atomic path, and reads
+// stay unrestricted.
+package fixture
+
+import (
+	"os"
+
+	"rpol/internal/fsio"
+)
+
+func save(path string, data []byte) error {
+	return fsio.WriteFileAtomic(path, data)
+}
+
+func load(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+func stat(path string) (int64, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}

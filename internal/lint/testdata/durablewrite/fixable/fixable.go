@@ -1,0 +1,14 @@
+// Package fixture is the -fix round-trip input: applying the suggested
+// fixes to this file must produce, byte for byte, the contents of
+// testdata/durablewrite/fixed/fixed.go.
+package fixture
+
+import "os"
+
+func saveState(path string, blob []byte) error {
+	return os.WriteFile(path, blob, 0o600)
+}
+
+func saveIndex(path string, blob []byte) error {
+	return os.WriteFile(path, blob, 0o644)
+}

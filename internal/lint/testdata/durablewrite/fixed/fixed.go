@@ -1,0 +1,14 @@
+// Package fixture is the -fix round-trip input: applying the suggested
+// fixes to this file must produce, byte for byte, the contents of
+// testdata/durablewrite/fixed/fixed.go.
+package fixture
+
+import "rpol/internal/fsio"
+
+func saveState(path string, blob []byte) error {
+	return fsio.WriteFileAtomic(path, blob)
+}
+
+func saveIndex(path string, blob []byte) error {
+	return fsio.WriteFileAtomic(path, blob)
+}

@@ -1,0 +1,16 @@
+// Package fixture exercises durablewrite suppression: a deliberate raw
+// write that never becomes durable state, carrying its audit trail.
+package fixture
+
+import "os"
+
+func probeWritable(dir string) error {
+	//rpolvet:ignore durablewrite scratch probe file, removed immediately; it never becomes durable protocol state
+	f, err := os.CreateTemp(dir, "probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	_ = f.Close()
+	return os.Remove(name)
+}

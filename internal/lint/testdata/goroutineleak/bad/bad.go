@@ -1,0 +1,48 @@
+// Package fixture reproduces the PR 6 pprof-listener leak class: background
+// work with no reachable teardown at all.
+package fixture
+
+import "net"
+
+// serveDebug is the original -pprof shape: a listener and a goroutine that
+// outlive every run that requested them.
+func serveDebug(addr string) error {
+	ln, err := net.Listen("tcp", addr) // want "has no reachable Close"
+	if err != nil {
+		return err
+	}
+	go acceptLoop(ln) // want "no reachable bounded-shutdown path"
+	return nil
+}
+
+func acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go pump(conn) // want "no reachable bounded-shutdown path"
+	}
+}
+
+func pump(conn net.Conn) {
+	buf := make([]byte, 1024)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+func listenDiscard(addr string) {
+	_, _ = net.Listen("tcp", addr) // want "result is discarded"
+}
+
+// tickForever is the fire-and-forget literal variant.
+func tickForever(ch chan int) {
+	go func() { // want "no reachable bounded-shutdown path"
+		for {
+			ch <- 1
+		}
+	}()
+}

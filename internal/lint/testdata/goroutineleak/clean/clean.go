@@ -1,0 +1,75 @@
+// Package fixture is the post-PR-6 shape: every goroutine and listener has
+// a reachable bounded-shutdown path.
+package fixture
+
+import (
+	"net"
+	"sync"
+)
+
+type server struct {
+	wg   sync.WaitGroup
+	quit chan struct{}
+	ln   net.Listener
+}
+
+func newServer(addr string) (*server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &server{quit: make(chan struct{}), ln: ln}
+	s.wg.Add(1)
+	go s.run()
+	return s, nil
+}
+
+// run exits when Close closes the quit channel; the WaitGroup makes the
+// exit observable.
+func (s *server) run() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// Close is the bounded teardown: signal, close the listener, wait.
+func (s *server) Close() {
+	close(s.quit)
+	_ = s.ln.Close()
+	s.wg.Wait()
+}
+
+// fanout joins every spawned goroutine before returning.
+func fanout(items []int, out chan<- int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			select {
+			case out <- v:
+			default:
+			}
+		}(it)
+	}
+	wg.Wait()
+}
+
+// drain exits when the producer closes the feed channel.
+func drain(feed chan int) int {
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for v := range feed {
+			total += v
+		}
+	}()
+	close(feed)
+	<-done
+	return total
+}

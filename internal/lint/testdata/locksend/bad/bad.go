@@ -1,0 +1,81 @@
+// Package fixture reproduces the PR 4 Bus.Send panic class: blocking
+// operations executed while a sync lock is held.
+package fixture
+
+import (
+	"net"
+	"os"
+	"sync"
+
+	"rpol/internal/obs"
+)
+
+type message struct {
+	payload []byte
+}
+
+type bus struct {
+	mu     sync.Mutex
+	closed bool
+	inbox  chan message
+	events *obs.Events
+}
+
+// Send is the exact pre-fix Bus.Send shape: a bare enqueue under the bus
+// lock. A concurrent Close closing the inbox panics the sender, and a full
+// inbox deadlocks every other bus user behind b.mu.
+func (b *bus) Send(m message) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.inbox <- m // want "blocking channel send while b.mu is held"
+}
+
+// sendSelect blocks just the same: a select without a default clause still
+// parks the goroutine inside the critical section.
+func (b *bus) sendSelect(m message) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.inbox <- m: // want "blocking channel send (select without default) while b.mu is held"
+	}
+}
+
+// enqueue hides the blocking send one call deep.
+func (b *bus) enqueue(m message) {
+	b.inbox <- m
+}
+
+func (b *bus) sendViaHelper(m message) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.enqueue(m) // want "call to enqueue (blocking channel send) while b.mu is held"
+}
+
+func (b *bus) publishUnderLock() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events.Publish(obs.StreamEvent{Kind: "drop"}) // want "obs event publish while b.mu is held"
+}
+
+type store struct {
+	rw   sync.RWMutex
+	path string
+}
+
+// snapshot performs file IO inside a read-locked section: every writer
+// stalls behind the disk.
+func (s *store) snapshot(data []byte) error {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return os.WriteFile(s.path, data, 0o644) // want "os.WriteFile file IO while s.rw is held"
+}
+
+func (b *bus) redial(addr string) (net.Conn, error) {
+	b.mu.Lock()
+	conn, err := net.Dial("tcp", addr) // want "net.Dial network call while b.mu is held"
+	b.mu.Unlock()
+	return conn, err
+}

@@ -1,0 +1,79 @@
+// Package fixture is the post-PR-4 Bus.Send shape and its siblings: the
+// lock may be held, but every operation inside it is non-blocking.
+package fixture
+
+import (
+	"errors"
+	"sync"
+
+	"rpol/internal/obs"
+)
+
+var errFull = errors.New("inbox full")
+
+type message struct {
+	payload []byte
+}
+
+type bus struct {
+	mu     sync.Mutex
+	closed bool
+	inbox  chan message
+	events *obs.Events
+}
+
+// Send is the fixed form: the lock is held across the enqueue (a concurrent
+// Close must not close the inbox mid-send), but the enqueue is non-blocking
+// — a full inbox fails loudly instead of parking the goroutine.
+func (b *bus) Send(m message) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return errors.New("closed")
+	}
+	select {
+	case b.inbox <- m:
+		return nil
+	default:
+		return errFull
+	}
+}
+
+// sendAfterUnlock publishes only once the critical section has ended: the
+// deferred closure is registered before the Lock, so LIFO ordering runs it
+// after the deferred Unlock.
+func (b *bus) sendAfterUnlock(m message) {
+	var dropped bool
+	defer func() {
+		if dropped {
+			b.events.Publish(obs.StreamEvent{Kind: "drop"})
+		}
+	}()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.inbox <- m:
+	default:
+		dropped = true
+	}
+}
+
+// sendOutsideLock releases the lock before a genuinely blocking send.
+func (b *bus) sendOutsideLock(m message) {
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if !closed {
+		b.inbox <- m
+	}
+}
+
+// spawnWorker is fine: the goroutine body runs without this goroutine's
+// locks.
+func (b *bus) spawnWorker(m message) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.inbox <- m
+	}()
+}

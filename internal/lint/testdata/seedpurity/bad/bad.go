@@ -1,0 +1,46 @@
+// Package fixture exercises seedpurity true positives: seeds whose
+// derivation cannot be replayed.
+package fixture
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"os"
+	"time"
+)
+
+var processSalt int64
+
+func fromClock() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want "time.Now (wall-clock input)"
+}
+
+func fromPid() rand.Source {
+	return rand.NewSource(int64(os.Getpid())) // want "os.Getpid (process-state input)"
+}
+
+func fromGlobalDraw() rand.Source {
+	return rand.NewSource(rand.Int63()) // want "math/rand.Int63 (global rand draw)"
+}
+
+func fromMutableGlobal() rand.Source {
+	return rand.NewSource(processSalt) // want "package-level variable processSalt (mutable global state)"
+}
+
+func fromChannel(seeds chan int64) rand.Source {
+	return rand.NewSource(<-seeds) // want "channel receive (ordering-dependent input)"
+}
+
+func fromPCG() *randv2.PCG {
+	return randv2.NewPCG(uint64(time.Now().Unix()), 2) // want "time.Now (wall-clock input)"
+}
+
+// derive is a module-local derivation: its seed parameter inherits the
+// purity requirement by name.
+func derive(seed int64, ordinal int) int64 {
+	return seed*31 + int64(ordinal)
+}
+
+func fromImpureDerivation() int64 {
+	return derive(time.Now().Unix(), 3) // want "time.Now (wall-clock input)"
+}

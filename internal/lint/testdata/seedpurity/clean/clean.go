@@ -1,0 +1,32 @@
+// Package fixture is the traceable-seed idiom seedpurity admits: every
+// seed is a pure function of (seed, identity, ordinal) inputs.
+package fixture
+
+import "math/rand"
+
+type workerID string
+
+type config struct {
+	Seed int64
+}
+
+// derive mixes the recorded base seed with identity and ordinal — the
+// replayable derivation pattern (see internal/prf).
+func derive(baseSeed int64, id workerID, epoch int) int64 {
+	h := int64(len(id)) // stand-in for a real hash derivation
+	return baseSeed*1099511628211 + h*31 + int64(epoch)
+}
+
+func pure(seed, ordinal int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ ordinal))
+}
+
+func forWorker(cfg config, id workerID, epoch int) *rand.Rand {
+	return rand.New(rand.NewSource(derive(cfg.Seed, id, epoch)))
+}
+
+const defaultSeed = 42
+
+func fromConstant() rand.Source {
+	return rand.NewSource(defaultSeed)
+}

@@ -1,0 +1,13 @@
+// Package fixture exercises seedpurity suppression: a deliberately
+// irreproducible seed carrying its audit trail.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jittered() rand.Source {
+	//rpolvet:ignore seedpurity fixture-only backoff jitter; the value never reaches hashed, replayed, or persisted state
+	return rand.NewSource(time.Now().UnixNano())
+}

@@ -161,6 +161,15 @@ func (e *Endpoint) Send(to, kind string, payload []byte) error {
 // lock before the enqueue would race the close and panic the sender.
 func (e *Endpoint) SendSeq(to, kind string, seq uint64, payload []byte) error {
 	b := e.bus
+	// Fault events publish only after the critical section: this defer is
+	// registered before the Lock below, so LIFO ordering runs it after the
+	// deferred Unlock, keeping the observer fan-out outside the lock.
+	var pendingFaults []string
+	defer func() {
+		for _, what := range pendingFaults {
+			publishFault(b.events, what, kind, e.name, to)
+		}
+	}()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -181,12 +190,12 @@ func (e *Endpoint) SendSeq(to, kind string, seq uint64, payload []byte) error {
 			// sees success and only the meter (and the receiver's silence)
 			// records the loss.
 			b.meter.RecordInjectedDrop(e.name, to, kind, msg.Size())
-			publishFault(b.events, "drop", kind, e.name, to)
+			pendingFaults = append(pendingFaults, "drop")
 			return nil
 		}
 		if fault.Delay > 0 {
 			b.meter.RecordInjectedDelay()
-			publishFault(b.events, "delay", kind, e.name, to)
+			pendingFaults = append(pendingFaults, "delay")
 			if adv, ok := b.clock.(advancer); ok {
 				adv.Advance(fault.Delay)
 			}

@@ -178,6 +178,7 @@ func (h *TCPHub) serveConn(conn net.Conn) {
 	// never race the hub's routing table. Enqueued under the lock so a
 	// concurrent Close cannot close the queue first.
 	ack := Message{To: client.name, Kind: KindRegistered}
+	//rpolvet:ignore locksend the queue was created above with busQueueDepth capacity and is not yet visible to any other goroutine, so this send cannot block; the lock orders it before a concurrent Close can close the queue
 	client.out <- ack
 	h.meter.Record("hub", client.name, KindRegistered, ack.Size())
 	h.mu.Unlock()
@@ -210,6 +211,15 @@ func (h *TCPHub) serveConn(conn net.Conn) {
 }
 
 func (h *TCPHub) route(msg Message) {
+	// Fault events publish only after the critical section: this defer is
+	// registered before the Lock below, so LIFO ordering runs it after the
+	// deferred Unlock, keeping the observer fan-out outside the lock.
+	var pendingFaults []string
+	defer func() {
+		for _, what := range pendingFaults {
+			publishFault(h.events, what, msg.Kind, msg.From, msg.To)
+		}
+	}()
 	// The lock is held across the (non-blocking) enqueue so that a
 	// concurrent dropClient cannot close the destination queue mid-send.
 	h.mu.Lock()
@@ -221,12 +231,12 @@ func (h *TCPHub) route(msg Message) {
 		fault := h.faults.Decide(msg.From, msg.To, n)
 		if fault.Drop {
 			h.meter.RecordInjectedDrop(msg.From, msg.To, msg.Kind, msg.Size())
-			publishFault(h.events, "drop", msg.Kind, msg.From, msg.To)
+			pendingFaults = append(pendingFaults, "drop")
 			return
 		}
 		if fault.Delay > 0 {
 			h.meter.RecordInjectedDelay()
-			publishFault(h.events, "delay", msg.Kind, msg.From, msg.To)
+			pendingFaults = append(pendingFaults, "delay")
 			if adv, ok := h.clock.(advancer); ok {
 				adv.Advance(fault.Delay)
 			}
