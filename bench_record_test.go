@@ -1,11 +1,14 @@
 package rpol_test
 
-// Guards the committed benchmark record BENCH_pr3.json: the file is the
-// evidence trail for the deterministic-parallelism PR's performance claims,
-// so it must stay parseable and structurally sound. The test uses only the
-// standard library and fails on a malformed file — missing fields, unknown
+// Guards the committed benchmark records (BENCH_pr3.json, BENCH_pr8.json):
+// the files are the evidence trail for the performance PRs' claims, so they
+// must stay parseable and structurally sound. The tests use only the
+// standard library and fail on a malformed file — missing fields, unknown
 // keys, non-positive measurements, or entries whose names no longer look
-// like Go benchmarks.
+// like Go benchmarks. BENCH_pr8.json additionally carries a comparator
+// gate: the recorded batched TrainStep must hold its claimed >=2x margin
+// over the serial path, so a re-record that loses the speedup fails CI
+// instead of silently weakening the claim.
 
 import (
 	"bytes"
@@ -30,7 +33,7 @@ type benchEntry struct {
 	After  *benchMeasure `json:"after"`
 }
 
-// benchRecord is the BENCH_pr3.json document.
+// benchRecord is the committed benchmark document.
 type benchRecord struct {
 	PR        int               `json:"pr"`
 	Benchtime string            `json:"benchtime"`
@@ -45,8 +48,11 @@ type benchRecord struct {
 	Benchmarks []benchEntry `json:"benchmarks"`
 }
 
-func TestBenchRecordWellFormed(t *testing.T) {
-	data, err := os.ReadFile("BENCH_pr3.json")
+// loadBenchRecord parses and structurally validates one committed record,
+// returning the entries keyed by benchmark name.
+func loadBenchRecord(t *testing.T, path string, wantPR int) map[string]benchEntry {
+	t.Helper()
+	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("benchmark record missing: %v", err)
 	}
@@ -54,13 +60,13 @@ func TestBenchRecordWellFormed(t *testing.T) {
 	dec.DisallowUnknownFields()
 	var rec benchRecord
 	if err := dec.Decode(&rec); err != nil {
-		t.Fatalf("BENCH_pr3.json malformed: %v", err)
+		t.Fatalf("%s malformed: %v", path, err)
 	}
 	if dec.More() {
-		t.Fatal("BENCH_pr3.json: trailing data after the record")
+		t.Fatalf("%s: trailing data after the record", path)
 	}
-	if rec.PR != 3 {
-		t.Errorf("pr = %d, want 3", rec.PR)
+	if rec.PR != wantPR {
+		t.Errorf("pr = %d, want %d", rec.PR, wantPR)
 	}
 	if rec.Host.NumCPU < 1 || rec.Host.CPU == "" || rec.Host.Note == "" {
 		t.Errorf("host block incomplete: %+v", rec.Host)
@@ -68,15 +74,15 @@ func TestBenchRecordWellFormed(t *testing.T) {
 	if len(rec.Benchmarks) == 0 {
 		t.Fatal("no benchmark entries")
 	}
-	seen := make(map[string]bool, len(rec.Benchmarks))
+	entries := make(map[string]benchEntry, len(rec.Benchmarks))
 	for _, b := range rec.Benchmarks {
 		if !strings.HasPrefix(b.Name, "Benchmark") {
 			t.Errorf("entry %q: name is not a Go benchmark", b.Name)
 		}
-		if seen[b.Name] {
+		if _, dup := entries[b.Name]; dup {
 			t.Errorf("entry %q: duplicate", b.Name)
 		}
-		seen[b.Name] = true
+		entries[b.Name] = b
 		if b.After == nil {
 			t.Errorf("entry %q: missing after measurement", b.Name)
 			continue
@@ -89,5 +95,56 @@ func TestBenchRecordWellFormed(t *testing.T) {
 				t.Errorf("entry %q: implausible measurement %+v", b.Name, *m)
 			}
 		}
+	}
+	return entries
+}
+
+func TestBenchRecordWellFormed(t *testing.T) {
+	loadBenchRecord(t, "BENCH_pr3.json", 3)
+}
+
+// TestBenchRecordPR8Gates validates BENCH_pr8.json and enforces the PR's
+// headline claims on the recorded numbers themselves.
+func TestBenchRecordPR8Gates(t *testing.T) {
+	entries := loadBenchRecord(t, "BENCH_pr8.json", 8)
+
+	// Gate 1: the batched GEMM TrainStep must be at least 2x the serial
+	// per-example path.
+	serial, ok := entries["BenchmarkTrainStep/serial"]
+	if !ok || serial.After == nil {
+		t.Fatal("record lacks BenchmarkTrainStep/serial")
+	}
+	batched, ok := entries["BenchmarkTrainStep/batched"]
+	if !ok || batched.After == nil {
+		t.Fatal("record lacks BenchmarkTrainStep/batched")
+	}
+	if serial.After.NsOp < 2*batched.After.NsOp {
+		t.Errorf("batched TrainStep speedup %.2fx below the claimed 2x (serial %d ns/op, batched %d ns/op)",
+			float64(serial.After.NsOp)/float64(batched.After.NsOp),
+			serial.After.NsOp, batched.After.NsOp)
+	}
+
+	// Gate 2: the steady-state binary encode paths must be allocation-free.
+	for _, name := range []string{"BenchmarkEncodeTask", "BenchmarkEncodeResult"} {
+		e, ok := entries[name]
+		if !ok || e.After == nil {
+			t.Errorf("record lacks %s", name)
+			continue
+		}
+		if e.After.AllocsOp != 0 {
+			t.Errorf("%s: %d allocs/op recorded, want 0 (warm reused buffer)", name, e.After.AllocsOp)
+		}
+	}
+
+	// Gate 3: the binary task decode must beat the legacy JSON+base64
+	// fallback it replaced (same LSH-free task shape).
+	bin, binOK := entries["BenchmarkDecodeTask"]
+	legacy, legOK := entries["BenchmarkDecodeTaskLegacyJSON"]
+	if !binOK || !legOK || bin.After == nil || legacy.After == nil {
+		t.Fatal("record lacks the decode pair (BenchmarkDecodeTask, BenchmarkDecodeTaskLegacyJSON)")
+	}
+	if bin.After.NsOp >= legacy.After.NsOp {
+		t.Errorf("binary decode (%d ns/op) not faster than the legacy JSON fallback (%d ns/op)",
+			bin.After.NsOp, legacy.After.NsOp)
 	}
 }

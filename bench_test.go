@@ -306,6 +306,26 @@ func BenchmarkTrainStep(b *testing.B) {
 			}
 		}
 	})
+	// "batched" is the whole-batch GEMM fast path with no pool at all: a
+	// dense stack drives one shared-parameter replica through the blocked
+	// kernels, bit-identical to "serial" at any batch size.
+	b.Run("batched", func(b *testing.B) {
+		net := build()
+		bt, err := nn.NewBatchTrainer(net, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt := &nn.SGDM{LR: 0.01, Momentum: 0.9}
+		if _, err := bt.TrainBatch(xs, labels, opt); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := bt.TrainBatch(xs, labels, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	variants := []int{1}
 	if n := runtime.NumCPU(); n > 1 {
 		variants = append(variants, n)

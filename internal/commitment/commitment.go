@@ -136,11 +136,16 @@ func (h *HashList) Size() int { return HashSize * len(h.Leaves) }
 
 // Encode serializes the commitment.
 func (h *HashList) Encode() []byte {
-	out := make([]byte, 0, h.Size())
+	return h.AppendEncode(make([]byte, 0, h.Size()))
+}
+
+// AppendEncode appends the Encode representation to dst and returns the
+// extended slice, so wire paths can serialize into a reused buffer.
+func (h *HashList) AppendEncode(dst []byte) []byte {
 	for _, l := range h.Leaves {
-		out = append(out, l[:]...)
+		dst = append(dst, l[:]...)
 	}
-	return out
+	return dst
 }
 
 // DecodeHashList parses a commitment previously produced by Encode.

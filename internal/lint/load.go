@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -178,6 +179,15 @@ func (l *loader) check(pkgPath, dir string, files []*ast.File) (*Package, error)
 	}, nil
 }
 
+// hostBuild matches files against the host GOOS/GOARCH, exactly like the go
+// tool: platform-variant sources (//go:build constraints, _amd64.go name
+// suffixes) would otherwise collide as duplicate declarations in one package.
+var hostBuild = func() build.Context {
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	return ctx
+}()
+
 // parseDir parses the non-test Go files of one directory as a single
 // package. It returns nil files when the directory holds no buildable
 // sources.
@@ -193,6 +203,9 @@ func (l *loader) parseDir(dir string) ([]*ast.File, error) {
 			continue
 		}
 		if strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		if ok, err := hostBuild.MatchFile(dir, n); err != nil || !ok {
 			continue
 		}
 		names = append(names, n)

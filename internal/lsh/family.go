@@ -35,11 +35,16 @@ func (d Digest) Size() int { return 8 * len(d) }
 
 // Encode serializes the digest.
 func (d Digest) Encode() []byte {
-	buf := make([]byte, 8*len(d))
-	for i, v := range d {
-		binary.LittleEndian.PutUint64(buf[8*i:], v)
+	return d.AppendEncode(make([]byte, 0, d.Size()))
+}
+
+// AppendEncode appends the Encode representation to dst and returns the
+// extended slice, so wire paths can serialize into a reused buffer.
+func (d Digest) AppendEncode(dst []byte) []byte {
+	for _, v := range d {
+		dst = binary.LittleEndian.AppendUint64(dst, v)
 	}
-	return buf
+	return dst
 }
 
 // DecodeDigest parses a digest previously produced by Encode.

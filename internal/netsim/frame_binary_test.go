@@ -1,0 +1,81 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+)
+
+// TestFrameBinaryRoundTrip pins the binary frame codec: every field survives
+// and the body does not start with '{' (the legacy-JSON sniff byte).
+func TestFrameBinaryRoundTrip(t *testing.T) {
+	msgs := []Message{
+		{},
+		{From: "manager", To: "w1", Kind: "task", Seq: 7, Payload: []byte("payload")},
+		{From: "w1", To: "manager", Kind: "result", Payload: bytes.Repeat([]byte{0xAB}, 1<<16)},
+		{From: "a", Kind: KindRegister},
+	}
+	for _, msg := range msgs {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, msg); err != nil {
+			t.Fatalf("%+v: %v", msg, err)
+		}
+		if body := buf.Bytes()[4:]; body[0] == '{' {
+			t.Fatal("binary frame body starts with '{' — collides with the JSON sniff")
+		}
+		got, err := readFrame(&buf)
+		if err != nil {
+			t.Fatalf("%+v: %v", msg, err)
+		}
+		if got.From != msg.From || got.To != msg.To || got.Kind != msg.Kind || got.Seq != msg.Seq {
+			t.Errorf("frame changed: %+v -> %+v", msg, got)
+		}
+		if !bytes.Equal(got.Payload, msg.Payload) {
+			t.Errorf("payload changed for %+v", msg)
+		}
+	}
+}
+
+// TestReadFrameLegacyJSON feeds a frame in the pre-binary JSON encoding and
+// requires the reader to fall back to it.
+func TestReadFrameLegacyJSON(t *testing.T) {
+	msg := Message{From: "m", To: "w", Kind: "task", Seq: 3, Payload: []byte{1, 2, 3}}
+	body, err := json.Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(body)))
+	buf.Write(prefix[:])
+	buf.Write(body)
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != msg.From || got.To != msg.To || got.Kind != msg.Kind ||
+		got.Seq != msg.Seq || !bytes.Equal(got.Payload, msg.Payload) {
+		t.Errorf("legacy frame decode = %+v, want %+v", got, msg)
+	}
+}
+
+// TestDecodeFrameMalformed walks the truncation points of the binary body.
+func TestDecodeFrameMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, Message{From: "a", To: "b", Kind: "k", Seq: 9, Payload: []byte("p")}); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.Bytes()[4:]
+	for cut := 0; cut < len(body)-len("p"); cut++ {
+		if _, err := decodeFrame(body[:cut]); err == nil {
+			t.Errorf("decodeFrame accepted a body truncated to %d bytes", cut)
+		}
+	}
+	if _, err := decodeFrame([]byte{0x42, frameVersion}); err == nil {
+		t.Error("decodeFrame accepted a bad magic byte")
+	}
+	if _, err := decodeFrame([]byte{frameMagic, 0x7F}); err == nil {
+		t.Error("decodeFrame accepted an unsupported version")
+	}
+}

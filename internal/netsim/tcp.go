@@ -20,9 +20,10 @@ import (
 // so the wire-level protocol (internal/wire) can be exercised over an
 // actual network stack as well as in memory.
 //
-// Frame format: 4-byte big-endian length prefix followed by the JSON
-// encoding of Message. The first frame a client sends is its registration:
-// a Message whose Kind is "register" and whose From is the client's name.
+// Frame format: 4-byte big-endian length prefix followed by a binary
+// Message body (see writeFrame; legacy JSON bodies are still decoded). The
+// first frame a client sends is its registration: a Message whose Kind is
+// "register" and whose From is the client's name.
 type TCPHub struct {
 	listener net.Listener
 	meter    *Meter
@@ -60,6 +61,10 @@ const maxFrameSize = 64 << 20
 
 // ErrFrameTooLarge is returned when a peer announces an oversized frame.
 var ErrFrameTooLarge = errors.New("netsim: frame too large")
+
+// errBadFrame is returned when a frame body parses as neither the binary
+// format nor legacy JSON.
+var errBadFrame = errors.New("netsim: malformed frame")
 
 // NewTCPHub starts a hub listening on addr (e.g. "127.0.0.1:0").
 func NewTCPHub(addr string) (*TCPHub, error) {
@@ -272,29 +277,54 @@ func (h *TCPHub) dropClient(name string) {
 	}
 }
 
+// Binary frame body format (after the 4-byte big-endian length prefix):
+//
+//	[0] magic 0xBF — distinct from '{' (0x7B), so readFrame can sniff the
+//	    first body byte and fall back to the legacy JSON encoding
+//	[1] version 1
+//	from, to, kind as uvarint-length-prefixed strings, seq as uvarint,
+//	then the payload as the remainder of the frame — written straight from
+//	the caller's buffer and aliased out of the read buffer on receive, so a
+//	bulky payload is never copied into an intermediate frame encoding (the
+//	JSON format base64-expanded it by 4/3 and marshalled a full copy).
+const (
+	frameMagic   = 0xBF
+	frameVersion = 1
+)
+
+func appendFrameString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
 func writeFrame(w io.Writer, msg Message) error {
-	// Fast pre-check: base64 only expands the payload, so a payload already
-	// over the frame bound cannot encode under it — skip the marshal.
+	// Fast pre-check so the header below is never written for a frame that
+	// cannot fit.
 	if len(msg.Payload) > maxFrameSize {
 		return fmt.Errorf("%d payload bytes: %w", len(msg.Payload), ErrFrameTooLarge)
 	}
-	data, err := json.Marshal(msg)
-	if err != nil {
-		return fmt.Errorf("netsim frame: %w", err)
-	}
+	hdr := make([]byte, 4, 64)
+	hdr = append(hdr, frameMagic, frameVersion)
+	hdr = appendFrameString(hdr, msg.From)
+	hdr = appendFrameString(hdr, msg.To)
+	hdr = appendFrameString(hdr, msg.Kind)
+	hdr = binary.AppendUvarint(hdr, msg.Seq)
 	// Reject oversized frames before writing a single byte: maxFrameSize is
 	// well under math.MaxUint32, so this one check also rules out silently
 	// truncating the uint32 length prefix — and because nothing has hit the
 	// socket yet, the connection stays usable after the error.
-	if len(data) > maxFrameSize {
-		return fmt.Errorf("%d bytes: %w", len(data), ErrFrameTooLarge)
+	total := len(hdr) - 4 + len(msg.Payload)
+	if total > maxFrameSize {
+		return fmt.Errorf("%d bytes: %w", total, ErrFrameTooLarge)
 	}
-	var prefix [4]byte
-	binary.BigEndian.PutUint32(prefix[:], uint32(len(data)))
-	if _, err := w.Write(prefix[:]); err != nil {
+	binary.BigEndian.PutUint32(hdr[:4], uint32(total))
+	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
-	_, err = w.Write(data)
+	if len(msg.Payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(msg.Payload)
 	return err
 }
 
@@ -311,9 +341,56 @@ func readFrame(r io.Reader) (Message, error) {
 	if _, err := io.ReadFull(r, data); err != nil {
 		return Message{}, err
 	}
+	if len(data) > 0 && data[0] == '{' {
+		// Legacy JSON frame from a pre-binary peer.
+		var msg Message
+		if err := json.Unmarshal(data, &msg); err != nil {
+			return Message{}, fmt.Errorf("netsim frame: %w", err)
+		}
+		return msg, nil
+	}
+	return decodeFrame(data)
+}
+
+// decodeFrame parses a binary frame body. The payload aliases data, which is
+// freshly allocated per frame by readFrame.
+func decodeFrame(data []byte) (Message, error) {
+	if len(data) < 2 || data[0] != frameMagic {
+		return Message{}, fmt.Errorf("netsim frame: unrecognized format: %w", errBadFrame)
+	}
+	if data[1] != frameVersion {
+		return Message{}, fmt.Errorf("netsim frame: unsupported version %d: %w", data[1], errBadFrame)
+	}
+	off := 2
+	next := func() (string, bool) {
+		n, w := binary.Uvarint(data[off:])
+		if w <= 0 || n > uint64(len(data)-off-w) {
+			return "", false
+		}
+		off += w
+		s := string(data[off : off+int(n)])
+		off += int(n)
+		return s, true
+	}
 	var msg Message
-	if err := json.Unmarshal(data, &msg); err != nil {
-		return Message{}, fmt.Errorf("netsim frame: %w", err)
+	var ok bool
+	if msg.From, ok = next(); !ok {
+		return Message{}, fmt.Errorf("netsim frame: truncated sender: %w", errBadFrame)
+	}
+	if msg.To, ok = next(); !ok {
+		return Message{}, fmt.Errorf("netsim frame: truncated destination: %w", errBadFrame)
+	}
+	if msg.Kind, ok = next(); !ok {
+		return Message{}, fmt.Errorf("netsim frame: truncated kind: %w", errBadFrame)
+	}
+	seq, w := binary.Uvarint(data[off:])
+	if w <= 0 {
+		return Message{}, fmt.Errorf("netsim frame: truncated seq: %w", errBadFrame)
+	}
+	msg.Seq = seq
+	off += w
+	if off < len(data) {
+		msg.Payload = data[off:]
 	}
 	return msg, nil
 }
@@ -410,6 +487,11 @@ func (e *TCPEndpoint) Send(to, kind string, payload []byte) error {
 func (e *TCPEndpoint) SendSeq(to, kind string, seq uint64, payload []byte) error {
 	return e.writeMsg(Message{From: e.name, To: to, Kind: kind, Payload: payload, Seq: seq})
 }
+
+// SendSerializes marks that Send/SendSeq fully serialize the payload onto
+// the socket (under writeMu) before returning, so callers may reuse their
+// payload buffer for the next message.
+func (e *TCPEndpoint) SendSerializes() {}
 
 // Recv blocks until a message arrives or the connection closes.
 func (e *TCPEndpoint) Recv() (Message, error) {

@@ -14,15 +14,23 @@ import (
 const maxBatchChunks = 16
 
 // BatchTrainer runs Network.TrainBatch's per-example forward/backward work
-// across a worker pool: the batch is split into fixed chunks, each chunk is
-// processed by a private replica network (shared weights, private gradients
-// and caches, arena-backed scratch), and per-chunk gradients and losses are
-// merged in chunk-index order before the single optimizer step on the source
-// network.
+// through the parallel runtime. Networks whose layers all support the
+// whole-batch path (dense stacks: Dense, ReLU, Residual) take the GEMM fast
+// path: ONE shared-parameter replica pushes the entire batch through the
+// batched kernels in internal/tensor, whose internal row-chunking composes
+// with the pool. Other networks (convolutional) fall back to the chunked
+// path: the batch is split into fixed chunks, each chunk is processed by a
+// private replica network (shared weights, private gradients and caches,
+// arena-backed scratch), and per-chunk gradients and losses are merged in
+// chunk-index order before the single optimizer step on the source network.
 //
 // Determinism: results are bit-identical for any pool size, including a nil
-// (serial) pool, because chunking and merge order are fixed. They may differ
-// from the plain serial Network.TrainBatch in low-order float bits on layers
+// (serial) pool, because chunking and merge order are fixed. On the GEMM
+// path they are additionally bit-identical to the plain serial
+// Network.TrainBatch at ANY batch size: every kernel output element is one
+// left-to-right accumulation chain in the serial per-example index order,
+// and the loss/bias reductions are explicit ascending-batch loops. The
+// chunked fallback may differ from serial in low-order float bits on layers
 // that accumulate several gradient terms per parameter per example (Conv2D):
 // the serial loop folds those terms into the running cross-example total,
 // while the chunked merge folds per-chunk subtotals. Callers choose one
@@ -43,6 +51,14 @@ type BatchTrainer struct {
 	arenas    []*parallel.Arena
 	chunkLoss []float64
 	chunkErr  []error
+
+	// GEMM fast path (nil batchLayers = chunked fallback): one
+	// shared-parameter replica, batched kernels, arena reset per batch.
+	batchRep    *Network
+	batchLayers []BatchLayer
+	batchGrads  []tensor.Vector
+	batchArena  *parallel.Arena
+	xb          tensor.Matrix
 }
 
 // NewBatchTrainer returns a trainer for net over pool. A nil pool is valid
@@ -54,12 +70,36 @@ func NewBatchTrainer(net *Network, pool *parallel.Pool) (*BatchTrainer, error) {
 			return nil, fmt.Errorf("nn: layer %d (%s) does not support replication", i, l.Name())
 		}
 	}
-	return &BatchTrainer{
+	bt := &BatchTrainer{
 		net:    net,
 		pool:   pool,
 		params: net.Params(),
 		grads:  net.Grads(),
-	}, nil
+	}
+	allBatch := true
+	for _, l := range net.Layers {
+		if !batchCapable(l) {
+			allBatch = false
+			break
+		}
+	}
+	if allBatch {
+		rep, err := net.Replicate(true)
+		if err != nil {
+			return nil, err
+		}
+		arena := parallel.NewArena(0)
+		rep.setScratch(arena)
+		layers := make([]BatchLayer, len(rep.Layers))
+		for i, l := range rep.Layers {
+			layers[i] = l.(BatchLayer)
+		}
+		bt.batchRep = rep
+		bt.batchLayers = layers
+		bt.batchGrads = rep.Grads()
+		bt.batchArena = arena
+	}
+	return bt, nil
 }
 
 // ensureReplicas grows the replica set to at least chunks entries.
@@ -91,6 +131,9 @@ func (bt *BatchTrainer) TrainBatch(xs []tensor.Vector, labels []int, opt Optimiz
 	b := len(xs)
 	if b == 0 || b != len(labels) {
 		return 0, fmt.Errorf("batch %d inputs vs %d labels: %w", b, len(labels), tensor.ErrShapeMismatch)
+	}
+	if bt.batchLayers != nil {
+		return bt.trainBatchGEMM(xs, labels, opt)
 	}
 	grain := (b + maxBatchChunks - 1) / maxBatchChunks
 	chunks := parallel.NumChunks(b, grain)
@@ -142,6 +185,65 @@ func (bt *BatchTrainer) TrainBatch(xs []tensor.Vector, labels []int, opt Optimiz
 		}
 	}
 	if err := opt.Step(bt.params, bt.grads); err != nil {
+		return 0, err
+	}
+	return total / float64(b), nil
+}
+
+// trainBatchGEMM is the whole-batch fast path: pack the batch into one
+// matrix, run each layer's batched kernel once, compute the loss gradient in
+// place over the logits, run the batched backward, step. Allocation-free at
+// steady state (arena scratch, reusable matrix headers); bit-identical to
+// the serial per-example Network.TrainBatch for any pool size.
+func (bt *BatchTrainer) trainBatchGEMM(xs []tensor.Vector, labels []int, opt Optimizer) (float64, error) {
+	b := len(xs)
+	in := bt.net.Layers[0].InputDim()
+	bt.batchArena.Reset()
+	bt.xb = tensor.Matrix{Rows: b, Cols: in, Data: tensor.Vector(bt.batchArena.Grab(b * in))}
+	for i, x := range xs {
+		if len(x) != in {
+			return 0, fmt.Errorf("batch example %d: input %d, want %d: %w", i, len(x), in, tensor.ErrShapeMismatch)
+		}
+		copy(bt.xb.Row(i), x)
+	}
+	cur := &bt.xb
+	var err error
+	for i, l := range bt.batchLayers {
+		if cur, err = l.ForwardBatch(bt.pool, cur); err != nil {
+			return 0, fmt.Errorf("layer %d (%s): %w", i, bt.batchRep.Layers[i].Name(), err)
+		}
+	}
+	// Loss gradient in place over the logits, scaled to the batch mean, in
+	// ascending batch order — the exact serial reduction.
+	invB := 1 / float64(b)
+	var total float64
+	for r := 0; r < b; r++ {
+		row := cur.Row(r)
+		loss, err := SoftmaxCrossEntropyInto(row, row, labels[r])
+		if err != nil {
+			return 0, err
+		}
+		total += loss
+		row.Scale(invB)
+	}
+	bt.batchRep.ZeroGrads()
+	for i := len(bt.batchLayers) - 1; i > 0; i-- {
+		if cur, err = bt.batchLayers[i].BackwardBatch(bt.pool, cur); err != nil {
+			return 0, fmt.Errorf("layer %d (%s): %w", i, bt.batchRep.Layers[i].Name(), err)
+		}
+	}
+	// The first layer's input gradient has no consumer; skip its GEMM when
+	// the layer supports it (pure wall-clock win, parameter bits unchanged).
+	if ni, ok := bt.batchLayers[0].(interface {
+		BackwardBatchNoInput(p *parallel.Pool, grad *tensor.Matrix) error
+	}); ok {
+		if err = ni.BackwardBatchNoInput(bt.pool, cur); err != nil {
+			return 0, fmt.Errorf("layer 0 (%s): %w", bt.batchRep.Layers[0].Name(), err)
+		}
+	} else if _, err = bt.batchLayers[0].BackwardBatch(bt.pool, cur); err != nil {
+		return 0, fmt.Errorf("layer 0 (%s): %w", bt.batchRep.Layers[0].Name(), err)
+	}
+	if err := opt.Step(bt.params, bt.batchGrads); err != nil {
 		return 0, err
 	}
 	return total / float64(b), nil

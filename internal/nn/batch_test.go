@@ -130,6 +130,92 @@ func TestBatchTrainerMatchesSerialDense(t *testing.T) {
 	}
 }
 
+// denseResNet builds a dense stack with a residual block — every layer kind
+// the whole-batch GEMM path supports.
+func denseResNet(t *testing.T, seed int64) *Network {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	res, err := NewResidual(NewDense(24, 24, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetwork(
+		NewDense(32, 24, rng), NewReLU(24), res, NewReLU(24), NewDense(24, 5, rng),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestBatchTrainerGEMMMatchesSerialAnyBatch: the whole-batch GEMM path must
+// reproduce the plain serial Network.TrainBatch bit for bit at ANY batch
+// size and worker count — including batches larger than maxBatchChunks,
+// where the retired chunked path would have merged per-chunk subtotals in a
+// different association order.
+func TestBatchTrainerGEMMMatchesSerialAnyBatch(t *testing.T) {
+	for _, b := range []int{1, 3, 16, 33} {
+		xs, labels := batchData(b, 32, int64(100+b))
+
+		// Serial reference: plain per-example Network.TrainBatch.
+		serial := denseResNet(t, 9)
+		optS := &SGDM{LR: 0.05, Momentum: 0.9}
+		var lossS float64
+		var err error
+		for step := 0; step < 3; step++ {
+			if lossS, err = serial.TrainBatch(xs, labels, optS); err != nil {
+				t.Fatal(err)
+			}
+		}
+		refParams := serial.ParamVector()
+
+		for _, workers := range []int{0, 1, 4} {
+			net := denseResNet(t, 9)
+			var pool *parallel.Pool
+			if workers > 0 {
+				pool = parallel.New(workers)
+			}
+			bt, err := NewBatchTrainer(net, pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bt.batchLayers == nil {
+				t.Fatal("dense stack did not select the GEMM path")
+			}
+			optP := &SGDM{LR: 0.05, Momentum: 0.9}
+			var lossP float64
+			for step := 0; step < 3; step++ {
+				if lossP, err = bt.TrainBatch(xs, labels, optP); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if math.Float64bits(lossP) != math.Float64bits(lossS) {
+				t.Errorf("batch=%d workers=%d: loss %x vs serial %x",
+					b, workers, math.Float64bits(lossP), math.Float64bits(lossS))
+			}
+			pp := net.ParamVector()
+			for i := range refParams {
+				if math.Float64bits(pp[i]) != math.Float64bits(refParams[i]) {
+					t.Fatalf("batch=%d workers=%d: param %d bits %x vs %x",
+						b, workers, i, math.Float64bits(pp[i]), math.Float64bits(refParams[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestBatchTrainerConvFallsBack: conv stacks have no whole-batch kernels and
+// must keep using the chunked-replica path.
+func TestBatchTrainerConvFallsBack(t *testing.T) {
+	bt, err := NewBatchTrainer(convNet(t, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.batchLayers != nil {
+		t.Fatal("conv stack unexpectedly selected the GEMM path")
+	}
+}
+
 // TestReplicateShared: replicas alias parameter storage but own gradients.
 func TestReplicateShared(t *testing.T) {
 	net := convNet(t, 5)

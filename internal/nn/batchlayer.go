@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+
+	"rpol/internal/parallel"
+	"rpol/internal/tensor"
+)
+
+// BatchLayer is the whole-batch form of Layer: one call pushes every example
+// (one per matrix row) through the layer via the batched GEMM kernels in
+// internal/tensor, instead of one matvec per example.
+//
+// Determinism contract: for any pool (including nil), ForwardBatch and
+// BackwardBatch produce bit-identical results to calling Forward/Backward on
+// each row in ascending order. The kernels guarantee this per element (each
+// output is a single left-to-right accumulation chain in the serial index
+// order), and the layer-level reductions below (bias gradient, residual add)
+// are explicit ascending-index loops.
+//
+// Returned matrices alias layer-owned scratch headers backed by the layer's
+// arena; they are valid until the arena is reset. Like Layer, a BatchLayer
+// caches forward state for the subsequent backward and is therefore not safe
+// for concurrent use — the pool parallelism lives inside the kernels.
+type BatchLayer interface {
+	Layer
+	// ForwardBatch computes the layer output for every row of x.
+	ForwardBatch(p *parallel.Pool, x *tensor.Matrix) (*tensor.Matrix, error)
+	// BackwardBatch consumes per-row ∂L/∂output, accumulates parameter
+	// gradients (summed over the batch in ascending row order), and returns
+	// per-row ∂L/∂input.
+	BackwardBatch(p *parallel.Pool, grad *tensor.Matrix) (*tensor.Matrix, error)
+}
+
+// batchCapable reports whether a layer can run the whole-batch path. It is
+// not a plain type assertion because Residual structurally implements
+// BatchLayer while only supporting it when its inner layer does.
+func batchCapable(l Layer) bool {
+	switch v := l.(type) {
+	case *Residual:
+		return batchCapable(v.Inner)
+	case BatchLayer:
+		return true
+	}
+	return false
+}
+
+// ForwardBatch computes W·x + b for every row of x in one GEMM call. The
+// pack scratch (arena-recycled) unlocks the SIMD kernel where the host has
+// one; the result is bit-identical with or without it.
+func (d *Dense) ForwardBatch(p *parallel.Pool, x *tensor.Matrix) (*tensor.Matrix, error) {
+	d.outB = tensor.Matrix{Rows: x.Rows, Cols: d.W.Rows, Data: tensor.Vector(d.scratch.Grab(x.Rows * d.W.Rows))}
+	pack := tensor.Vector(d.scratch.Grab(tensor.MulMatPackSize(x.Rows, x.Cols)))
+	if err := d.W.MulMatPoolScratch(p, &d.outB, x, pack); err != nil {
+		return nil, fmt.Errorf("dense forward: %w", err)
+	}
+	for r := 0; r < d.outB.Rows; r++ {
+		if err := d.outB.Row(r).AXPY(1, d.B); err != nil {
+			return nil, fmt.Errorf("dense bias: %w", err)
+		}
+	}
+	d.lastInB = x
+	return &d.outB, nil
+}
+
+// BackwardBatch accumulates ∂L/∂W += Σ_b g_b·x_bᵀ and ∂L/∂b += Σ_b g_b in
+// ascending batch order, returning per-row Wᵀ·g.
+func (d *Dense) BackwardBatch(p *parallel.Pool, grad *tensor.Matrix) (*tensor.Matrix, error) {
+	if err := d.backwardBatchParams(p, grad); err != nil {
+		return nil, err
+	}
+	d.inGradB = tensor.Matrix{Rows: grad.Rows, Cols: d.W.Cols, Data: tensor.Vector(d.scratch.Grab(grad.Rows * d.W.Cols))}
+	if err := d.W.MulMatTPool(p, &d.inGradB, grad); err != nil {
+		return nil, fmt.Errorf("dense backward: %w", err)
+	}
+	return &d.inGradB, nil
+}
+
+// BackwardBatchNoInput is BackwardBatch without the Wᵀ·g input-gradient
+// GEMM. The trainer calls it on the first layer of the stack, where the
+// input gradient has no consumer — the skipped product is discarded in the
+// per-example path too, so parameter bits are unchanged.
+func (d *Dense) BackwardBatchNoInput(p *parallel.Pool, grad *tensor.Matrix) error {
+	return d.backwardBatchParams(p, grad)
+}
+
+func (d *Dense) backwardBatchParams(p *parallel.Pool, grad *tensor.Matrix) error {
+	if d.lastInB == nil {
+		return errors.New("nn: dense batch backward before forward")
+	}
+	if !d.Frozen {
+		if err := d.GradW.AddOuterBatchPool(p, 1, grad, d.lastInB); err != nil {
+			return fmt.Errorf("dense gradW: %w", err)
+		}
+		for r := 0; r < grad.Rows; r++ {
+			if err := d.GradB.AXPY(1, grad.Row(r)); err != nil {
+				return fmt.Errorf("dense gradB: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// ForwardBatch returns max(0, x) element-wise over the whole batch.
+func (r *ReLU) ForwardBatch(_ *parallel.Pool, x *tensor.Matrix) (*tensor.Matrix, error) {
+	if x.Cols != r.dim {
+		return nil, fmt.Errorf("relu input %d, want %d: %w", x.Cols, r.dim, tensor.ErrShapeMismatch)
+	}
+	r.outB = tensor.Matrix{Rows: x.Rows, Cols: x.Cols, Data: tensor.Vector(r.scratch.Grab(x.Rows * x.Cols))}
+	out := r.outB.Data
+	for i, v := range x.Data {
+		if v > 0 {
+			out[i] = v
+		}
+	}
+	r.lastInB = x
+	return &r.outB, nil
+}
+
+// BackwardBatch masks the batch gradient by the activation pattern. The mask
+// is written to a private scratch matrix, not in place: a residual wrapper
+// needs the incoming gradient intact for its identity branch, exactly like
+// the per-example Backward.
+func (r *ReLU) BackwardBatch(_ *parallel.Pool, grad *tensor.Matrix) (*tensor.Matrix, error) {
+	if r.lastInB == nil {
+		return nil, errors.New("nn: relu batch backward before forward")
+	}
+	if grad.Cols != r.dim || grad.Rows != r.lastInB.Rows {
+		return nil, fmt.Errorf("relu grad %dx%d, want %dx%d: %w",
+			grad.Rows, grad.Cols, r.lastInB.Rows, r.dim, tensor.ErrShapeMismatch)
+	}
+	r.gradB = tensor.Matrix{Rows: grad.Rows, Cols: grad.Cols, Data: tensor.Vector(r.scratch.Grab(grad.Rows * grad.Cols))}
+	out := r.gradB.Data
+	g := grad.Data
+	for i, v := range r.lastInB.Data {
+		if v > 0 {
+			out[i] = g[i]
+		}
+	}
+	return &r.gradB, nil
+}
+
+// ForwardBatch computes x + inner(x) row-wise. The inner layer must itself
+// be batch-capable (batchCapable checks this before the path is selected).
+func (r *Residual) ForwardBatch(p *parallel.Pool, x *tensor.Matrix) (*tensor.Matrix, error) {
+	bl, ok := r.Inner.(BatchLayer)
+	if !ok {
+		return nil, fmt.Errorf("nn: residual inner layer %s has no batch path", r.Inner.Name())
+	}
+	y, err := bl.ForwardBatch(p, x)
+	if err != nil {
+		return nil, fmt.Errorf("residual forward: %w", err)
+	}
+	if y.Rows != x.Rows || y.Cols != x.Cols {
+		return nil, fmt.Errorf("residual inner %dx%d vs input %dx%d: %w",
+			y.Rows, y.Cols, x.Rows, x.Cols, tensor.ErrShapeMismatch)
+	}
+	for i, v := range x.Data {
+		y.Data[i] += v
+	}
+	return y, nil
+}
+
+// BackwardBatch propagates grad through both the identity and the inner
+// branch, summing in place on the inner result (same operand order as the
+// per-example Backward).
+func (r *Residual) BackwardBatch(p *parallel.Pool, grad *tensor.Matrix) (*tensor.Matrix, error) {
+	bl, ok := r.Inner.(BatchLayer)
+	if !ok {
+		return nil, fmt.Errorf("nn: residual inner layer %s has no batch path", r.Inner.Name())
+	}
+	ig, err := bl.BackwardBatch(p, grad)
+	if err != nil {
+		return nil, fmt.Errorf("residual backward: %w", err)
+	}
+	if ig.Rows != grad.Rows || ig.Cols != grad.Cols {
+		return nil, fmt.Errorf("residual inner grad %dx%d vs grad %dx%d: %w",
+			ig.Rows, ig.Cols, grad.Rows, grad.Cols, tensor.ErrShapeMismatch)
+	}
+	for i, v := range grad.Data {
+		ig.Data[i] += v
+	}
+	return ig, nil
+}

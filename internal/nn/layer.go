@@ -57,6 +57,12 @@ type Dense struct {
 
 	lastIn  tensor.Vector
 	scratch *parallel.Arena // optional transient-buffer arena; nil = plain make
+
+	// Whole-batch path state (BatchLayer): reusable matrix headers over
+	// arena-backed data, plus the cached batch input for backward.
+	outB    tensor.Matrix
+	inGradB tensor.Matrix
+	lastInB *tensor.Matrix
 }
 
 var _ Layer = (*Dense)(nil)
@@ -140,6 +146,11 @@ type ReLU struct {
 	dim     int
 	lastIn  tensor.Vector
 	scratch *parallel.Arena
+
+	// Whole-batch path state (BatchLayer).
+	outB    tensor.Matrix
+	gradB   tensor.Matrix
+	lastInB *tensor.Matrix
 }
 
 var _ Layer = (*ReLU)(nil)

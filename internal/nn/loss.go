@@ -15,8 +15,26 @@ var ErrBadLabel = errors.New("nn: label out of range")
 // true class label, and the gradient ∂L/∂logits. It uses the max-shift trick
 // for numerical stability.
 func SoftmaxCrossEntropy(logits tensor.Vector, label int) (loss float64, grad tensor.Vector, err error) {
+	grad = make(tensor.Vector, len(logits))
+	loss, err = SoftmaxCrossEntropyInto(grad, logits, label)
+	if err != nil {
+		return 0, nil, err
+	}
+	return loss, grad, nil
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing the gradient into
+// grad instead of allocating. grad may alias logits (the batched trainer
+// computes the loss gradient in place over the logits buffer); each element
+// is read before it is overwritten. The arithmetic — max shift, ascending-
+// index exp sum, normalize, label subtraction — is term-for-term identical
+// to the allocating form, so the two produce the same float bits.
+func SoftmaxCrossEntropyInto(grad, logits tensor.Vector, label int) (float64, error) {
 	if label < 0 || label >= len(logits) {
-		return 0, nil, fmt.Errorf("label %d of %d logits: %w", label, len(logits), ErrBadLabel)
+		return 0, fmt.Errorf("label %d of %d logits: %w", label, len(logits), ErrBadLabel)
+	}
+	if len(grad) != len(logits) {
+		return 0, fmt.Errorf("grad %d for %d logits: %w", len(grad), len(logits), tensor.ErrShapeMismatch)
 	}
 	maxv := logits[0]
 	for _, v := range logits[1:] {
@@ -25,19 +43,17 @@ func SoftmaxCrossEntropy(logits tensor.Vector, label int) (loss float64, grad te
 		}
 	}
 	var sum float64
-	exps := make(tensor.Vector, len(logits))
 	for i, v := range logits {
 		e := math.Exp(v - maxv)
-		exps[i] = e
+		grad[i] = e
 		sum += e
 	}
-	grad = make(tensor.Vector, len(logits))
-	for i, e := range exps {
+	for i, e := range grad {
 		grad[i] = e / sum
 	}
-	loss = -math.Log(grad[label] + 1e-300)
+	loss := -math.Log(grad[label] + 1e-300)
 	grad[label] -= 1
-	return loss, grad, nil
+	return loss, nil
 }
 
 // Softmax returns the softmax probabilities of logits.

@@ -251,6 +251,10 @@ type Pool struct {
 	fs        fsio.FS
 	journal   *journal.Journal
 	recovered []journal.Seal
+
+	// encBuf is the reused global-model encode scratch for seal digests and
+	// resume checks; the pool runs epochs sequentially, so one suffices.
+	encBuf []byte
 }
 
 // diskState is the atomically-written per-epoch snapshot (state.bin): the
@@ -576,7 +580,8 @@ func (p *Pool) applyRecovery(st *journal.State, raw []rpol.Worker) error {
 		if err := p.manager.Restore(completed, global); err != nil {
 			return fmt.Errorf("pool resume: %w", err)
 		}
-		if got := fsio.Checksum(global.Encode()); got != st.Sealed[completed-1].GlobalDigest {
+		p.encBuf = global.AppendEncode(p.encBuf[:0])
+		if got := fsio.Checksum(p.encBuf); got != st.Sealed[completed-1].GlobalDigest {
 			return fmt.Errorf("pool resume: global model digest %x does not match seal %x",
 				got, st.Sealed[completed-1].GlobalDigest)
 		}
@@ -610,8 +615,9 @@ func (p *Pool) applyRecovery(st *journal.State, raw []rpol.Worker) error {
 	// must announce exactly the epoch and global model the restored manager
 	// will re-announce; anything else means the prefix belongs to a
 	// different history and retraining from scratch is the safe choice.
+	p.encBuf = p.manager.Global().AppendEncode(p.encBuf[:0])
 	if st.InFlight == completed && st.Task != nil &&
-		st.Task.GlobalDigest == fsio.Checksum(p.manager.Global().Encode()) {
+		st.Task.GlobalDigest == fsio.Checksum(p.encBuf) {
 		for _, w := range raw {
 			hw, ok := w.(*rpol.HonestWorker)
 			if !ok {
@@ -786,7 +792,10 @@ func (p *Pool) sealEpoch(stats *EpochStats, report *rpol.EpochReport) error {
 			accepted = append(accepted, o.WorkerID)
 		}
 	}
-	global := p.manager.Global().Encode()
+	// The encode scratch doubles as the snapshot payload: json.Marshal
+	// consumes it synchronously below, so reuse is safe.
+	p.encBuf = p.manager.Global().AppendEncode(p.encBuf[:0])
+	global := p.encBuf
 	seal := journal.Seal{
 		Epoch:           stats.Epoch,
 		TestAccuracy:    stats.TestAccuracy,

@@ -38,10 +38,11 @@ func BuildCommitment(checkpoints []tensor.Vector, fam *lsh.Family) (*commitment.
 // and is written to its own slot, so the commitment is bit-identical to the
 // serial construction for any worker count. A nil pool runs serially.
 //
-// Checkpoints are never copied: under v1 each chunk streams the weights
-// through a reused encode buffer straight into SHA-256, so building the
-// commitment costs one encode-buffer per chunk instead of one full payload
-// copy per checkpoint.
+// Checkpoints are never copied: each chunk streams its leaf payloads — raw
+// weight encodings under v1, LSH digest encodings under v2 — through a
+// reused encode buffer straight into SHA-256, so building the commitment
+// costs one encode-buffer per chunk instead of one payload copy per
+// checkpoint.
 func BuildCommitmentPool(p *parallel.Pool, checkpoints []tensor.Vector, fam *lsh.Family) (*commitment.HashList, []lsh.Digest, error) {
 	if len(checkpoints) == 0 {
 		return nil, nil, commitment.ErrEmpty
@@ -63,9 +64,10 @@ func BuildCommitmentPool(p *parallel.Pool, checkpoints []tensor.Vector, fam *lsh
 	}
 
 	digests := make([]lsh.Digest, len(checkpoints))
-	payloads := make([][]byte, len(checkpoints))
+	leaves := make([]commitment.Hash, len(checkpoints))
 	errs := make([]error, parallel.NumChunks(len(checkpoints), 1))
 	p.ForChunks(len(checkpoints), 1, func(c, lo, hi int) {
+		var buf []byte
 		for i := lo; i < hi; i++ {
 			d, err := fam.Hash(checkpoints[i])
 			if err != nil {
@@ -73,7 +75,8 @@ func BuildCommitmentPool(p *parallel.Pool, checkpoints []tensor.Vector, fam *lsh
 				return
 			}
 			digests[i] = d
-			payloads[i] = d.Encode()
+			buf = d.AppendEncode(buf[:0])
+			leaves[i] = commitment.HashLeaf(buf)
 		}
 	})
 	for _, err := range errs {
@@ -81,7 +84,7 @@ func BuildCommitmentPool(p *parallel.Pool, checkpoints []tensor.Vector, fam *lsh
 			return nil, nil, err
 		}
 	}
-	commit, err := commitment.NewHashListPool(p, payloads)
+	commit, err := commitment.NewLeafList(leaves)
 	if err != nil {
 		return nil, nil, fmt.Errorf("rpol commitment: %w", err)
 	}
@@ -94,15 +97,26 @@ func BuildCommitmentPool(p *parallel.Pool, checkpoints []tensor.Vector, fam *lsh
 // (a worker opening the very bytes it hashed always passes; any substitution
 // that changes the digest fails).
 func VerifyOpening(result *EpochResult, fam *lsh.Family, idx int, weights tensor.Vector) error {
+	_, err := verifyOpening(result, fam, idx, weights, nil)
+	return err
+}
+
+// verifyOpening is VerifyOpening threading a caller-owned scratch encode
+// buffer; it returns the (possibly grown) buffer so verification loops reuse
+// one allocation across every opened checkpoint instead of copying the full
+// weight vector per leaf check.
+func verifyOpening(result *EpochResult, fam *lsh.Family, idx int, weights tensor.Vector, buf []byte) ([]byte, error) {
 	if result.Commit == nil {
-		return fmt.Errorf("rpol: submission carries no commitment")
+		return buf, fmt.Errorf("rpol: submission carries no commitment")
 	}
 	if fam == nil {
-		return result.Commit.VerifyLeaf(idx, weights.Encode())
+		buf = weights.AppendEncode(buf[:0])
+		return buf, result.Commit.VerifyLeaf(idx, buf)
 	}
 	d, err := fam.Hash(weights)
 	if err != nil {
-		return fmt.Errorf("rpol opening %d: %w", idx, err)
+		return buf, fmt.Errorf("rpol opening %d: %w", idx, err)
 	}
-	return result.Commit.VerifyLeaf(idx, d.Encode())
+	buf = d.AppendEncode(buf[:0])
+	return buf, result.Commit.VerifyLeaf(idx, buf)
 }

@@ -107,6 +107,10 @@ type Manager struct {
 	// lastCal is the most recent calibration (nil before the first
 	// calibrated epoch or under the baseline scheme).
 	lastCal *Calibration
+
+	// encBuf is the reused journal-digest encode scratch; RunEpoch drives
+	// the epoch sequentially, so one buffer serves every checksum.
+	encBuf []byte
 }
 
 // EpochReport summarizes one coordinated epoch.
@@ -240,9 +244,10 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 		if err := m.deriveEpochState(epoch); err != nil {
 			return nil, err
 		}
+		m.encBuf = m.global.AppendEncode(m.encBuf[:0])
 		if err := m.cfg.Journal.LogTask(journal.Task{
 			Epoch:        epoch,
-			GlobalDigest: fsio.Checksum(m.global.Encode()),
+			GlobalDigest: fsio.Checksum(m.encBuf),
 			Workers:      len(m.workers),
 		}); err != nil {
 			return nil, fmt.Errorf("rpol manager: %w", err)
@@ -372,7 +377,8 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 		if m.cfg.Journal != nil {
 			var digest uint64
 			if result.Commit != nil {
-				digest = fsio.Checksum(result.Commit.Encode())
+				m.encBuf = result.Commit.AppendEncode(m.encBuf[:0])
+				digest = fsio.Checksum(m.encBuf)
 			}
 			if err := m.cfg.Journal.LogCommit(journal.Commit{
 				Epoch:          epoch,

@@ -147,7 +147,12 @@ func (v *Verifier) VerifySubmission(opener ProofOpener, shard *dataset.Dataset, 
 	// stale or poisoned model) and every sampled interval would still
 	// re-execute consistently. The check is free — the manager holds θ_t,
 	// so no transfer is needed.
-	if err := VerifyOpening(result, v.lshFamily(), 0, p.Global); err != nil {
+	// encBuf is the submission's reused leaf-encode scratch: every leaf
+	// check in the serial path shares it (the parallel path keeps one per
+	// chunk instead — see verifyIntervalsParallel).
+	var encBuf []byte
+	var err error
+	if encBuf, err = verifyOpening(result, v.lshFamily(), 0, p.Global, encBuf); err != nil {
 		out.FailReason = fmt.Sprintf("trace does not start from the distributed global model: %v", err)
 		return out, nil
 	}
@@ -165,7 +170,7 @@ func (v *Verifier) VerifySubmission(opener ProofOpener, shard *dataset.Dataset, 
 	if err != nil {
 		return nil, fmt.Errorf("rpol verify update binding: %w", err)
 	}
-	if err := VerifyOpening(result, v.lshFamily(), result.NumCheckpoints-1, claimedFinal); err != nil {
+	if encBuf, err = verifyOpening(result, v.lshFamily(), result.NumCheckpoints-1, claimedFinal, encBuf); err != nil {
 		out.FailReason = fmt.Sprintf("submitted update does not reach the committed final checkpoint: %v", err)
 		return out, nil
 	}
@@ -192,7 +197,7 @@ func (v *Verifier) VerifySubmission(opener ProofOpener, shard *dataset.Dataset, 
 	trainer := &Trainer{Net: v.Net, Shard: shard, Device: v.Device,
 		Steps: v.observer().Counter("rpol_reexec_steps_total"), Workers: v.Workers}
 	for _, c := range out.SampledCheckpoints {
-		ok, err := v.verifyInterval(trainer, opener, result, p, c, out, span)
+		ok, err := v.verifyInterval(trainer, opener, result, p, c, out, span, &encBuf)
 		if err != nil {
 			return nil, err
 		}
@@ -227,6 +232,9 @@ func (v *Verifier) verifyIntervalsParallel(opener ProofOpener, shard *dataset.Da
 	steps := v.observer().Counter("rpol_reexec_steps_total")
 	pool := parallel.New(v.Workers)
 	pool.ForChunks(len(sampled), 1, func(_, lo, hi int) {
+		// Each chunk owns a private leaf-encode scratch, reused across its
+		// intervals; sharing the submission-level buffer would race.
+		var encBuf []byte
 		for j := lo; j < hi; j++ {
 			c := sampled[j]
 			net, err := v.Net.Replicate(false)
@@ -244,7 +252,7 @@ func (v *Verifier) verifyIntervalsParallel(opener ProofOpener, shard *dataset.Da
 			// interval-level pool.
 			trainer := &Trainer{Net: net, Shard: shard, Device: device, Steps: steps, Workers: 1}
 			sub := &VerifyOutcome{WorkerID: out.WorkerID, Epoch: out.Epoch}
-			oks[j], errs[j] = v.verifyInterval(trainer, opener, result, p, c, sub, parent)
+			oks[j], errs[j] = v.verifyInterval(trainer, opener, result, p, c, sub, parent, &encBuf)
 			subs[j] = sub
 		}
 	})
@@ -267,8 +275,10 @@ func (v *Verifier) verifyIntervalsParallel(opener ProofOpener, shard *dataset.Da
 
 // verifyInterval checks the single sampled interval c → c+1. It returns
 // (false, nil) with out.FailReason set on a protocol-level rejection and an
-// error only on internal failures. parent is the submission's span.
-func (v *Verifier) verifyInterval(trainer *Trainer, opener ProofOpener, result *EpochResult, p TaskParams, c int, out *VerifyOutcome, parent *obs.Span) (bool, error) {
+// error only on internal failures. parent is the submission's span. encBuf
+// is the caller-owned leaf-encode scratch every opening check in this
+// interval reuses (and possibly grows in place).
+func (v *Verifier) verifyInterval(trainer *Trainer, opener ProofOpener, result *EpochResult, p TaskParams, c int, out *VerifyOutcome, parent *obs.Span, encBuf *[]byte) (bool, error) {
 	// 1. Obtain and validate the interval's input weights against the
 	// commitment.
 	input, err := opener.OpenCheckpoint(c)
@@ -277,7 +287,7 @@ func (v *Verifier) verifyInterval(trainer *Trainer, opener ProofOpener, result *
 		return false, nil
 	}
 	out.CommBytes += int64(tensor.EncodedSize(len(input)))
-	if err := VerifyOpening(result, v.lshFamily(), c, input); err != nil {
+	if *encBuf, err = verifyOpening(result, v.lshFamily(), c, input, *encBuf); err != nil {
 		out.FailReason = fmt.Sprintf("checkpoint %d opening rejected: %v", c, err)
 		return false, nil
 	}
@@ -305,9 +315,9 @@ func (v *Verifier) verifyInterval(trainer *Trainer, opener ProofOpener, result *
 	compareSpan := v.observer().Start(parent, "verify.compare", obs.Int("checkpoint", int64(c)))
 	defer compareSpan.End()
 	if v.Scheme == SchemeV1 {
-		return v.compareRaw(opener, result, c, reexec, out)
+		return v.compareRaw(opener, result, c, reexec, out, encBuf)
 	}
-	return v.compareLSH(opener, result, c, reexec, out)
+	return v.compareLSH(opener, result, c, reexec, out, encBuf)
 }
 
 func (v *Verifier) lshFamily() *lsh.Family {
@@ -319,14 +329,14 @@ func (v *Verifier) lshFamily() *lsh.Family {
 
 // compareRaw is RPoLv1: fetch the raw output weights and compare Euclidean
 // distance against Beta.
-func (v *Verifier) compareRaw(opener ProofOpener, result *EpochResult, c int, reexec tensor.Vector, out *VerifyOutcome) (bool, error) {
+func (v *Verifier) compareRaw(opener ProofOpener, result *EpochResult, c int, reexec tensor.Vector, out *VerifyOutcome, encBuf *[]byte) (bool, error) {
 	output, err := opener.OpenCheckpoint(c + 1)
 	if err != nil {
 		out.FailReason = fmt.Sprintf("checkpoint %d not opened: %v", c+1, err)
 		return false, nil
 	}
 	out.CommBytes += int64(tensor.EncodedSize(len(output)))
-	if err := VerifyOpening(result, nil, c+1, output); err != nil {
+	if *encBuf, err = verifyOpening(result, nil, c+1, output, *encBuf); err != nil {
 		out.FailReason = fmt.Sprintf("checkpoint %d opening rejected: %v", c+1, err)
 		return false, nil
 	}
@@ -344,10 +354,11 @@ func (v *Verifier) compareRaw(opener ProofOpener, result *EpochResult, c int, re
 // compareLSH is RPoLv2: fuzzy-match the re-executed weights' digest against
 // the committed digest; on a miss fall back to the raw-weight double-check,
 // which guarantees rewards for honesty at the cost of one extra transfer.
-func (v *Verifier) compareLSH(opener ProofOpener, result *EpochResult, c int, reexec tensor.Vector, out *VerifyOutcome) (bool, error) {
+func (v *Verifier) compareLSH(opener ProofOpener, result *EpochResult, c int, reexec tensor.Vector, out *VerifyOutcome, encBuf *[]byte) (bool, error) {
 	committed := result.LSHDigests[c+1]
 	// The revealed digest must be exactly what was committed.
-	if err := result.Commit.VerifyLeaf(c+1, committed.Encode()); err != nil {
+	*encBuf = committed.AppendEncode((*encBuf)[:0])
+	if err := result.Commit.VerifyLeaf(c+1, *encBuf); err != nil {
 		out.FailReason = fmt.Sprintf("checkpoint %d digest not committed: %v", c+1, err)
 		return false, nil
 	}
@@ -374,7 +385,7 @@ func (v *Verifier) compareLSH(opener ProofOpener, result *EpochResult, c int, re
 		return false, nil
 	}
 	out.CommBytes += int64(tensor.EncodedSize(len(output)))
-	if err := VerifyOpening(result, v.LSH, c+1, output); err != nil {
+	if *encBuf, err = verifyOpening(result, v.LSH, c+1, output, *encBuf); err != nil {
 		out.FailReason = fmt.Sprintf("double-check %d opening rejected: %v", c+1, err)
 		return false, nil
 	}

@@ -32,6 +32,11 @@ type HonestWorker struct {
 
 	lastTrace  *Trace
 	lastResult *EpochResult
+
+	// encBuf is the reused checkpoint-digest encode scratch; RunEpoch (and
+	// the resume path before it) runs sequentially per worker, so one
+	// buffer serves every durable-checkpoint checksum.
+	encBuf []byte
 }
 
 var _ Worker = (*HonestWorker)(nil)
@@ -212,12 +217,13 @@ func (w *HonestWorker) persistCheckpoint(epoch, idx, step int, cp tensor.Vector)
 	if err := w.store.Put(idx, cp); err != nil {
 		return err
 	}
+	w.encBuf = cp.AppendEncode(w.encBuf[:0])
 	return w.journal.LogCheckpoint(journal.Checkpoint{
 		Epoch:  epoch,
 		Worker: w.id,
 		Index:  idx,
 		Step:   step,
-		Digest: fsio.Checksum(cp.Encode()),
+		Digest: fsio.Checksum(w.encBuf),
 	})
 }
 
@@ -260,7 +266,8 @@ func (w *HonestWorker) loadResumePrefix(p TaskParams) (*Trace, error) {
 			})
 			break
 		}
-		if fsio.Checksum(cp.Encode()) != want {
+		w.encBuf = cp.AppendEncode(w.encBuf[:0])
+		if fsio.Checksum(w.encBuf) != want {
 			w.obs.Counter("rpol_resume_corrupt_checkpoints_total").Inc()
 			w.obs.Publish(obs.StreamEvent{
 				Kind:   obs.EventCheckpointCorrupt,

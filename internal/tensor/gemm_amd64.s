@@ -1,0 +1,245 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX kernels for the batched GEMM hot path. Bit-compatibility rules, shared
+// with the portable kernels in gemm.go:
+//
+//   - Only VMULPD/VADDPD — never FMA, whose fused single rounding differs
+//     from the scalar multiply-then-add the serial path performs.
+//   - Each 256-bit lane carries exactly one output element's accumulation
+//     chain, advanced in the same ascending reduction order as the scalar
+//     loop. Lanes never exchange or combine partial sums.
+
+// func cpuHasAVX() bool
+//
+// CPUID.1:ECX must report OSXSAVE (bit 27) and AVX (bit 28), and XGETBV must
+// confirm the OS saves XMM+YMM state (XCR0 bits 1 and 2).
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, BX
+	ANDL $0x18000000, BX
+	CMPL BX, $0x18000000
+	JNE  noavx
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  noavx
+	MOVB $1, ret+0(FP)
+	RET
+
+noavx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func mulMatPackAVX(w, xpack, dst *float64, k, rows, dstStride int)
+//
+// One lane-packed batch tile (4 batch rows) against every row of w:
+// lane l of the accumulator holds dst[l*dstStride+i], an ascending-k dot
+// product. Two w rows run per pass to share each xpack load.
+//
+// Register map: DI w row i · SI xpack base · DX dst base · R8 k ·
+// R9 rows · R10 dst stride (bytes) · AX i · BX/R11 w row ptrs ·
+// R12 xpack ptr · CX k counter · R13 scratch.
+TEXT ·mulMatPackAVX(SB), NOSPLIT, $0-48
+	MOVQ w+0(FP), DI
+	MOVQ xpack+8(FP), SI
+	MOVQ dst+16(FP), DX
+	MOVQ k+24(FP), R8
+	MOVQ rows+32(FP), R9
+	MOVQ dstStride+40(FP), R10
+	SHLQ $3, R10
+	XORQ AX, AX
+
+iloop2:
+	MOVQ R9, BX
+	SUBQ AX, BX
+	CMPQ BX, $2
+	JL   itail
+
+	// Two w rows: BX = w_i, R11 = w_{i+1}.
+	MOVQ R8, R11
+	SHLQ $3, R11
+	MOVQ DI, BX
+	ADDQ DI, R11
+	MOVQ SI, R12
+	MOVQ R8, CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+
+kloop2:
+	VMOVUPD      (R12), Y2
+	VBROADCASTSD (BX), Y3
+	VBROADCASTSD (R11), Y4
+	VMULPD       Y2, Y3, Y5
+	VADDPD       Y5, Y0, Y0
+	VMULPD       Y2, Y4, Y6
+	VADDPD       Y6, Y1, Y1
+	ADDQ         $8, BX
+	ADDQ         $8, R11
+	ADDQ         $32, R12
+	DECQ         CX
+	JNZ          kloop2
+
+	// Scatter the four lanes of each accumulator down the strided dst
+	// column: R13 = &dst[0][i], CX = &dst[2][i].
+	MOVQ AX, R13
+	SHLQ $3, R13
+	ADDQ DX, R13
+	LEAQ (R13)(R10*2), CX
+
+	VMOVSD       X0, (R13)
+	VMOVHPD      X0, (R13)(R10*1)
+	VEXTRACTF128 $1, Y0, X7
+	VMOVSD       X7, (CX)
+	VMOVHPD      X7, (CX)(R10*1)
+
+	VMOVSD       X1, 8(R13)
+	VMOVHPD      X1, 8(R13)(R10*1)
+	VEXTRACTF128 $1, Y1, X7
+	VMOVSD       X7, 8(CX)
+	VMOVHPD      X7, 8(CX)(R10*1)
+
+	// Advance w to row i+2.
+	MOVQ R8, R13
+	SHLQ $3, R13
+	ADDQ R13, DI
+	ADDQ R13, DI
+	ADDQ $2, AX
+	JMP  iloop2
+
+itail:
+	CMPQ AX, R9
+	JGE  done
+
+	// Final odd w row.
+	MOVQ DI, BX
+	MOVQ SI, R12
+	MOVQ R8, CX
+	VXORPS Y0, Y0, Y0
+
+kloop1:
+	VMOVUPD      (R12), Y2
+	VBROADCASTSD (BX), Y3
+	VMULPD       Y2, Y3, Y5
+	VADDPD       Y5, Y0, Y0
+	ADDQ         $8, BX
+	ADDQ         $32, R12
+	DECQ         CX
+	JNZ          kloop1
+
+	MOVQ AX, R13
+	SHLQ $3, R13
+	ADDQ DX, R13
+	LEAQ (R13)(R10*2), CX
+
+	VMOVSD       X0, (R13)
+	VMOVHPD      X0, (R13)(R10*1)
+	VEXTRACTF128 $1, Y0, X7
+	VMOVSD       X7, (CX)
+	VMOVHPD      X7, (CX)(R10*1)
+
+done:
+	VZEROUPPER
+	RET
+
+// func addOuterRowAVX(dst, x, y *float64, batch, cols, xStride, yStride int, alpha float64)
+//
+// One m row of the batched outer-product accumulation: for each 4-column
+// vector of dst, the accumulator rides in a register across the whole
+// ascending batch loop (lane = column chain). 16 columns per pass amortize
+// the per-b broadcast; the 4-wide loop mops up through cols&^3; the caller
+// handles the final cols%4 scalar tail.
+//
+// Register map: DI dst · SI x column base · DX y base · R8 batch ·
+// R9 cols · R10 x stride (bytes) · R11 y stride (bytes) · AX j ·
+// BX dst ptr / scratch · CX x walker · R12 y walker · R13 b counter ·
+// Y15 broadcast alpha.
+TEXT ·addOuterRowAVX(SB), NOSPLIT, $0-64
+	MOVQ         dst+0(FP), DI
+	MOVQ         x+8(FP), SI
+	MOVQ         y+16(FP), DX
+	MOVQ         batch+24(FP), R8
+	MOVQ         cols+32(FP), R9
+	MOVQ         xStride+40(FP), R10
+	MOVQ         yStride+48(FP), R11
+	SHLQ         $3, R10
+	SHLQ         $3, R11
+	VBROADCASTSD alpha+56(FP), Y15
+	XORQ         AX, AX
+
+j16loop:
+	MOVQ R9, BX
+	SUBQ AX, BX
+	CMPQ BX, $16
+	JL   j4loop
+
+	LEAQ    (DI)(AX*8), BX
+	VMOVUPD (BX), Y0
+	VMOVUPD 32(BX), Y1
+	VMOVUPD 64(BX), Y2
+	VMOVUPD 96(BX), Y3
+	MOVQ    SI, CX
+	LEAQ    (DX)(AX*8), R12
+	MOVQ    R8, R13
+
+b16loop:
+	VBROADCASTSD (CX), Y4
+	VMULPD       Y15, Y4, Y4
+	VMOVUPD      (R12), Y5
+	VMULPD       Y5, Y4, Y5
+	VADDPD       Y5, Y0, Y0
+	VMOVUPD      32(R12), Y6
+	VMULPD       Y6, Y4, Y6
+	VADDPD       Y6, Y1, Y1
+	VMOVUPD      64(R12), Y7
+	VMULPD       Y7, Y4, Y7
+	VADDPD       Y7, Y2, Y2
+	VMOVUPD      96(R12), Y8
+	VMULPD       Y8, Y4, Y8
+	VADDPD       Y8, Y3, Y3
+	ADDQ         R10, CX
+	ADDQ         R11, R12
+	DECQ         R13
+	JNZ          b16loop
+
+	VMOVUPD Y0, (BX)
+	VMOVUPD Y1, 32(BX)
+	VMOVUPD Y2, 64(BX)
+	VMOVUPD Y3, 96(BX)
+	ADDQ    $16, AX
+	JMP     j16loop
+
+j4loop:
+	MOVQ R9, BX
+	SUBQ AX, BX
+	CMPQ BX, $4
+	JL   done2
+
+	LEAQ    (DI)(AX*8), BX
+	VMOVUPD (BX), Y0
+	MOVQ    SI, CX
+	LEAQ    (DX)(AX*8), R12
+	MOVQ    R8, R13
+
+b4loop:
+	VBROADCASTSD (CX), Y4
+	VMULPD       Y15, Y4, Y4
+	VMOVUPD      (R12), Y5
+	VMULPD       Y5, Y4, Y5
+	VADDPD       Y5, Y0, Y0
+	ADDQ         R10, CX
+	ADDQ         R11, R12
+	DECQ         R13
+	JNZ          b4loop
+
+	VMOVUPD Y0, (BX)
+	ADDQ    $4, AX
+	JMP     j4loop
+
+done2:
+	VZEROUPPER
+	RET

@@ -80,8 +80,10 @@ func FromTrace(task string, seed int64, workerID, gpuName string, p rpol.TaskPar
 		},
 		StepsAt: append([]int(nil), trace.Steps...),
 	}
+	var buf []byte
 	for _, w := range trace.Checkpoints {
-		f.Checkpoints = append(f.Checkpoints, base64.StdEncoding.EncodeToString(w.Encode()))
+		buf = w.AppendEncode(buf[:0])
+		f.Checkpoints = append(f.Checkpoints, base64.StdEncoding.EncodeToString(buf))
 	}
 	return f, nil
 }

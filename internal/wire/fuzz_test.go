@@ -3,13 +3,15 @@ package wire
 import (
 	"testing"
 
+	"rpol/internal/commitment"
 	"rpol/internal/lsh"
 	"rpol/internal/rpol"
 	"rpol/internal/tensor"
 )
 
 // FuzzDecodeTask feeds arbitrary bytes to the task decoder: it must never
-// panic and every accepted task must validate.
+// panic, every accepted task must validate, and every accepted task must
+// survive a binary re-encode round trip.
 func FuzzDecodeTask(f *testing.F) {
 	good := rpol.TaskParams{
 		Global:          tensor.Vector{1, 2, 3, 4},
@@ -29,8 +31,11 @@ func FuzzDecodeTask(f *testing.F) {
 			f.Add(data)
 		}
 	}
+	// Legacy JSON payloads keep the fallback decoder fuzzed.
 	f.Add([]byte("{}"))
 	f.Add([]byte(`{"lsh":{"dim":-1}}`))
+	f.Add([]byte(`{"global":"BAAAAAAAAAAAAAAAAADwPwAAAAAAAABAAAAAAAAACEAAAAAAAAAQQA==",` +
+		`"optimizer":"sgdm","lr":0.02,"batchSize":4,"steps":10,"checkpointEvery":5,"nonce":7}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := DecodeTask(data)
 		if err != nil {
@@ -39,13 +44,37 @@ func FuzzDecodeTask(f *testing.F) {
 		if err := p.Validate(); err != nil {
 			t.Fatalf("decoder accepted invalid task: %v", err)
 		}
+		reenc, err := AppendTask(nil, p)
+		if err != nil {
+			t.Fatalf("re-encode of accepted task failed: %v", err)
+		}
+		rt, err := DecodeTask(reenc)
+		if err != nil {
+			t.Fatalf("binary round trip failed: %v", err)
+		}
+		if !rt.Global.Equal(p.Global, 0) || rt.Hyper != p.Hyper || rt.Nonce != p.Nonce ||
+			rt.Steps != p.Steps || rt.CheckpointEvery != p.CheckpointEvery || rt.Epoch != p.Epoch {
+			t.Fatalf("round trip changed task: %+v vs %+v", rt, p)
+		}
 	})
 }
 
-// FuzzDecodeResult feeds arbitrary bytes to the result decoder.
+// FuzzDecodeResult feeds arbitrary bytes to the result decoder; accepted
+// results must survive a binary re-encode round trip.
 func FuzzDecodeResult(f *testing.F) {
 	f.Add([]byte("{}"))
 	f.Add([]byte(`{"update":"AAAAAAAAAAA=","commit":""}`))
+	if commit, err := commitment.NewHashList([][]byte{[]byte("cp")}); err == nil {
+		res := &rpol.EpochResult{
+			WorkerID: "w", Epoch: 1, Update: tensor.Vector{1, 2},
+			DataSize: 10, NumCheckpoints: 1,
+			Commit:     commit,
+			LSHDigests: []lsh.Digest{{9, 8}},
+		}
+		if data, err := AppendResult(nil, res); err == nil {
+			f.Add(data)
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		res, err := DecodeResult(data)
 		if err != nil {
@@ -54,5 +83,29 @@ func FuzzDecodeResult(f *testing.F) {
 		if res.Commit == nil {
 			t.Fatal("decoder accepted result without commitment")
 		}
+		reenc, err := AppendResult(nil, res)
+		if err != nil {
+			t.Fatalf("re-encode of accepted result failed: %v", err)
+		}
+		rt, err := DecodeResult(reenc)
+		if err != nil {
+			t.Fatalf("binary round trip failed: %v", err)
+		}
+		if rt.WorkerID != res.WorkerID || !rt.Update.Equal(res.Update, 0) ||
+			rt.Commit.Root() != res.Commit.Root() || len(rt.LSHDigests) != len(res.LSHDigests) {
+			t.Fatal("round trip changed result")
+		}
+	})
+}
+
+// FuzzDecodeOpenResponse fuzzes the remaining binary decoder pair.
+func FuzzDecodeOpenResponse(f *testing.F) {
+	f.Add(AppendOpenResponse(nil, 2, "", tensor.Vector{1, 2}))
+	f.Add(AppendOpenResponse(nil, 5, "boom", nil))
+	f.Add([]byte(`{"idx":1,"weights":"AQAAAAAAAAAAAAAAAADwPw=="}`))
+	f.Add(AppendOpenRequest(nil, 3))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = decodeOpenResponse(data)
+		_, _ = DecodeOpenRequest(data)
 	})
 }

@@ -55,30 +55,23 @@ type TaskMsg struct {
 	LSH             *LSHMsg `json:"lsh,omitempty"`
 }
 
-// EncodeTask marshals the task parameters.
+// EncodeTask marshals the task parameters in the binary wire format.
 func EncodeTask(p rpol.TaskParams) ([]byte, error) {
-	msg := TaskMsg{
-		Epoch:           p.Epoch,
-		Global:          p.Global.Encode(),
-		Optimizer:       p.Hyper.Optimizer,
-		LR:              p.Hyper.LR,
-		BatchSize:       p.Hyper.BatchSize,
-		Steps:           p.Steps,
-		CheckpointEvery: p.CheckpointEvery,
-		Nonce:           uint64(p.Nonce),
-	}
-	if p.LSH != nil {
-		params := p.LSH.Params()
-		msg.LSH = &LSHMsg{
-			Dim: p.LSH.Dim(), R: params.R, K: params.K, L: params.L, Seed: p.LSH.Seed(),
-		}
-	}
-	return json.Marshal(msg)
+	return AppendTask(nil, p)
 }
 
 // DecodeTask reconstructs the task parameters, rebuilding the LSH family
-// from its derivation inputs.
+// from its derivation inputs. Both the binary format and the legacy JSON
+// format are accepted: a payload starting with '{' takes the JSON path.
 func DecodeTask(data []byte) (rpol.TaskParams, error) {
+	if len(data) > 0 && data[0] == '{' {
+		return decodeTaskJSON(data)
+	}
+	return decodeTaskBinary(data)
+}
+
+// decodeTaskJSON is the legacy decode path for pre-binary peers.
+func decodeTaskJSON(data []byte) (rpol.TaskParams, error) {
 	var msg TaskMsg
 	if err := json.Unmarshal(data, &msg); err != nil {
 		return rpol.TaskParams{}, fmt.Errorf("wire task: %w", err)
@@ -119,27 +112,23 @@ type ResultMsg struct {
 	NumCheckpoints int      `json:"numCheckpoints"`
 }
 
-// EncodeResult marshals an epoch result.
+// EncodeResult marshals an epoch result in the binary wire format.
 func EncodeResult(r *rpol.EpochResult) ([]byte, error) {
-	if r == nil || r.Commit == nil {
-		return nil, errors.New("wire: result needs a commitment")
-	}
-	msg := ResultMsg{
-		WorkerID:       r.WorkerID,
-		Epoch:          r.Epoch,
-		Update:         r.Update.Encode(),
-		DataSize:       r.DataSize,
-		Commit:         r.Commit.Encode(),
-		NumCheckpoints: r.NumCheckpoints,
-	}
-	for _, d := range r.LSHDigests {
-		msg.Digests = append(msg.Digests, d.Encode())
-	}
-	return json.Marshal(msg)
+	return AppendResult(nil, r)
 }
 
-// DecodeResult unmarshals an epoch result.
+// DecodeResult unmarshals an epoch result. Both the binary format and the
+// legacy JSON format are accepted: a payload starting with '{' takes the
+// JSON path.
 func DecodeResult(data []byte) (*rpol.EpochResult, error) {
+	if len(data) > 0 && data[0] == '{' {
+		return decodeResultJSON(data)
+	}
+	return decodeResultBinary(data)
+}
+
+// decodeResultJSON is the legacy decode path for pre-binary peers.
+func decodeResultJSON(data []byte) (*rpol.EpochResult, error) {
 	var msg ResultMsg
 	if err := json.Unmarshal(data, &msg); err != nil {
 		return nil, fmt.Errorf("wire result: %w", err)
@@ -180,4 +169,22 @@ type OpenResponseMsg struct {
 	Idx     int    `json:"idx"`
 	Weights []byte `json:"weights,omitempty"`
 	Err     string `json:"err,omitempty"`
+}
+
+// decodeOpenRequestJSON is the legacy decode path for pre-binary peers.
+func decodeOpenRequestJSON(data []byte) (OpenRequestMsg, error) {
+	var req OpenRequestMsg
+	if err := json.Unmarshal(data, &req); err != nil {
+		return OpenRequestMsg{}, fmt.Errorf("wire open request: %w", err)
+	}
+	return req, nil
+}
+
+// decodeOpenResponseJSON is the legacy decode path for pre-binary peers.
+func decodeOpenResponseJSON(data []byte) (decodedOpenResponse, error) {
+	var resp OpenResponseMsg
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return decodedOpenResponse{}, fmt.Errorf("wire open response: %w", err)
+	}
+	return decodedOpenResponse{Idx: resp.Idx, Err: resp.Err, Weights: resp.Weights}, nil
 }

@@ -1,7 +1,6 @@
 package wire
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -70,6 +69,14 @@ type ManagerPort struct {
 	obs    *obs.Observer
 	policy *RetryPolicy
 	seq    atomic.Uint64
+
+	// encBuf is the reused message-encode buffer, handed out by encScratch
+	// only when the transport is a SerializingSender (reuse true): the bus
+	// endpoint enqueues payloads by reference, so reusing a buffer there
+	// would rewrite messages underneath the receiver. The manager drives the
+	// protocol sequentially, so one buffer serves all RemoteWorker proxies.
+	encBuf []byte
+	reuse  bool
 }
 
 // NewManagerPort registers the manager's endpoint on the in-memory bus.
@@ -78,7 +85,7 @@ func NewManagerPort(bus *netsim.Bus, name string) (*ManagerPort, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire manager: %w", err)
 	}
-	return &ManagerPort{ep: ep}, nil
+	return newManagerPort(ep), nil
 }
 
 // NewManagerPortOver wraps an already-connected transport (e.g. a
@@ -87,7 +94,30 @@ func NewManagerPortOver(t Transport) (*ManagerPort, error) {
 	if t == nil {
 		return nil, errors.New("wire: nil transport")
 	}
-	return &ManagerPort{ep: t}, nil
+	return newManagerPort(t), nil
+}
+
+func newManagerPort(t Transport) *ManagerPort {
+	_, reuse := t.(SerializingSender)
+	return &ManagerPort{ep: t, reuse: reuse}
+}
+
+// encScratch returns the port's reusable encode buffer (length zero), or nil
+// when the transport retains payload references and every message needs its
+// own allocation.
+func (mp *ManagerPort) encScratch() []byte {
+	if mp.reuse {
+		return mp.encBuf[:0]
+	}
+	return nil
+}
+
+// keepScratch retains a buffer produced from encScratch (possibly grown) for
+// the next message.
+func (mp *ManagerPort) keepScratch(buf []byte) {
+	if mp.reuse {
+		mp.encBuf = buf
+	}
 }
 
 // SetObserver routes the port's request/response accounting through o. The
@@ -218,10 +248,11 @@ func (r *RemoteWorker) GPUProfile() gpu.Profile { return r.profile }
 
 // RunEpoch ships the task assignment and waits for the submission.
 func (r *RemoteWorker) RunEpoch(p rpol.TaskParams) (*rpol.EpochResult, error) {
-	payload, err := EncodeTask(p)
+	payload, err := AppendTask(r.port.encScratch(), p)
 	if err != nil {
 		return nil, fmt.Errorf("wire remote %s: %w", r.id, err)
 	}
+	r.port.keepScratch(payload)
 	reply, err := r.port.call(r.id, KindTask, payload, KindResult)
 	if err != nil {
 		return nil, fmt.Errorf("wire remote %s: %w", r.id, err)
@@ -238,16 +269,14 @@ func (r *RemoteWorker) RunEpoch(p rpol.TaskParams) (*rpol.EpochResult, error) {
 
 // OpenCheckpoint requests one raw snapshot during verification.
 func (r *RemoteWorker) OpenCheckpoint(idx int) (tensor.Vector, error) {
-	payload, err := json.Marshal(OpenRequestMsg{Idx: idx})
-	if err != nil {
-		return nil, fmt.Errorf("wire remote %s: %w", r.id, err)
-	}
+	payload := AppendOpenRequest(r.port.encScratch(), idx)
+	r.port.keepScratch(payload)
 	reply, err := r.port.call(r.id, KindOpenRequest, payload, KindOpenResponse)
 	if err != nil {
 		return nil, fmt.Errorf("wire remote %s: %w", r.id, err)
 	}
-	var resp OpenResponseMsg
-	if err := json.Unmarshal(reply, &resp); err != nil {
+	resp, err := decodeOpenResponse(reply)
+	if err != nil {
 		return nil, fmt.Errorf("wire remote %s: %w", r.id, err)
 	}
 	if resp.Err != "" {

@@ -1,7 +1,6 @@
 package wire
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -19,6 +18,12 @@ type WorkerServer struct {
 	worker rpol.Worker
 	ep     Transport
 	obs    *obs.Observer
+
+	// encBuf is the reused reply-encode buffer, live only when the transport
+	// is a SerializingSender (reuse true); see ManagerPort.encBuf. Run
+	// handles requests sequentially, so one buffer suffices.
+	encBuf []byte
+	reuse  bool
 }
 
 // NewWorkerServer registers the worker's endpoint on the in-memory bus
@@ -31,7 +36,7 @@ func NewWorkerServer(bus *netsim.Bus, worker rpol.Worker) (*WorkerServer, error)
 	if err != nil {
 		return nil, fmt.Errorf("wire server: %w", err)
 	}
-	return &WorkerServer{worker: worker, ep: ep}, nil
+	return newWorkerServer(ep, worker), nil
 }
 
 // NewWorkerServerOver hosts the worker behind an already-connected
@@ -44,7 +49,29 @@ func NewWorkerServerOver(t Transport, worker rpol.Worker) (*WorkerServer, error)
 	if t == nil {
 		return nil, errors.New("wire: nil transport")
 	}
-	return &WorkerServer{worker: worker, ep: t}, nil
+	return newWorkerServer(t, worker), nil
+}
+
+func newWorkerServer(t Transport, worker rpol.Worker) *WorkerServer {
+	_, reuse := t.(SerializingSender)
+	return &WorkerServer{worker: worker, ep: t, reuse: reuse}
+}
+
+// encScratch returns the server's reusable encode buffer (length zero), or
+// nil when the transport retains payload references.
+func (s *WorkerServer) encScratch() []byte {
+	if s.reuse {
+		return s.encBuf[:0]
+	}
+	return nil
+}
+
+// keepScratch retains a buffer produced from encScratch (possibly grown) for
+// the next reply.
+func (s *WorkerServer) keepScratch(buf []byte) {
+	if s.reuse {
+		s.encBuf = buf
+	}
 }
 
 // SetObserver routes the server's request/response accounting through o
@@ -97,27 +124,24 @@ func (s *WorkerServer) handle(msg netsim.Message) error {
 		if err != nil {
 			return fmt.Errorf("run epoch: %w", err)
 		}
-		payload, err := EncodeResult(result)
+		payload, err := AppendResult(s.encScratch(), result)
 		if err != nil {
 			return err
 		}
+		s.keepScratch(payload)
 		return s.send(msg.From, KindResult, msg.Seq, payload)
 	case KindOpenRequest:
-		var req OpenRequestMsg
-		if err := json.Unmarshal(msg.Payload, &req); err != nil {
-			return fmt.Errorf("open request: %w", err)
-		}
-		resp := OpenResponseMsg{Idx: req.Idx}
-		weights, err := s.worker.OpenCheckpoint(req.Idx)
-		if err != nil {
-			resp.Err = err.Error()
-		} else {
-			resp.Weights = weights.Encode()
-		}
-		payload, err := json.Marshal(resp)
+		req, err := DecodeOpenRequest(msg.Payload)
 		if err != nil {
 			return err
 		}
+		var errMsg string
+		weights, err := s.worker.OpenCheckpoint(req.Idx)
+		if err != nil {
+			errMsg = err.Error()
+		}
+		payload := AppendOpenResponse(s.encScratch(), req.Idx, errMsg, weights)
+		s.keepScratch(payload)
 		return s.send(msg.From, KindOpenResponse, msg.Seq, payload)
 	default:
 		return fmt.Errorf("unknown message kind %q", msg.Kind)

@@ -32,13 +32,25 @@ type SeqTransport interface {
 	SendSeq(to, kind string, seq uint64, payload []byte) error
 }
 
+// SerializingSender marks transports whose Send fully serializes the payload
+// before returning, so the caller may reuse the payload buffer for its next
+// message. The TCP endpoint qualifies (the frame is written to the socket
+// under a lock before Send returns); the in-memory Bus endpoint does NOT —
+// it enqueues the payload slice by reference, and a reused buffer would be
+// rewritten underneath the receiver.
+type SerializingSender interface {
+	// SendSerializes is a marker with no behaviour.
+	SendSerializes()
+}
+
 var (
-	_ Transport        = (*netsim.Endpoint)(nil)
-	_ Transport        = (*netsim.TCPEndpoint)(nil)
-	_ PollingTransport = (*netsim.Endpoint)(nil)
-	_ PollingTransport = (*netsim.TCPEndpoint)(nil)
-	_ SeqTransport     = (*netsim.Endpoint)(nil)
-	_ SeqTransport     = (*netsim.TCPEndpoint)(nil)
+	_ Transport         = (*netsim.Endpoint)(nil)
+	_ Transport         = (*netsim.TCPEndpoint)(nil)
+	_ PollingTransport  = (*netsim.Endpoint)(nil)
+	_ PollingTransport  = (*netsim.TCPEndpoint)(nil)
+	_ SeqTransport      = (*netsim.Endpoint)(nil)
+	_ SeqTransport      = (*netsim.TCPEndpoint)(nil)
+	_ SerializingSender = (*netsim.TCPEndpoint)(nil)
 )
 
 // sendSeq stamps seq when the transport supports correlation and falls back
