@@ -33,6 +33,20 @@ type benchEntry struct {
 	After  *benchMeasure `json:"after"`
 }
 
+// commEntry is one protocol-level byte measurement: the same seeded run's
+// communication bill under the legacy inline hash list and under the
+// streaming Merkle commitment.
+type commEntry struct {
+	Name        string `json:"name"`
+	Leaves      int    `json:"leaves"`
+	Samples     int    `json:"samples"`
+	ProofPulls  int    `json:"proof_pulls"`
+	ProofSize   int    `json:"proof_size"`
+	DigestSize  int    `json:"digest_size"`
+	LegacyBytes int64  `json:"legacy_bytes"`
+	MerkleBytes int64  `json:"merkle_bytes"`
+}
+
 // benchRecord is the committed benchmark document.
 type benchRecord struct {
 	PR        int               `json:"pr"`
@@ -46,11 +60,21 @@ type benchRecord struct {
 		Note   string `json:"note"`
 	} `json:"host"`
 	Benchmarks []benchEntry `json:"benchmarks"`
+	// Comm carries protocol byte measurements (BENCH_pr9 and later);
+	// absent from earlier records.
+	Comm []commEntry `json:"comm,omitempty"`
 }
 
 // loadBenchRecord parses and structurally validates one committed record,
 // returning the entries keyed by benchmark name.
 func loadBenchRecord(t *testing.T, path string, wantPR int) map[string]benchEntry {
+	t.Helper()
+	entries, _ := loadBenchRecordComm(t, path, wantPR)
+	return entries
+}
+
+// loadBenchRecordComm is loadBenchRecord plus the record's comm section.
+func loadBenchRecordComm(t *testing.T, path string, wantPR int) (map[string]benchEntry, []commEntry) {
 	t.Helper()
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -96,7 +120,12 @@ func loadBenchRecord(t *testing.T, path string, wantPR int) map[string]benchEntr
 			}
 		}
 	}
-	return entries
+	for _, c := range rec.Comm {
+		if c.Name == "" || c.Leaves < 0 || c.LegacyBytes <= 0 || c.MerkleBytes <= 0 {
+			t.Errorf("comm entry %+v: implausible measurement", c)
+		}
+	}
+	return entries, rec.Comm
 }
 
 func TestBenchRecordWellFormed(t *testing.T) {
@@ -146,5 +175,107 @@ func TestBenchRecordPR8Gates(t *testing.T) {
 	if bin.After.NsOp >= legacy.After.NsOp {
 		t.Errorf("binary decode (%d ns/op) not faster than the legacy JSON fallback (%d ns/op)",
 			bin.After.NsOp, legacy.After.NsOp)
+	}
+}
+
+// TestBenchRecordPR9Gates validates BENCH_pr9.json — the streaming Merkle
+// commitment record — and enforces the O(n) vs O(log n) claim on the
+// recorded byte counts themselves.
+func TestBenchRecordPR9Gates(t *testing.T) {
+	entries, comm := loadBenchRecordComm(t, "BENCH_pr9.json", 9)
+
+	byName := make(map[string]commEntry, len(comm))
+	for _, c := range comm {
+		if _, dup := byName[c.Name]; dup {
+			t.Errorf("comm entry %q: duplicate", c.Name)
+		}
+		byName[c.Name] = c
+	}
+
+	// Gate 1: the verification commitment share. Legacy is O(n) — the full
+	// hash list plus one inline digest per leaf — while the Merkle scheme
+	// must match its closed form exactly: a 32-byte root plus 2q+2 proof
+	// pulls of (8 + depth*32) proof bytes and one riding 32-byte digest,
+	// with depth = ceil(log2(leaves)).
+	for _, name := range []string{
+		"verify-commitment-bytes/64-checkpoints",
+		"verify-commitment-bytes/1024-checkpoints",
+	} {
+		c, ok := byName[name]
+		if !ok {
+			t.Fatalf("record lacks comm entry %q", name)
+		}
+		if c.Leaves < 65 {
+			t.Errorf("%s: %d leaves, want a 64-checkpoint-plus epoch", name, c.Leaves)
+		}
+		if c.LegacyBytes < 32*int64(c.Leaves) {
+			t.Errorf("%s: legacy bytes %d below the 32*n hash-list floor", name, c.LegacyBytes)
+		}
+		depth := 0
+		for w := 1; w < c.Leaves; w *= 2 {
+			depth++
+		}
+		if want := 8 + 32*depth; c.ProofSize != want {
+			t.Errorf("%s: proof size %d, want %d for depth %d", name, c.ProofSize, want, depth)
+		}
+		if want := 2*c.Samples + 2; c.ProofPulls != want {
+			t.Errorf("%s: %d proof pulls, want 2q+2 = %d", name, c.ProofPulls, want)
+		}
+		if want := int64(32 + c.ProofPulls*(c.ProofSize+c.DigestSize)); c.MerkleBytes != want {
+			t.Errorf("%s: merkle bytes %d diverge from the O(log n) closed form %d", name, c.MerkleBytes, want)
+		}
+		if c.MerkleBytes >= c.LegacyBytes {
+			t.Errorf("%s: merkle bytes %d not below legacy %d", name, c.MerkleBytes, c.LegacyBytes)
+		}
+	}
+
+	// Gate 2: the asymptotic separation. Growing the epoch 16x must grow
+	// the legacy bill ~linearly while the Merkle bill only gains one tree
+	// level per doubling; at 1024 checkpoints the drop must be >= 8x.
+	small := byName["verify-commitment-bytes/64-checkpoints"]
+	large := byName["verify-commitment-bytes/1024-checkpoints"]
+	if large.LegacyBytes < 8*small.LegacyBytes {
+		t.Errorf("legacy bytes not O(n): %d at n=64 vs %d at n=1024", small.LegacyBytes, large.LegacyBytes)
+	}
+	if large.MerkleBytes > 2*small.MerkleBytes {
+		t.Errorf("merkle bytes not O(log n): %d at n=64 vs %d at n=1024", small.MerkleBytes, large.MerkleBytes)
+	}
+	if 8*large.MerkleBytes > large.LegacyBytes {
+		t.Errorf("1024-checkpoint drop %.1fx below the claimed 8x (legacy %d, merkle %d)",
+			float64(large.LegacyBytes)/float64(large.MerkleBytes), large.LegacyBytes, large.MerkleBytes)
+	}
+
+	// Gate 3: the submission frame sheds the inline commitment blob — the
+	// root form must save at least the hash list (32 bytes per leaf).
+	frame, ok := byName["submission-frame-bytes/64-checkpoints"]
+	if !ok {
+		t.Fatal("record lacks comm entry submission-frame-bytes/64-checkpoints")
+	}
+	if saved := frame.LegacyBytes - frame.MerkleBytes; saved < 32*int64(frame.Leaves) {
+		t.Errorf("root submission saves only %d bytes, want >= %d (the inline hash list)",
+			saved, 32*frame.Leaves)
+	}
+
+	// Gate 4: streaming commitment must not cost more than the deferred
+	// batch build it replaces, and the steady-state encode paths for the
+	// new wire forms must stay allocation-free.
+	inc, incOK := entries["BenchmarkIncrementalMerkle"]
+	batch, batchOK := entries["BenchmarkMerkleTreeBuild"]
+	if !incOK || !batchOK || inc.After == nil || batch.After == nil {
+		t.Fatal("record lacks the build pair (BenchmarkIncrementalMerkle, BenchmarkMerkleTreeBuild)")
+	}
+	if inc.After.NsOp > batch.After.NsOp {
+		t.Errorf("incremental build (%d ns/op) slower than batch build (%d ns/op)",
+			inc.After.NsOp, batch.After.NsOp)
+	}
+	for _, name := range []string{"BenchmarkEncodeResultRoot", "BenchmarkEncodeProofResponse"} {
+		e, ok := entries[name]
+		if !ok || e.After == nil {
+			t.Errorf("record lacks %s", name)
+			continue
+		}
+		if e.After.AllocsOp != 0 {
+			t.Errorf("%s: %d allocs/op recorded, want 0 (warm reused buffer)", name, e.After.AllocsOp)
+		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"rpol/internal/adversary"
 	"rpol/internal/dataset"
 	"rpol/internal/gpu"
+	"rpol/internal/lsh"
 	"rpol/internal/modelzoo"
 	"rpol/internal/prf"
 	"rpol/internal/rpol"
@@ -235,7 +236,7 @@ func verifyTrace(path, schemeName string) error {
 		Samples: 3,
 		Sampler: tensor.NewRNG(file.Seed + 600),
 	}
-	outcome, err := verifier.VerifySubmission(&traceOpener{trace}, work, result, p)
+	outcome, err := verifier.VerifySubmission(&traceOpener{trace: trace, fam: p.LSH}, work, result, p)
 	if err != nil {
 		return err
 	}
@@ -254,12 +255,29 @@ func verifyTrace(path, schemeName string) error {
 	return nil
 }
 
-// traceOpener serves checkpoints from a decoded trace.
-type traceOpener struct{ trace *rpol.Trace }
+// traceOpener serves checkpoints from a decoded trace. Trace files record
+// hash-list submissions, so Merkle proof pulls are answered by rebuilding
+// the tree over the recorded checkpoints on first use.
+type traceOpener struct {
+	trace *rpol.Trace
+	fam   *lsh.Family
+	ec    *rpol.EpochCommitment
+}
 
 func (o *traceOpener) OpenCheckpoint(idx int) (tensor.Vector, error) {
 	if idx < 0 || idx >= len(o.trace.Checkpoints) {
 		return nil, fmt.Errorf("checkpoint %d of %d", idx, len(o.trace.Checkpoints))
 	}
 	return o.trace.Checkpoints[idx], nil
+}
+
+func (o *traceOpener) OpenProof(idx int) (rpol.LeafProof, error) {
+	if o.ec == nil {
+		ec, err := rpol.CommitTrace(nil, o.trace.Checkpoints, o.fam, true)
+		if err != nil {
+			return rpol.LeafProof{}, err
+		}
+		o.ec = ec
+	}
+	return o.ec.OpenProof(idx)
 }

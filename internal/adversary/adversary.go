@@ -91,7 +91,8 @@ type Adv1 struct {
 	// nothing.
 	claimedDataSize int
 
-	lastTrace *rpol.Trace
+	lastTrace  *rpol.Trace
+	lastCommit *rpol.EpochCommitment
 }
 
 var _ rpol.Worker = (*Adv1)(nil)
@@ -121,25 +122,30 @@ func (a *Adv1) RunEpoch(p rpol.TaskParams) (*rpol.EpochResult, error) {
 		trace.Checkpoints = append(trace.Checkpoints, p.Global.Clone())
 		trace.Steps = append(trace.Steps, minInt(i*p.CheckpointEvery, p.Steps))
 	}
-	commit, digests, err := rpol.BuildCommitment(trace.Checkpoints, p.LSH)
-	if err != nil {
-		return nil, fmt.Errorf("adversary %s: %w", a.id, err)
-	}
-	a.lastTrace = trace
-	return &rpol.EpochResult{
+	result := &rpol.EpochResult{
 		WorkerID:       a.id,
 		Epoch:          p.Epoch,
 		Update:         tensor.NewVector(len(p.Global)), // zero update
 		DataSize:       a.claimedDataSize,
-		Commit:         commit,
-		LSHDigests:     digests,
 		NumCheckpoints: n,
-	}, nil
+	}
+	ec, err := stampCommitment(a.id, p, trace, result)
+	if err != nil {
+		return nil, err
+	}
+	a.lastTrace = trace
+	a.lastCommit = ec
+	return result, nil
 }
 
 // OpenCheckpoint serves the committed (replayed) snapshots.
 func (a *Adv1) OpenCheckpoint(idx int) (tensor.Vector, error) {
 	return openFrom(a.lastTrace, a.id, idx)
+}
+
+// OpenProof serves Merkle proof pulls over the replayed commitment.
+func (a *Adv1) OpenProof(idx int) (rpol.LeafProof, error) {
+	return openProofFrom(a.lastCommit, a.id, idx)
 }
 
 // FastForwardEpochs is a no-op: the replay attacker holds no stateful
@@ -166,6 +172,29 @@ func openFrom(trace *rpol.Trace, id string, idx int) (tensor.Vector, error) {
 	return trace.Checkpoints[idx], nil
 }
 
+// stampCommitment builds the commitment over the (possibly forged) trace in
+// whichever form the task demands — legacy hash list or streaming Merkle
+// root — stamps it onto the submission, and returns it for proof serving.
+// Adversaries forge checkpoints, not the commitment construction itself:
+// they always commit to exactly what they will open.
+func stampCommitment(id string, p rpol.TaskParams, trace *rpol.Trace, r *rpol.EpochResult) (*rpol.EpochCommitment, error) {
+	ec, err := rpol.CommitTrace(nil, trace.Checkpoints, p.LSH, p.MerkleCommit)
+	if err != nil {
+		return nil, fmt.Errorf("adversary %s: %w", id, err)
+	}
+	ec.Apply(r)
+	return ec, nil
+}
+
+// openProofFrom serves a Merkle proof pull from the attacker's retained
+// commitment.
+func openProofFrom(ec *rpol.EpochCommitment, id string, idx int) (rpol.LeafProof, error) {
+	if ec == nil {
+		return rpol.LeafProof{}, fmt.Errorf("adversary %s: no epoch run yet", id)
+	}
+	return ec.OpenProof(idx)
+}
+
 // Adv2 trains the first HonestIntervals checkpoint intervals honestly
 // (with real gradients and hardware noise) and spoofs the rest with Eq. (12).
 type Adv2 struct {
@@ -179,8 +208,9 @@ type Adv2 struct {
 	// Lambda is the exponential-descent coefficient of Eq. (12).
 	Lambda float64
 
-	lastTrace *rpol.Trace
-	dataSize  int
+	lastTrace  *rpol.Trace
+	lastCommit *rpol.EpochCommitment
+	dataSize   int
 }
 
 var _ rpol.Worker = (*Adv2)(nil)
@@ -288,25 +318,30 @@ func (a *Adv2) RunEpoch(p rpol.TaskParams) (*rpol.EpochResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("adversary %s: %w", a.id, err)
 	}
-	commit, digests, err := rpol.BuildCommitment(trace.Checkpoints, p.LSH)
-	if err != nil {
-		return nil, fmt.Errorf("adversary %s: %w", a.id, err)
-	}
-	a.lastTrace = trace
-	return &rpol.EpochResult{
+	result := &rpol.EpochResult{
 		WorkerID:       a.id,
 		Epoch:          p.Epoch,
 		Update:         update,
 		DataSize:       a.dataSize,
-		Commit:         commit,
-		LSHDigests:     digests,
 		NumCheckpoints: len(trace.Checkpoints),
-	}, nil
+	}
+	ec, err := stampCommitment(a.id, p, trace, result)
+	if err != nil {
+		return nil, err
+	}
+	a.lastTrace = trace
+	a.lastCommit = ec
+	return result, nil
 }
 
 // OpenCheckpoint serves the committed (partially spoofed) snapshots.
 func (a *Adv2) OpenCheckpoint(idx int) (tensor.Vector, error) {
 	return openFrom(a.lastTrace, a.id, idx)
+}
+
+// OpenProof serves Merkle proof pulls over the partially spoofed commitment.
+func (a *Adv2) OpenProof(idx int) (rpol.LeafProof, error) {
+	return openProofFrom(a.lastCommit, a.id, idx)
 }
 
 // FastForwardEpochs advances the attacker's device noise stream past the
@@ -340,8 +375,9 @@ type WrongInit struct {
 	// InitShift is added to the global model before training.
 	InitShift tensor.Vector
 
-	lastTrace *rpol.Trace
-	dataSize  int
+	lastTrace  *rpol.Trace
+	lastCommit *rpol.EpochCommitment
+	dataSize   int
 }
 
 var _ rpol.Worker = (*WrongInit)(nil)
@@ -392,25 +428,30 @@ func (a *WrongInit) RunEpoch(p rpol.TaskParams) (*rpol.EpochResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("adversary %s: %w", a.id, err)
 	}
-	commit, digests, err := rpol.BuildCommitment(trace.Checkpoints, p.LSH)
-	if err != nil {
-		return nil, fmt.Errorf("adversary %s: %w", a.id, err)
-	}
-	a.lastTrace = trace
-	return &rpol.EpochResult{
+	result := &rpol.EpochResult{
 		WorkerID:       a.id,
 		Epoch:          p.Epoch,
 		Update:         update,
 		DataSize:       a.dataSize,
-		Commit:         commit,
-		LSHDigests:     digests,
 		NumCheckpoints: len(trace.Checkpoints),
-	}, nil
+	}
+	ec, err := stampCommitment(a.id, p, trace, result)
+	if err != nil {
+		return nil, err
+	}
+	a.lastTrace = trace
+	a.lastCommit = ec
+	return result, nil
 }
 
 // OpenCheckpoint serves the (honestly trained, wrongly rooted) snapshots.
 func (a *WrongInit) OpenCheckpoint(idx int) (tensor.Vector, error) {
 	return openFrom(a.lastTrace, a.id, idx)
+}
+
+// OpenProof serves Merkle proof pulls over the wrongly rooted commitment.
+func (a *WrongInit) OpenProof(idx int) (rpol.LeafProof, error) {
+	return openProofFrom(a.lastCommit, a.id, idx)
 }
 
 // UpdateScaler trains and commits fully honestly but submits its model
@@ -426,8 +467,9 @@ type UpdateScaler struct {
 	// Factor multiplies the honest update before submission.
 	Factor float64
 
-	lastTrace *rpol.Trace
-	dataSize  int
+	lastTrace  *rpol.Trace
+	lastCommit *rpol.EpochCommitment
+	dataSize   int
 }
 
 var _ rpol.Worker = (*UpdateScaler)(nil)
@@ -469,26 +511,31 @@ func (a *UpdateScaler) RunEpoch(p rpol.TaskParams) (*rpol.EpochResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("adversary %s: %w", a.id, err)
 	}
-	commit, digests, err := rpol.BuildCommitment(trace.Checkpoints, p.LSH)
-	if err != nil {
-		return nil, fmt.Errorf("adversary %s: %w", a.id, err)
-	}
 	update.Scale(a.Factor) // the poisoned submission
-	a.lastTrace = trace
-	return &rpol.EpochResult{
+	result := &rpol.EpochResult{
 		WorkerID:       a.id,
 		Epoch:          p.Epoch,
 		Update:         update,
 		DataSize:       a.dataSize,
-		Commit:         commit,
-		LSHDigests:     digests,
 		NumCheckpoints: len(trace.Checkpoints),
-	}, nil
+	}
+	ec, err := stampCommitment(a.id, p, trace, result)
+	if err != nil {
+		return nil, err
+	}
+	a.lastTrace = trace
+	a.lastCommit = ec
+	return result, nil
 }
 
 // OpenCheckpoint serves the genuinely trained snapshots.
 func (a *UpdateScaler) OpenCheckpoint(idx int) (tensor.Vector, error) {
 	return openFrom(a.lastTrace, a.id, idx)
+}
+
+// OpenProof serves Merkle proof pulls over the honestly built commitment.
+func (a *UpdateScaler) OpenProof(idx int) (rpol.LeafProof, error) {
+	return openProofFrom(a.lastCommit, a.id, idx)
 }
 
 // Fabricator commits random weights scaled like plausible models — the
@@ -500,7 +547,8 @@ type Fabricator struct {
 	scale           float64
 	claimedDataSize int
 
-	lastTrace *rpol.Trace
+	lastTrace  *rpol.Trace
+	lastCommit *rpol.EpochCommitment
 }
 
 var _ rpol.Worker = (*Fabricator)(nil)
@@ -545,23 +593,28 @@ func (f *Fabricator) RunEpoch(p rpol.TaskParams) (*rpol.EpochResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("adversary %s: %w", f.id, err)
 	}
-	commit, digests, err := rpol.BuildCommitment(trace.Checkpoints, p.LSH)
-	if err != nil {
-		return nil, fmt.Errorf("adversary %s: %w", f.id, err)
-	}
-	f.lastTrace = trace
-	return &rpol.EpochResult{
+	result := &rpol.EpochResult{
 		WorkerID:       f.id,
 		Epoch:          p.Epoch,
 		Update:         update,
 		DataSize:       f.claimedDataSize,
-		Commit:         commit,
-		LSHDigests:     digests,
 		NumCheckpoints: n,
-	}, nil
+	}
+	ec, err := stampCommitment(f.id, p, trace, result)
+	if err != nil {
+		return nil, err
+	}
+	f.lastTrace = trace
+	f.lastCommit = ec
+	return result, nil
 }
 
 // OpenCheckpoint serves the fabricated snapshots.
 func (f *Fabricator) OpenCheckpoint(idx int) (tensor.Vector, error) {
 	return openFrom(f.lastTrace, f.id, idx)
+}
+
+// OpenProof serves Merkle proof pulls over the fabricated commitment.
+func (f *Fabricator) OpenProof(idx int) (rpol.LeafProof, error) {
+	return openProofFrom(f.lastCommit, f.id, idx)
 }

@@ -1,0 +1,79 @@
+package commitment
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// benchLeaves is the benchmark epoch size: 64 checkpoints, the BENCH_pr9
+// reference point for the hash-list vs Merkle comparison.
+const benchLeaves = 64
+
+func benchPayloads() [][]byte {
+	payloads := make([][]byte, benchLeaves)
+	for i := range payloads {
+		p := make([]byte, 128)
+		binary.LittleEndian.PutUint64(p, uint64(i)*0x9e3779b97f4a7c15)
+		payloads[i] = p
+	}
+	return payloads
+}
+
+// BenchmarkMerkleTreeBuild measures the batch tree construction a worker
+// would pay if it deferred commitment to the end of the epoch.
+func BenchmarkMerkleTreeBuild(b *testing.B) {
+	payloads := benchPayloads()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewMerkleTree(payloads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalMerkle measures the streaming path: leaves pushed one
+// at a time as checkpoints land during training, root taken at the end. It
+// must stay in the same ballpark as the batch build — the streaming
+// commitment is free relative to training, not a new cost center.
+func BenchmarkIncrementalMerkle(b *testing.B) {
+	payloads := benchPayloads()
+	leaves := make([]Hash, len(payloads))
+	for i, p := range payloads {
+		leaves[i] = HashLeaf(p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var inc IncrementalMerkle
+		for _, l := range leaves {
+			inc.Push(l)
+		}
+		if _, err := inc.Root(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMerkleProveVerify measures one verifier pull: open a leaf of the
+// 64-leaf tree and check the inclusion proof against the root.
+func BenchmarkMerkleProveVerify(b *testing.B) {
+	payloads := benchPayloads()
+	tree, err := NewMerkleTree(payloads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := tree.Root()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % benchLeaves
+		proof, err := tree.Prove(idx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := VerifyMerkle(root, benchLeaves, payloads[idx], proof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

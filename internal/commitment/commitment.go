@@ -149,11 +149,30 @@ func (h *HashList) AppendEncode(dst []byte) []byte {
 }
 
 // DecodeHashList parses a commitment previously produced by Encode.
+//
+// The leaf count is taken from the buffer length, so callers decoding
+// attacker-controlled bytes should prefer DecodeHashListN, which bounds the
+// allocation by an independently declared leaf count.
 func DecodeHashList(buf []byte) (*HashList, error) {
 	if len(buf) == 0 || len(buf)%HashSize != 0 {
 		return nil, fmt.Errorf("commitment: bad encoding length %d", len(buf))
 	}
-	leaves := make([]Hash, len(buf)/HashSize)
+	return DecodeHashListN(buf, len(buf)/HashSize)
+}
+
+// DecodeHashListN parses a commitment previously produced by Encode,
+// requiring it to hold exactly n leaves. Decoding attacker-controlled bytes
+// through this form bounds the leaf allocation by the declared checkpoint
+// count instead of whatever length the peer chose to send.
+func DecodeHashListN(buf []byte, n int) (*HashList, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("commitment: bad leaf count %d", n)
+	}
+	if len(buf) != n*HashSize {
+		return nil, fmt.Errorf("commitment: encoding length %d, want %d for %d leaves",
+			len(buf), n*HashSize, n)
+	}
+	leaves := make([]Hash, n)
 	for i := range leaves {
 		copy(leaves[i][:], buf[i*HashSize:])
 	}
@@ -185,7 +204,18 @@ func NewMerkleTreePool(p *parallel.Pool, payloads [][]byte) (*MerkleTree, error)
 	if len(payloads) == 0 {
 		return nil, ErrEmpty
 	}
-	level := hashLeaves(p, payloads)
+	return NewMerkleFromLeaves(hashLeaves(p, payloads))
+}
+
+// NewMerkleFromLeaves builds the tree over pre-computed leaf digests, the
+// counterpart of NewLeafList for callers that hash streamed payloads
+// themselves. The result is identical to NewMerkleTree over the same payload
+// bytes.
+func NewMerkleFromLeaves(leaves []Hash) (*MerkleTree, error) {
+	if len(leaves) == 0 {
+		return nil, ErrEmpty
+	}
+	level := leaves
 	levels := [][]Hash{level}
 	for len(level) > 1 {
 		next := make([]Hash, (len(level)+1)/2)
@@ -272,3 +302,149 @@ func treeDepth(n int) int {
 // ProofSize returns the wire size in bytes of a Merkle proof with the given
 // number of siblings.
 func ProofSize(siblings int) int { return 8 + HashSize*siblings }
+
+// MaxProofSiblings bounds the depth a decoded proof may claim. A tree with
+// 2^40 leaves is far beyond any epoch's checkpoint count, so anything deeper
+// is malformed rather than merely large.
+const MaxProofSiblings = 40
+
+// Size returns the proof's wire size in bytes.
+func (p MerkleProof) Size() int { return ProofSize(len(p.Siblings)) }
+
+// AppendEncode appends the proof's wire form — index and sibling count as
+// 4-byte big-endian words, then the raw sibling digests root-ward — to dst
+// and returns the extended slice. The fixed-width header keeps the encoded
+// size equal to ProofSize(len(Siblings)).
+func (p MerkleProof) AppendEncode(dst []byte) []byte {
+	dst = append(dst,
+		byte(p.Index>>24), byte(p.Index>>16), byte(p.Index>>8), byte(p.Index))
+	n := len(p.Siblings)
+	dst = append(dst, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	for _, s := range p.Siblings {
+		dst = append(dst, s[:]...)
+	}
+	return dst
+}
+
+// DecodeProof parses a proof previously produced by AppendEncode. The
+// sibling count is bounded by MaxProofSiblings before any allocation, so a
+// malformed header cannot force a large leaf slice; the buffer must contain
+// exactly the declared siblings.
+func DecodeProof(buf []byte) (MerkleProof, error) {
+	if len(buf) < 8 {
+		return MerkleProof{}, fmt.Errorf("commitment: proof too short (%d bytes)", len(buf))
+	}
+	idx := int(buf[0])<<24 | int(buf[1])<<16 | int(buf[2])<<8 | int(buf[3])
+	n := int(buf[4])<<24 | int(buf[5])<<16 | int(buf[6])<<8 | int(buf[7])
+	if n < 0 || n > MaxProofSiblings {
+		return MerkleProof{}, fmt.Errorf("commitment: proof depth %d out of range", n)
+	}
+	if len(buf) != ProofSize(n) {
+		return MerkleProof{}, fmt.Errorf("commitment: proof length %d, want %d for depth %d",
+			len(buf), ProofSize(n), n)
+	}
+	proof := MerkleProof{Index: idx, Siblings: make([]Hash, n)}
+	for i := range proof.Siblings {
+		copy(proof.Siblings[i][:], buf[8+i*HashSize:])
+	}
+	return proof, nil
+}
+
+// IncrementalMerkle builds a Merkle tree one leaf at a time — the streaming
+// counterpart of NewMerkleFromLeaves for workers that commit checkpoints as
+// training produces them. Internally it keeps the classic frozen-subtree
+// state: frozen[h] holds the root of the completed subtree of height h whose
+// presence is recorded by bit h of the leaf count, so Push does O(1)
+// amortized hashing and Root folds the O(log n) frozen roots with the same
+// duplicate-odd-node rule as the batch construction. At every leaf count the
+// root is bit-identical to NewMerkleTree over the same leaves.
+//
+// The builder also retains the pushed leaf digests so that Tree can
+// materialize the full tree for proof serving after training completes; the
+// retained slice costs HashSize bytes per leaf, negligible next to the
+// checkpoints themselves.
+type IncrementalMerkle struct {
+	n      int
+	frozen []Hash
+	leaves []Hash
+	tree   *MerkleTree
+}
+
+// Push appends the next leaf digest.
+func (m *IncrementalMerkle) Push(leaf Hash) {
+	m.tree = nil
+	m.leaves = append(m.leaves, leaf)
+	cur := leaf
+	h := 0
+	for m.n>>h&1 == 1 {
+		cur = hashNodes(m.frozen[h], cur)
+		h++
+	}
+	if h < len(m.frozen) {
+		m.frozen[h] = cur
+	} else {
+		m.frozen = append(m.frozen, cur)
+	}
+	m.n++
+}
+
+// Len returns the number of pushed leaves.
+func (m *IncrementalMerkle) Len() int { return m.n }
+
+// Root folds the frozen subtree roots into the Merkle root, duplicating odd
+// nodes exactly as NewMerkleTree does. It is an error to ask for the root of
+// an empty builder.
+func (m *IncrementalMerkle) Root() (Hash, error) {
+	if m.n == 0 {
+		return Hash{}, ErrEmpty
+	}
+	// Walk heights low to high. pending carries the root of the ragged
+	// right edge — the subtree built from all frozen roots below the
+	// current height — which the duplicate-odd rule pairs with itself
+	// whenever the current height contributes no frozen root.
+	var pending *Hash
+	var acc Hash
+	k := m.n
+	for h := 0; k > 0; h++ {
+		if k&1 == 1 {
+			f := m.frozen[h]
+			if pending != nil {
+				acc = hashNodes(f, *pending)
+				pending = &acc
+			} else if k > 1 {
+				acc = hashNodes(f, f)
+				pending = &acc
+			} else {
+				return f, nil
+			}
+		} else if pending != nil {
+			acc = hashNodes(*pending, *pending)
+			pending = &acc
+		}
+		k >>= 1
+	}
+	return *pending, nil
+}
+
+// Tree materializes (and caches) the full tree over the pushed leaves, for
+// serving inclusion proofs once streaming ends.
+func (m *IncrementalMerkle) Tree() (*MerkleTree, error) {
+	if m.tree == nil {
+		t, err := NewMerkleFromLeaves(m.leaves)
+		if err != nil {
+			return nil, err
+		}
+		m.tree = t
+	}
+	return m.tree, nil
+}
+
+// Prove returns the inclusion proof for leaf i, materializing the tree on
+// first use.
+func (m *IncrementalMerkle) Prove(i int) (MerkleProof, error) {
+	t, err := m.Tree()
+	if err != nil {
+		return MerkleProof{}, err
+	}
+	return t.Prove(i)
+}

@@ -52,6 +52,10 @@ type Config struct {
 	StepsPerEpoch   int
 	CheckpointEvery int
 	Samples         int
+	// MerkleCommit switches submissions to the streaming Merkle commitment:
+	// 32-byte roots on the wire, O(log n) proof pulls during verification,
+	// bit-identical verdicts (see rpol.ManagerConfig.MerkleCommit).
+	MerkleCommit bool
 	// ManagerAddress is the pool's blockchain address, encoded in the
 	// AMLayer when UseAMLayer is set.
 	ManagerAddress string
@@ -469,6 +473,7 @@ func New(cfg Config) (*Pool, error) {
 		StepsPerEpoch:     cfg.StepsPerEpoch,
 		CheckpointEvery:   cfg.CheckpointEvery,
 		Samples:           cfg.Samples,
+		MerkleCommit:      cfg.MerkleCommit,
 		GPU:               gpu.G3090,
 		MasterKey:         []byte(cfg.ManagerAddress + "/nonce-master"),
 		Seed:              cfg.Seed + 7,

@@ -264,3 +264,71 @@ func crashAndRecover(t *testing.T, workers, epochs int, ord uint64, want []epoch
 	}
 	return ok
 }
+
+// TestResumeMerkleCommit replays the clean-stop resume under streaming
+// Merkle commitments: the journal's commit records carry the 32-byte root
+// instead of a digest over the inline hash list, and a resumed pool must
+// splice into a history bit-identical to the uninterrupted merkle run.
+func TestResumeMerkleCommit(t *testing.T) {
+	const epochs = 2
+	merkled := func(dir string) Config {
+		cfg := journaledConfig(1, dir, nil)
+		cfg.MerkleCommit = true
+		return cfg
+	}
+
+	base, err := New(merkled(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	history, err := base.RunEpochs(epochs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]epochSummary, len(history))
+	for i, s := range history {
+		want[i] = summarize(s)
+	}
+	wantDigest := globalDigest(base)
+
+	dir := t.TempDir()
+	p, err := New(merkled(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.RunEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []epochSummary{summarize(stats)}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rcfg := merkled(dir)
+	rcfg.Resume = true
+	resumed, err := New(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if resumed.CompletedEpochs() != 1 {
+		t.Fatalf("resumed pool at epoch %d, want 1", resumed.CompletedEpochs())
+	}
+	for resumed.CompletedEpochs() < epochs {
+		stats, err := resumed.RunEpoch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, summarize(stats))
+	}
+	for e := range want {
+		if got[e] != want[e] {
+			t.Fatalf("epoch %d diverged after merkle resume:\n  want %+v\n  got  %+v", e, want[e], got[e])
+		}
+	}
+	if d := globalDigest(resumed); d != wantDigest {
+		t.Fatalf("global digest %x after merkle resume, want %x", d, wantDigest)
+	}
+}

@@ -1,6 +1,7 @@
 package rpol
 
 import (
+	"errors"
 	"fmt"
 
 	"rpol/internal/commitment"
@@ -44,11 +45,27 @@ func BuildCommitment(checkpoints []tensor.Vector, fam *lsh.Family) (*commitment.
 // costs one encode-buffer per chunk instead of one payload copy per
 // checkpoint.
 func BuildCommitmentPool(p *parallel.Pool, checkpoints []tensor.Vector, fam *lsh.Family) (*commitment.HashList, []lsh.Digest, error) {
+	leaves, digests, err := commitLeaves(p, checkpoints, fam)
+	if err != nil {
+		return nil, nil, err
+	}
+	commit, err := commitment.NewLeafList(leaves)
+	if err != nil {
+		return nil, nil, fmt.Errorf("rpol commitment: %w", err)
+	}
+	return commit, digests, nil
+}
+
+// commitLeaves digests every checkpoint into its commitment leaf — the raw
+// weight encoding under v1, the LSH digest encoding under v2 — chunked across
+// the pool with per-slot writes, so the leaves are bit-identical to the
+// serial construction for any worker count.
+func commitLeaves(p *parallel.Pool, checkpoints []tensor.Vector, fam *lsh.Family) ([]commitment.Hash, []lsh.Digest, error) {
 	if len(checkpoints) == 0 {
 		return nil, nil, commitment.ErrEmpty
 	}
+	leaves := make([]commitment.Hash, len(checkpoints))
 	if fam == nil {
-		leaves := make([]commitment.Hash, len(checkpoints))
 		p.ForChunks(len(checkpoints), 1, func(_, lo, hi int) {
 			var buf []byte
 			for i := lo; i < hi; i++ {
@@ -56,15 +73,10 @@ func BuildCommitmentPool(p *parallel.Pool, checkpoints []tensor.Vector, fam *lsh
 				leaves[i] = commitment.HashLeaf(buf)
 			}
 		})
-		commit, err := commitment.NewLeafList(leaves)
-		if err != nil {
-			return nil, nil, fmt.Errorf("rpol commitment: %w", err)
-		}
-		return commit, nil, nil
+		return leaves, nil, nil
 	}
 
 	digests := make([]lsh.Digest, len(checkpoints))
-	leaves := make([]commitment.Hash, len(checkpoints))
 	errs := make([]error, parallel.NumChunks(len(checkpoints), 1))
 	p.ForChunks(len(checkpoints), 1, func(c, lo, hi int) {
 		var buf []byte
@@ -84,11 +96,76 @@ func BuildCommitmentPool(p *parallel.Pool, checkpoints []tensor.Vector, fam *lsh
 			return nil, nil, err
 		}
 	}
-	commit, err := commitment.NewLeafList(leaves)
+	return leaves, digests, nil
+}
+
+// EpochCommitment is a worker's commitment over one epoch's checkpoints in
+// either wire form: the legacy hash list (Commit/Digests shipped inline with
+// the submission) or the streaming Merkle root (HasRoot set, proofs served
+// on demand through OpenProof). Workers and adversaries build one with
+// CommitTrace, stamp the submission with Apply, and keep it around to answer
+// the verifier's proof pulls.
+type EpochCommitment struct {
+	Commit  *commitment.HashList
+	Root    commitment.Hash
+	HasRoot bool
+	Digests []lsh.Digest
+
+	tree *commitment.MerkleTree
+}
+
+// CommitTrace builds the epoch commitment over the checkpoint snapshots:
+// the legacy hash list when merkle is false, the Merkle tree otherwise.
+// Leaf digesting is chunked across the pool; the resulting commitment —
+// hash-list leaves or Merkle root — is bit-identical to the serial
+// construction for any worker count.
+func CommitTrace(p *parallel.Pool, checkpoints []tensor.Vector, fam *lsh.Family, merkle bool) (*EpochCommitment, error) {
+	leaves, digests, err := commitLeaves(p, checkpoints, fam)
 	if err != nil {
-		return nil, nil, fmt.Errorf("rpol commitment: %w", err)
+		return nil, err
 	}
-	return commit, digests, nil
+	if !merkle {
+		commit, err := commitment.NewLeafList(leaves)
+		if err != nil {
+			return nil, fmt.Errorf("rpol commitment: %w", err)
+		}
+		return &EpochCommitment{Commit: commit, Digests: digests}, nil
+	}
+	tree, err := commitment.NewMerkleFromLeaves(leaves)
+	if err != nil {
+		return nil, fmt.Errorf("rpol commitment: %w", err)
+	}
+	return &EpochCommitment{Root: tree.Root(), HasRoot: true, Digests: digests, tree: tree}, nil
+}
+
+// Apply stamps the commitment onto a submission: root-only under Merkle,
+// full hash list plus inline digests under the legacy scheme.
+func (c *EpochCommitment) Apply(r *EpochResult) {
+	if c.HasRoot {
+		r.MerkleRoot = c.Root
+		r.HasRoot = true
+		return
+	}
+	r.Commit = c.Commit
+	r.LSHDigests = c.Digests
+}
+
+// OpenProof serves the verifier's on-demand pull for leaf idx: the Merkle
+// inclusion proof plus, under v2, the committed digest encoding it
+// authenticates.
+func (c *EpochCommitment) OpenProof(idx int) (LeafProof, error) {
+	if !c.HasRoot {
+		return LeafProof{}, errors.New("rpol: epoch not Merkle-committed")
+	}
+	proof, err := c.tree.Prove(idx)
+	if err != nil {
+		return LeafProof{}, err
+	}
+	lp := LeafProof{Proof: proof}
+	if c.Digests != nil {
+		lp.Digest = c.Digests[idx].AppendEncode(nil)
+	}
+	return lp, nil
 }
 
 // VerifyOpening checks that an opened raw checkpoint is consistent with the

@@ -25,7 +25,7 @@ import (
 // intervals; parallel verification forks one per interval), so they are
 // only comparable within the chunked runtime (workers ≥ 1), while the
 // training-side artifacts must agree everywhere.
-func epochFingerprints(t *testing.T, workers int) (train, verify string) {
+func epochFingerprints(t *testing.T, workers int, merkle bool) (train, verify string) {
 	t.Helper()
 	const n = 4
 	ds, err := dataset.Generate(dataset.Config{
@@ -65,6 +65,7 @@ func epochFingerprints(t *testing.T, workers int) (train, verify string) {
 		MasterKey:       []byte("master"),
 		Seed:            99,
 		Workers:         workers,
+		MerkleCommit:    merkle,
 	}, managerNet, workerIfs, shardMap, shards[n])
 	if err != nil {
 		t.Fatal(err)
@@ -80,11 +81,20 @@ func epochFingerprints(t *testing.T, workers int) (train, verify string) {
 			ht.Write(c.Encode())
 		}
 		res := w.lastResult
-		root := res.Commit.Root()
-		ht.Write(root[:])
-		ht.Write(res.Commit.Encode())
-		for _, d := range res.LSHDigests {
-			ht.Write(d.Encode())
+		if res.HasRoot {
+			// Merkle submissions carry only the root; the retained epoch
+			// commitment still exposes the per-leaf digests for hashing.
+			ht.Write(res.MerkleRoot[:])
+			for _, d := range w.lastCommit.Digests {
+				ht.Write(d.Encode())
+			}
+		} else {
+			root := res.Commit.Root()
+			ht.Write(root[:])
+			ht.Write(res.Commit.Encode())
+			for _, d := range res.LSHDigests {
+				ht.Write(d.Encode())
+			}
 		}
 		ht.Write(res.Update.Encode())
 	}
@@ -109,9 +119,9 @@ func epochFingerprints(t *testing.T, workers int) (train, verify string) {
 // reduction sneaking into a hot path fails this test (and trips the race
 // detector in the -race CI job).
 func TestEpochBitIdenticalAcrossWorkers(t *testing.T) {
-	baseTrain, baseVerify := epochFingerprints(t, 1)
+	baseTrain, baseVerify := epochFingerprints(t, 1, false)
 	for _, w := range []int{2, 8} {
-		train, verify := epochFingerprints(t, w)
+		train, verify := epochFingerprints(t, w, false)
 		if train != baseTrain {
 			t.Errorf("workers=%d: training artifacts differ from workers=1", w)
 		}
@@ -127,8 +137,31 @@ func TestEpochBitIdenticalAcrossWorkers(t *testing.T) {
 	// stream through all sampled intervals while parallel verification
 	// forks a stream per interval, so only the protocol artifacts and
 	// verdicts must agree.
-	serialTrain, _ := epochFingerprints(t, 0)
+	serialTrain, _ := epochFingerprints(t, 0, false)
 	if serialTrain != baseTrain {
 		t.Errorf("workers=0 (legacy serial) training artifacts differ from chunked runtime")
+	}
+}
+
+// TestEpochBitIdenticalAcrossWorkersMerkle re-runs the determinism sweep with
+// streaming Merkle commitments enabled: the wire format changes (32-byte root
+// plus on-demand proof pulls instead of an inline hash list) but every
+// protocol artifact — checkpoints, per-leaf digests, submitted updates,
+// verdicts, global model — must stay bit-identical across Workers = 0/1/2/8,
+// exactly as in the legacy sweep.
+func TestEpochBitIdenticalAcrossWorkersMerkle(t *testing.T) {
+	baseTrain, baseVerify := epochFingerprints(t, 1, true)
+	for _, w := range []int{2, 8} {
+		train, verify := epochFingerprints(t, w, true)
+		if train != baseTrain {
+			t.Errorf("merkle workers=%d: training artifacts differ from workers=1", w)
+		}
+		if verify != baseVerify {
+			t.Errorf("merkle workers=%d: verification outcomes differ from workers=1", w)
+		}
+	}
+	serialTrain, _ := epochFingerprints(t, 0, true)
+	if serialTrain != baseTrain {
+		t.Errorf("merkle workers=0 (legacy serial) training artifacts differ from chunked runtime")
 	}
 }

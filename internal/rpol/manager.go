@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"rpol/internal/commitment"
 	"rpol/internal/dataset"
 	"rpol/internal/fsio"
 	"rpol/internal/gpu"
@@ -32,6 +33,12 @@ type ManagerConfig struct {
 	// Samples is q, sampled checkpoints per submission (3 in the
 	// evaluation).
 	Samples int
+	// MerkleCommit switches submissions from the legacy inline hash list to
+	// the streaming Merkle commitment: workers submit only the 32-byte root
+	// and the verifier pulls O(log n) inclusion proofs for the checkpoints it
+	// samples. Verdicts and the aggregated model are bit-identical to the
+	// legacy scheme; only the commitment wire format changes.
+	MerkleCommit bool
 	// GPU is the manager's own verification hardware.
 	GPU gpu.Profile
 	// MasterKey derives per-(worker, epoch) nonces.
@@ -261,6 +268,7 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 		Steps:           m.cfg.StepsPerEpoch,
 		CheckpointEvery: m.cfg.CheckpointEvery,
 		Workers:         m.cfg.Workers,
+		MerkleCommit:    m.cfg.MerkleCommit,
 	}
 
 	verifier := &Verifier{
@@ -376,7 +384,11 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 		}
 		if m.cfg.Journal != nil {
 			var digest uint64
-			if result.Commit != nil {
+			var root []byte
+			if result.HasRoot {
+				root = result.MerkleRoot[:]
+				digest = fsio.Checksum(root)
+			} else if result.Commit != nil {
 				m.encBuf = result.Commit.AppendEncode(m.encBuf[:0])
 				digest = fsio.Checksum(m.encBuf)
 			}
@@ -384,6 +396,7 @@ func (m *Manager) RunEpoch() (*EpochReport, error) {
 				Epoch:          epoch,
 				Worker:         result.WorkerID,
 				Digest:         digest,
+				Root:           root,
 				NumCheckpoints: result.NumCheckpoints,
 			}); err != nil {
 				return nil, fmt.Errorf("rpol manager: %w", err)
@@ -504,12 +517,17 @@ func (m *Manager) absentErr(err error) bool {
 }
 
 // submissionBytes is the modelled fan-in size of one epoch submission: the
-// update vector, the checkpoint commitment, and any LSH digests.
+// update vector plus the commitment share — under Merkle a constant 32-byte
+// root and an 8-byte leaf count, under the legacy scheme the full hash list
+// and any inline LSH digests.
 func submissionBytes(r *EpochResult) int64 {
 	if r == nil {
 		return 0
 	}
 	total := int64(tensor.EncodedSize(len(r.Update)))
+	if r.HasRoot {
+		return total + commitment.HashSize + 8
+	}
 	if r.Commit != nil {
 		total += int64(r.Commit.Size())
 	}

@@ -81,6 +81,15 @@ type TaskParams struct {
 	// LSH carries the calibrated family for RPoLv2 commitments; nil under
 	// RPoLv1 or the baseline.
 	LSH *lsh.Family
+	// MerkleCommit selects the streaming Merkle commitment: the worker
+	// builds a Merkle tree over the checkpoint leaves incrementally during
+	// training, submits only the 32-byte root plus the leaf count, and
+	// serves O(log n) inclusion proofs on demand through OpenProof. When
+	// false the legacy hash-list commitment ships all n leaf digests (and,
+	// under v2, all n LSH digests) inline with the submission. The flag is
+	// transmitted with the task so remote workers commit in the form the
+	// manager will verify.
+	MerkleCommit bool
 	// Trace is the observability span covering this worker's epoch — a
 	// process-local handle, never transmitted (the wire encoding drops it).
 	// Workers nest their training and commitment spans under it; the
@@ -143,15 +152,35 @@ type EpochResult struct {
 	// DataSize is |D_w|, the worker's shard size, for Eq. (1) weighting.
 	DataSize int
 	// Commit binds the checkpoint payloads (raw-weight hashes under v1,
-	// LSH digests under v2).
+	// LSH digests under v2) in the legacy hash-list form; nil under the
+	// streaming Merkle commitment.
 	Commit *commitment.HashList
 	// LSHDigests are the per-checkpoint digests under RPoLv2 (nil under v1);
 	// Commit's leaves are their hashes, so revealing a digest is verifiable.
+	// Nil under the Merkle commitment, where each sampled digest instead
+	// rides along with its inclusion proof.
 	LSHDigests []lsh.Digest
 	// NumCheckpoints is the committed snapshot count (including the initial
 	// weights).
 	NumCheckpoints int
+	// MerkleRoot is the 32-byte streaming commitment root; meaningful only
+	// when HasRoot is set, in which case Commit and LSHDigests are nil.
+	MerkleRoot commitment.Hash
+	// HasRoot marks a Merkle-committed submission.
+	HasRoot bool
 }
+
+// LeafProof is a worker's answer to an on-demand proof pull under the Merkle
+// commitment: the inclusion proof of the sampled leaf plus, under RPoLv2,
+// the committed digest encoding the proof authenticates (nil under v1, where
+// the leaf is the raw weight encoding the verifier recomputes itself).
+type LeafProof struct {
+	Proof  commitment.MerkleProof
+	Digest []byte
+}
+
+// Size returns the proof pull's wire size in bytes.
+func (lp LeafProof) Size() int { return lp.Proof.Size() + len(lp.Digest) }
 
 // ProofOpener serves checkpoint-opening requests during verification. The
 // honest implementation returns the stored trace snapshots; adversaries may
@@ -160,6 +189,10 @@ type EpochResult struct {
 type ProofOpener interface {
 	// OpenCheckpoint returns the raw model weights of checkpoint idx.
 	OpenCheckpoint(idx int) (tensor.Vector, error)
+	// OpenProof returns the Merkle inclusion proof for leaf idx (plus the
+	// committed digest under v2). Only meaningful for Merkle-committed
+	// epochs; legacy hash-list epochs never ask.
+	OpenProof(idx int) (LeafProof, error)
 }
 
 // Worker is one pool participant from the manager's perspective.
@@ -249,9 +282,17 @@ type VerifyOutcome struct {
 	DoubleChecks int
 	// FailReason is empty when accepted.
 	FailReason string
-	// Comm tallies verification-only traffic in bytes (proof payloads), for
-	// Table III.
+	// Comm tallies verification-only traffic in bytes, for Table III: the
+	// commitment material (CommitBytes) plus every validated opening the
+	// verifier pulled. Openings are counted only after they validate against
+	// the commitment, so serial, parallel, and proof-pull verifiers report
+	// identical bytes for the same verdict.
 	CommBytes int64
+	// CommitBytes is the commitment share of CommBytes: the full hash list
+	// plus all inline LSH digests under the legacy scheme, or the 32-byte
+	// root plus the pulled proofs (and their riding digests) under the
+	// streaming Merkle scheme.
+	CommitBytes int64
 	// ReexecSteps counts training steps the manager re-executed, for the
 	// computation-overhead accounting.
 	ReexecSteps int

@@ -1,9 +1,11 @@
 package rpol
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 
+	"rpol/internal/commitment"
 	"rpol/internal/dataset"
 	"rpol/internal/gpu"
 	"rpol/internal/lsh"
@@ -127,19 +129,35 @@ func (v *Verifier) VerifySubmission(opener ProofOpener, shard *dataset.Dataset, 
 	if v.Sampler == nil {
 		return nil, ErrNoSampler
 	}
-	if result.Commit == nil || result.Commit.Len() != result.NumCheckpoints {
-		out.FailReason = "commitment missing or inconsistent with checkpoint count"
+	if v.Scheme == SchemeV2 && v.LSH == nil {
+		return nil, errors.New("rpol: RPoLv2 verifier needs an LSH family")
+	}
+	if result.NumCheckpoints < 1 || result.NumCheckpoints > maxVerifyCheckpoints {
+		out.FailReason = "claimed checkpoint count out of range"
 		return out, nil
 	}
-	if v.Scheme == SchemeV2 {
-		if v.LSH == nil {
-			return nil, errors.New("rpol: RPoLv2 verifier needs an LSH family")
-		}
-		if len(result.LSHDigests) != result.NumCheckpoints {
-			out.FailReason = "LSH digest count inconsistent with checkpoint count"
+	if result.HasRoot {
+		// Streaming Merkle commitment: the submission carries only the
+		// 32-byte root; every sampled leaf is authenticated by a proof
+		// pulled on demand (and, under v2, the digest riding with it).
+		out.CommitBytes = commitment.HashSize
+	} else {
+		if result.Commit == nil || result.Commit.Len() != result.NumCheckpoints {
+			out.FailReason = "commitment missing or inconsistent with checkpoint count"
 			return out, nil
 		}
+		out.CommitBytes = int64(result.Commit.Size())
+		if v.Scheme == SchemeV2 {
+			if len(result.LSHDigests) != result.NumCheckpoints {
+				out.FailReason = "LSH digest count inconsistent with checkpoint count"
+				return out, nil
+			}
+			for _, d := range result.LSHDigests {
+				out.CommitBytes += int64(d.Size())
+			}
+		}
 	}
+	out.CommBytes = out.CommitBytes
 
 	// Bind the trace's origin: the first committed checkpoint must be
 	// exactly the global model the manager distributed. Without this check
@@ -152,7 +170,7 @@ func (v *Verifier) VerifySubmission(opener ProofOpener, shard *dataset.Dataset, 
 	// chunk instead — see verifyIntervalsParallel).
 	var encBuf []byte
 	var err error
-	if encBuf, err = verifyOpening(result, v.lshFamily(), 0, p.Global, encBuf); err != nil {
+	if encBuf, err = v.checkOpening(opener, result, 0, p.Global, encBuf, out); err != nil {
 		out.FailReason = fmt.Sprintf("trace does not start from the distributed global model: %v", err)
 		return out, nil
 	}
@@ -170,7 +188,7 @@ func (v *Verifier) VerifySubmission(opener ProofOpener, shard *dataset.Dataset, 
 	if err != nil {
 		return nil, fmt.Errorf("rpol verify update binding: %w", err)
 	}
-	if encBuf, err = verifyOpening(result, v.lshFamily(), result.NumCheckpoints-1, claimedFinal, encBuf); err != nil {
+	if encBuf, err = v.checkOpening(opener, result, result.NumCheckpoints-1, claimedFinal, encBuf, out); err != nil {
 		out.FailReason = fmt.Sprintf("submitted update does not reach the committed final checkpoint: %v", err)
 		return out, nil
 	}
@@ -218,18 +236,23 @@ func (v *Verifier) VerifySubmission(opener ProofOpener, shard *dataset.Dataset, 
 // the prefix the serial path would have accounted. The verdict and the
 // merged tallies are therefore deterministic for any worker count.
 //
-// Two documented differences from the serial path: forked devices draw
+// One documented difference from the serial path: forked devices draw
 // per-interval noise streams (a pure function of the manager's run seed and
 // the interval index) instead of continuing one shared sequential stream —
-// both are calibrated hardware noise, orders of magnitude below β — and
-// intervals after a failing one still execute, so their steps show up in
-// the rpol_reexec_steps_total counter but not in out.ReexecSteps.
+// both are calibrated hardware noise, orders of magnitude below β.
+//
+// Metrics match the serial path exactly: each interval re-executes into a
+// private per-interval tally (its sub.ReexecSteps), and only the merged
+// prefix — up to and including the first failure — is added to the global
+// rpol_reexec_steps_total counter. Intervals past the first failure still
+// execute (the fan-out cannot be cancelled retroactively) but leave no trace
+// in either ReexecSteps or the counter, so serial and parallel verifiers
+// report identical numbers for the same verdict.
 func (v *Verifier) verifyIntervalsParallel(opener ProofOpener, shard *dataset.Dataset, result *EpochResult, p TaskParams, out *VerifyOutcome, parent *obs.Span) (bool, error) {
 	sampled := out.SampledCheckpoints
 	subs := make([]*VerifyOutcome, len(sampled))
 	oks := make([]bool, len(sampled))
 	errs := make([]error, len(sampled))
-	steps := v.observer().Counter("rpol_reexec_steps_total")
 	pool := parallel.New(v.Workers)
 	pool.ForChunks(len(sampled), 1, func(_, lo, hi int) {
 		// Each chunk owns a private leaf-encode scratch, reused across its
@@ -249,19 +272,25 @@ func (v *Verifier) verifyIntervalsParallel(opener ProofOpener, shard *dataset.Da
 			// Workers: 1 runs the replay through the chunked training
 			// runtime (bit-identical to any n ≥ 1 a worker trained with)
 			// without nesting a second level of goroutines under the
-			// interval-level pool.
-			trainer := &Trainer{Net: net, Shard: shard, Device: device, Steps: steps, Workers: 1}
+			// interval-level pool. Steps land in the interval's private
+			// tally; the merge loop below credits the accepted prefix to
+			// the global counter.
+			var tally obs.Counter
+			trainer := &Trainer{Net: net, Shard: shard, Device: device, Steps: &tally, Workers: 1}
 			sub := &VerifyOutcome{WorkerID: out.WorkerID, Epoch: out.Epoch}
 			oks[j], errs[j] = v.verifyInterval(trainer, opener, result, p, c, sub, parent, &encBuf)
 			subs[j] = sub
 		}
 	})
+	steps := v.observer().Counter("rpol_reexec_steps_total")
 	for j := range sampled {
 		if errs[j] != nil {
 			return false, errs[j]
 		}
 		sub := subs[j]
+		steps.Add(int64(sub.ReexecSteps))
 		out.CommBytes += sub.CommBytes
+		out.CommitBytes += sub.CommitBytes
 		out.ReexecSteps += sub.ReexecSteps
 		out.LSHMisses += sub.LSHMisses
 		out.DoubleChecks += sub.DoubleChecks
@@ -286,11 +315,13 @@ func (v *Verifier) verifyInterval(trainer *Trainer, opener ProofOpener, result *
 		out.FailReason = fmt.Sprintf("checkpoint %d not opened: %v", c, err)
 		return false, nil
 	}
-	out.CommBytes += int64(tensor.EncodedSize(len(input)))
-	if *encBuf, err = verifyOpening(result, v.lshFamily(), c, input, *encBuf); err != nil {
+	if *encBuf, err = v.checkOpening(opener, result, c, input, *encBuf, out); err != nil {
 		out.FailReason = fmt.Sprintf("checkpoint %d opening rejected: %v", c, err)
 		return false, nil
 	}
+	// Count the opened weights only now that the opening validated, so every
+	// verifier path tallies the same bytes for the same verdict.
+	out.CommBytes += int64(tensor.EncodedSize(len(input)))
 
 	// 2. Re-execute the interval on the manager's hardware.
 	startStep := c * p.CheckpointEvery
@@ -327,6 +358,90 @@ func (v *Verifier) lshFamily() *lsh.Family {
 	return nil
 }
 
+// maxVerifyCheckpoints bounds the checkpoint count a submission may claim
+// before the verifier does any per-checkpoint work (sampling permutations,
+// proof pulls). It matches the wire decoder's cap, so a submission that
+// survived decoding is never rejected here for size alone.
+const maxVerifyCheckpoints = 1 << 20
+
+// checkOpening validates opened checkpoint weights against the submission's
+// commitment at leaf idx: the legacy hash-list leaf check, or — under the
+// streaming Merkle commitment — an inclusion proof pulled on demand from the
+// opener. Pulled proof bytes are tallied into out only after the proof
+// validates. buf is the caller's reused leaf-encode scratch.
+func (v *Verifier) checkOpening(opener ProofOpener, result *EpochResult, idx int, weights tensor.Vector, buf []byte, out *VerifyOutcome) ([]byte, error) {
+	fam := v.lshFamily()
+	if !result.HasRoot {
+		return verifyOpening(result, fam, idx, weights, buf)
+	}
+	lp, err := v.pullProof(opener, result, idx)
+	if err != nil {
+		return buf, err
+	}
+	if fam == nil {
+		// v1: the leaf is the raw weight encoding the verifier recomputes.
+		buf = weights.AppendEncode(buf[:0])
+		if err := commitment.VerifyMerkle(result.MerkleRoot, result.NumCheckpoints, buf, lp.Proof); err != nil {
+			return buf, err
+		}
+	} else {
+		// v2: the proof authenticates the committed digest encoding; the
+		// opened weights must hash to exactly that digest.
+		if err := commitment.VerifyMerkle(result.MerkleRoot, result.NumCheckpoints, lp.Digest, lp.Proof); err != nil {
+			return buf, err
+		}
+		d, err := fam.Hash(weights)
+		if err != nil {
+			return buf, fmt.Errorf("rpol opening %d: %w", idx, err)
+		}
+		buf = d.AppendEncode(buf[:0])
+		if !bytes.Equal(buf, lp.Digest) {
+			return buf, fmt.Errorf("leaf %d: %w", idx, commitment.ErrMismatch)
+		}
+	}
+	tallyPull(out, lp)
+	return buf, nil
+}
+
+// pullProof requests the inclusion proof for leaf idx from the opener and
+// performs the checks every pull needs: the worker answered for the leaf that
+// was asked, and under v2 a committed digest rides along. Authentication
+// against the root is the caller's job (the authenticated payload differs
+// between v1 and v2).
+func (v *Verifier) pullProof(opener ProofOpener, result *EpochResult, idx int) (LeafProof, error) {
+	lp, err := opener.OpenProof(idx)
+	if err != nil {
+		return LeafProof{}, fmt.Errorf("proof %d not opened: %w", idx, err)
+	}
+	if lp.Proof.Index != idx {
+		return LeafProof{}, fmt.Errorf("proof answers leaf %d, want %d", lp.Proof.Index, idx)
+	}
+	if v.lshFamily() != nil && len(lp.Digest) == 0 {
+		return LeafProof{}, fmt.Errorf("proof %d carries no digest", idx)
+	}
+	return lp, nil
+}
+
+// tallyPull credits a validated proof pull to the outcome's byte accounting.
+func tallyPull(out *VerifyOutcome, lp LeafProof) {
+	n := int64(lp.Size())
+	out.CommitBytes += n
+	out.CommBytes += n
+}
+
+// digestsEqual reports exact (not fuzzy) digest equality.
+func digestsEqual(a, b lsh.Digest) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // compareRaw is RPoLv1: fetch the raw output weights and compare Euclidean
 // distance against Beta.
 func (v *Verifier) compareRaw(opener ProofOpener, result *EpochResult, c int, reexec tensor.Vector, out *VerifyOutcome, encBuf *[]byte) (bool, error) {
@@ -335,11 +450,11 @@ func (v *Verifier) compareRaw(opener ProofOpener, result *EpochResult, c int, re
 		out.FailReason = fmt.Sprintf("checkpoint %d not opened: %v", c+1, err)
 		return false, nil
 	}
-	out.CommBytes += int64(tensor.EncodedSize(len(output)))
-	if *encBuf, err = verifyOpening(result, nil, c+1, output, *encBuf); err != nil {
+	if *encBuf, err = v.checkOpening(opener, result, c+1, output, *encBuf, out); err != nil {
 		out.FailReason = fmt.Sprintf("checkpoint %d opening rejected: %v", c+1, err)
 		return false, nil
 	}
+	out.CommBytes += int64(tensor.EncodedSize(len(output)))
 	dist, err := tensor.Distance(reexec, output)
 	if err != nil {
 		return false, fmt.Errorf("rpol verify distance: %w", err)
@@ -355,14 +470,32 @@ func (v *Verifier) compareRaw(opener ProofOpener, result *EpochResult, c int, re
 // the committed digest; on a miss fall back to the raw-weight double-check,
 // which guarantees rewards for honesty at the cost of one extra transfer.
 func (v *Verifier) compareLSH(opener ProofOpener, result *EpochResult, c int, reexec tensor.Vector, out *VerifyOutcome, encBuf *[]byte) (bool, error) {
-	committed := result.LSHDigests[c+1]
-	// The revealed digest must be exactly what was committed.
-	*encBuf = committed.AppendEncode((*encBuf)[:0])
-	if err := result.Commit.VerifyLeaf(c+1, *encBuf); err != nil {
-		out.FailReason = fmt.Sprintf("checkpoint %d digest not committed: %v", c+1, err)
-		return false, nil
+	var committed lsh.Digest
+	if result.HasRoot {
+		// The digest rides with its inclusion proof: pull, authenticate
+		// against the root, then decode. Only this pull costs bytes — the
+		// legacy scheme already shipped every digest with the submission.
+		lp, err := v.pullProof(opener, result, c+1)
+		if err != nil {
+			out.FailReason = fmt.Sprintf("checkpoint %d digest not committed: %v", c+1, err)
+			return false, nil
+		}
+		if committed, err = lsh.DecodeDigest(lp.Digest); err != nil {
+			out.FailReason = fmt.Sprintf("checkpoint %d digest malformed: %v", c+1, err)
+			return false, nil
+		}
+		tallyPull(out, lp)
+	} else {
+		committed = result.LSHDigests[c+1]
+		// The revealed digest must be exactly what was committed. Its bytes
+		// are not tallied here: the legacy submission already shipped every
+		// digest inline, counted once in CommitBytes.
+		*encBuf = committed.AppendEncode((*encBuf)[:0])
+		if err := result.Commit.VerifyLeaf(c+1, *encBuf); err != nil {
+			out.FailReason = fmt.Sprintf("checkpoint %d digest not committed: %v", c+1, err)
+			return false, nil
+		}
 	}
-	out.CommBytes += int64(committed.Size())
 	mine, err := v.LSH.Hash(reexec)
 	if err != nil {
 		return false, fmt.Errorf("rpol verify lsh: %w", err)
@@ -384,11 +517,22 @@ func (v *Verifier) compareLSH(opener ProofOpener, result *EpochResult, c int, re
 		out.FailReason = fmt.Sprintf("double-check %d not opened: %v", c+1, err)
 		return false, nil
 	}
-	out.CommBytes += int64(tensor.EncodedSize(len(output)))
-	if *encBuf, err = verifyOpening(result, v.LSH, c+1, output, *encBuf); err != nil {
+	if result.HasRoot {
+		// The committed digest is already proof-authenticated above; the
+		// opened weights must reproduce it exactly.
+		d, err := v.LSH.Hash(output)
+		if err != nil {
+			return false, fmt.Errorf("rpol verify double-check lsh: %w", err)
+		}
+		if !digestsEqual(d, committed) {
+			out.FailReason = fmt.Sprintf("double-check %d opening rejected: %v", c+1, commitment.ErrMismatch)
+			return false, nil
+		}
+	} else if *encBuf, err = verifyOpening(result, v.LSH, c+1, output, *encBuf); err != nil {
 		out.FailReason = fmt.Sprintf("double-check %d opening rejected: %v", c+1, err)
 		return false, nil
 	}
+	out.CommBytes += int64(tensor.EncodedSize(len(output)))
 	out.DoubleChecks++
 	v.observer().Counter("rpol_double_checks_total").Inc()
 	dist, err := tensor.Distance(reexec, output)

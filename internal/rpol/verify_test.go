@@ -69,10 +69,14 @@ func TestVerifyHonestWorkerV1(t *testing.T) {
 	if len(out.SampledCheckpoints) != 3 {
 		t.Errorf("sampled = %v", out.SampledCheckpoints)
 	}
-	// v1 transfers input and output weights per sample.
+	// v1 transfers the commitment plus input and output weights per sample.
 	perSample := int64(2 * tensor.EncodedSize(len(p.Global)))
-	if out.CommBytes != perSample*int64(len(out.SampledCheckpoints)) {
-		t.Errorf("CommBytes = %d, want %d", out.CommBytes, perSample*3)
+	want := int64(result.Commit.Size()) + perSample*int64(len(out.SampledCheckpoints))
+	if out.CommBytes != want {
+		t.Errorf("CommBytes = %d, want %d", out.CommBytes, want)
+	}
+	if out.CommitBytes != int64(result.Commit.Size()) {
+		t.Errorf("CommitBytes = %d, want %d", out.CommitBytes, result.Commit.Size())
 	}
 	if out.ReexecSteps == 0 {
 		t.Error("verification must have re-executed steps")
@@ -126,6 +130,10 @@ func (f *forgingOpener) OpenCheckpoint(idx int) (tensor.Vector, error) {
 	return f.inner.OpenCheckpoint(idx)
 }
 
+func (f *forgingOpener) OpenProof(idx int) (LeafProof, error) {
+	return f.inner.OpenProof(idx)
+}
+
 func TestVerifyRejectsForgedOpening(t *testing.T) {
 	worker, result, p, verifier, ds := buildHonestSetup(t, SchemeV1)
 	forged := tensor.NewRNG(1).NormalVector(len(p.Global), 0, 1)
@@ -176,7 +184,7 @@ func TestVerifyRejectsLazyTrace(t *testing.T) {
 		WorkerID: "lazy", Update: update, DataSize: ds.Len(),
 		Commit: commit, NumCheckpoints: n,
 	}
-	out, err := verifier.VerifySubmission(&traceOpener{fake}, ds, result, p)
+	out, err := verifier.VerifySubmission(&traceOpener{trace: fake}, ds, result, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,14 +193,27 @@ func TestVerifyRejectsLazyTrace(t *testing.T) {
 	}
 }
 
-// traceOpener serves checkpoints straight from a trace.
-type traceOpener struct{ trace *Trace }
+// traceOpener serves checkpoints straight from a trace. Merkle proof pulls
+// rebuild the commitment over the trace on demand (fam mirrors what the
+// trace was committed under).
+type traceOpener struct {
+	trace *Trace
+	fam   *lsh.Family
+}
 
 func (o *traceOpener) OpenCheckpoint(idx int) (tensor.Vector, error) {
 	if idx < 0 || idx >= len(o.trace.Checkpoints) {
 		return nil, tensor.ErrShapeMismatch
 	}
 	return o.trace.Checkpoints[idx], nil
+}
+
+func (o *traceOpener) OpenProof(idx int) (LeafProof, error) {
+	ec, err := CommitTrace(nil, o.trace.Checkpoints, o.fam, true)
+	if err != nil {
+		return LeafProof{}, err
+	}
+	return ec.OpenProof(idx)
 }
 
 func TestVerifyRejectsLazyTraceV2(t *testing.T) {
@@ -216,7 +237,7 @@ func TestVerifyRejectsLazyTraceV2(t *testing.T) {
 		WorkerID: "lazy", Update: update, DataSize: ds.Len(),
 		Commit: commit, LSHDigests: digests, NumCheckpoints: n,
 	}
-	out, err := verifier.VerifySubmission(&traceOpener{fake}, ds, result, p)
+	out, err := verifier.VerifySubmission(&traceOpener{trace: fake}, ds, result, p)
 	if err != nil {
 		t.Fatal(err)
 	}

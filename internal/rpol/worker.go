@@ -4,10 +4,12 @@ import (
 	"fmt"
 
 	"rpol/internal/checkpoint"
+	"rpol/internal/commitment"
 	"rpol/internal/dataset"
 	"rpol/internal/fsio"
 	"rpol/internal/gpu"
 	"rpol/internal/journal"
+	"rpol/internal/lsh"
 	"rpol/internal/nn"
 	"rpol/internal/obs"
 	"rpol/internal/tensor"
@@ -32,6 +34,13 @@ type HonestWorker struct {
 
 	lastTrace  *Trace
 	lastResult *EpochResult
+	// lastCommit retains the last epoch's commitment so OpenProof can serve
+	// the verifier's on-demand Merkle pulls.
+	lastCommit *EpochCommitment
+	// stream is the in-flight streaming Merkle state while a MerkleCommit
+	// epoch trains: runTraining wires it into the trainer's Sink so each
+	// checkpoint's leaf is pushed as it is produced.
+	stream *streamCommit
 
 	// encBuf is the reused checkpoint-digest encode scratch; RunEpoch (and
 	// the resume path before it) runs sequentially per worker, so one
@@ -147,17 +156,19 @@ func (w *HonestWorker) RunEpoch(p TaskParams) (*EpochResult, error) {
 		}
 	}
 	commitSpan := w.obs.Start(p.Trace, "worker.commit", obs.String("worker", w.id))
-	commit, digests, err := BuildCommitmentPool(poolFor(p.Workers), trace.Checkpoints, p.LSH)
+	ec, err := w.finishCommitment(p, trace)
 	commitSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("rpol worker %s: %w", w.id, err)
 	}
 	w.obs.Counter("rpol_commitments_total").Inc()
-	if commit != nil {
-		w.obs.Counter("rpol_commit_bytes_total").Add(int64(commit.Size()))
+	if ec.HasRoot {
+		w.obs.Counter("rpol_commit_bytes_total").Add(commitment.HashSize)
+	} else if ec.Commit != nil {
+		w.obs.Counter("rpol_commit_bytes_total").Add(int64(ec.Commit.Size()))
 	}
-	if len(digests) > 0 {
-		w.obs.Counter("rpol_lsh_digests_total").Add(int64(len(digests)))
+	if len(ec.Digests) > 0 {
+		w.obs.Counter("rpol_lsh_digests_total").Add(int64(len(ec.Digests)))
 	}
 	if w.store != nil && w.journal == nil {
 		// Historical batch persistence; the journaled path streamed every
@@ -172,23 +183,56 @@ func (w *HonestWorker) RunEpoch(p TaskParams) (*EpochResult, error) {
 		}
 	}
 	w.lastTrace = trace
-	w.lastResult = &EpochResult{
+	w.lastCommit = ec
+	result := &EpochResult{
 		WorkerID:       w.id,
 		Epoch:          p.Epoch,
 		Update:         update,
 		DataSize:       w.trainer.Shard.Len(),
-		Commit:         commit,
-		LSHDigests:     digests,
 		NumCheckpoints: len(trace.Checkpoints),
 	}
+	ec.Apply(result)
+	w.lastResult = result
 	return w.lastResult, nil
+}
+
+// finishCommitment produces the epoch commitment after training: under
+// MerkleCommit it completes the streamed incremental state by pushing the
+// bound final checkpoint's leaf (every earlier leaf was pushed as training
+// produced it); otherwise it builds the legacy hash list over the full trace.
+func (w *HonestWorker) finishCommitment(p TaskParams, trace *Trace) (*EpochCommitment, error) {
+	if !p.MerkleCommit {
+		return CommitTrace(poolFor(p.Workers), trace.Checkpoints, p.LSH, false)
+	}
+	st := w.stream
+	w.stream = nil
+	if st == nil {
+		// Defensive: a merkle epoch that somehow trained without streaming
+		// state commits from the full trace; the root is identical.
+		return CommitTrace(poolFor(p.Workers), trace.Checkpoints, p.LSH, true)
+	}
+	last := len(trace.Checkpoints) - 1
+	if err := st.push(last, trace.Checkpoints[last]); err != nil {
+		return nil, err
+	}
+	return st.commitment()
 }
 
 // runTraining executes the epoch's training through whichever persistence
 // mode is configured: plain (in-memory trace), or journaled streaming with
 // optional crash-resume from the durable checkpoint prefix.
 func (w *HonestWorker) runTraining(p TaskParams) (*Trace, error) {
+	if p.MerkleCommit {
+		w.stream = newStreamCommit(p)
+	} else {
+		w.stream = nil
+	}
 	if w.journal == nil || w.store == nil {
+		if w.stream == nil {
+			return w.trainer.RunEpoch(p)
+		}
+		w.trainer.Sink = w.stream.sink(nil)
+		defer func() { w.trainer.Sink = nil }()
 		return w.trainer.RunEpoch(p)
 	}
 	prefix, err := w.loadResumePrefix(p)
@@ -202,9 +246,25 @@ func (w *HonestWorker) runTraining(p TaskParams) (*Trace, error) {
 		}
 	} else {
 		w.obs.Counter("rpol_resumed_checkpoints_total").Add(int64(len(prefix.Checkpoints)))
+		if w.stream != nil {
+			// Prefix adoption bypasses the trainer's Sink; rebuild the
+			// incremental Merkle state over the adopted snapshots so the
+			// streamed root covers them too. The prefix never includes the
+			// final checkpoint, whose leaf is pushed after binding.
+			for i, cp := range prefix.Checkpoints {
+				if err := w.stream.push(i, cp); err != nil {
+					return nil, err
+				}
+			}
+		}
 	}
-	w.trainer.Sink = func(idx, step int, cp tensor.Vector) error {
+	persist := func(idx, step int, cp tensor.Vector) error {
 		return w.persistCheckpoint(p.Epoch, idx, step, cp)
+	}
+	if w.stream != nil {
+		w.trainer.Sink = w.stream.sink(persist)
+	} else {
+		w.trainer.Sink = persist
 	}
 	defer func() { w.trainer.Sink = nil }()
 	return w.trainer.ResumeEpoch(p, prefix)
@@ -313,6 +373,87 @@ func (w *HonestWorker) OpenCheckpoint(idx int) (tensor.Vector, error) {
 	return w.lastTrace.Checkpoints[idx], nil
 }
 
+// OpenProof serves the Merkle inclusion proof for leaf idx of the last
+// committed epoch.
+func (w *HonestWorker) OpenProof(idx int) (LeafProof, error) {
+	if w.lastCommit == nil {
+		return LeafProof{}, fmt.Errorf("rpol worker %s: no epoch committed yet", w.id)
+	}
+	return w.lastCommit.OpenProof(idx)
+}
+
 // LastTrace exposes the worker's private trace for experiments that measure
 // reproduction errors directly.
 func (w *HonestWorker) LastTrace() *Trace { return w.lastTrace }
+
+// streamCommit accumulates the streaming Merkle commitment while an epoch
+// trains: each checkpoint's leaf — the raw weight encoding under v1, the LSH
+// digest encoding under v2 — is pushed into an IncrementalMerkle as the
+// trainer emits it, except the final checkpoint, which BindFinalCheckpoint
+// rewrites after training and whose leaf is therefore pushed only then.
+type streamCommit struct {
+	fam     *lsh.Family
+	final   int // index of the checkpoint excluded from streaming
+	inc     commitment.IncrementalMerkle
+	digests []lsh.Digest
+	buf     []byte // reused leaf-encode scratch
+}
+
+// newStreamCommit starts the streaming state for one MerkleCommit epoch.
+func newStreamCommit(p TaskParams) *streamCommit {
+	return &streamCommit{fam: p.LSH, final: p.NumCheckpoints() - 1}
+}
+
+// sink adapts the stream into a Trainer.Sink, chaining an optional
+// persistence sink (durability first, then the leaf push). The final
+// checkpoint is persisted but not pushed.
+func (s *streamCommit) sink(persist func(idx, step int, cp tensor.Vector) error) func(idx, step int, cp tensor.Vector) error {
+	return func(idx, step int, cp tensor.Vector) error {
+		if persist != nil {
+			if err := persist(idx, step, cp); err != nil {
+				return err
+			}
+		}
+		if idx >= s.final {
+			return nil
+		}
+		return s.push(idx, cp)
+	}
+}
+
+// push appends checkpoint idx's leaf to the incremental tree. Leaves must
+// arrive in order — a gap means the trainer and the commitment disagree
+// about the epoch's shape, which is a bug, not a recoverable condition.
+func (s *streamCommit) push(idx int, cp tensor.Vector) error {
+	if idx != s.inc.Len() {
+		return fmt.Errorf("rpol: streaming commitment expects leaf %d, got %d", s.inc.Len(), idx)
+	}
+	if s.fam == nil {
+		s.buf = cp.AppendEncode(s.buf[:0])
+		s.inc.Push(commitment.HashLeaf(s.buf))
+		return nil
+	}
+	d, err := s.fam.Hash(cp)
+	if err != nil {
+		return fmt.Errorf("rpol streaming commitment leaf %d: %w", idx, err)
+	}
+	s.digests = append(s.digests, d)
+	s.buf = d.AppendEncode(s.buf[:0])
+	s.inc.Push(commitment.HashLeaf(s.buf))
+	return nil
+}
+
+// commitment finalizes the stream into a servable EpochCommitment,
+// materializing the proof tree eagerly so concurrent OpenProof calls share a
+// read-only structure.
+func (s *streamCommit) commitment() (*EpochCommitment, error) {
+	root, err := s.inc.Root()
+	if err != nil {
+		return nil, err
+	}
+	tree, err := s.inc.Tree()
+	if err != nil {
+		return nil, err
+	}
+	return &EpochCommitment{Root: root, HasRoot: true, Digests: s.digests, tree: tree}, nil
+}

@@ -150,3 +150,82 @@ func BenchmarkDecodeResult(b *testing.B) {
 		}
 	}
 }
+
+func benchRootResult(b *testing.B) *rpol.EpochResult {
+	b.Helper()
+	res := &rpol.EpochResult{
+		WorkerID:       "w-bench",
+		Epoch:          3,
+		Update:         tensor.NewRNG(22).NormalVector(benchDim, 0, 1),
+		DataSize:       256,
+		NumCheckpoints: 64,
+		HasRoot:        true,
+	}
+	for i := range res.MerkleRoot {
+		res.MerkleRoot[i] = byte(i * 7)
+	}
+	return res
+}
+
+// BenchmarkEncodeResultRoot measures the Merkle submission encode: the
+// 32-byte root replaces the inline hash list, so the frame is dominated by
+// the update vector regardless of checkpoint count.
+func BenchmarkEncodeResultRoot(b *testing.B) {
+	res := benchRootResult(b)
+	buf, err := AppendResult(nil, res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = AppendResult(buf[:0], res)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeResultRoot measures the manager-side decode of a
+// root-committed submission.
+func BenchmarkDecodeResultRoot(b *testing.B) {
+	data, err := AppendResult(nil, benchRootResult(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeResult(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeProofResponse measures one proof-pull answer: an inclusion
+// proof for a 64-leaf tree (6 siblings) plus a v2 digest blob.
+func BenchmarkEncodeProofResponse(b *testing.B) {
+	payloads := make([][]byte, 64)
+	for i := range payloads {
+		d := lsh.Digest{uint64(i), uint64(i * 3)}
+		payloads[i] = d.Encode()
+	}
+	tree, err := commitment.NewMerkleTree(payloads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proof, err := tree.Prove(17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lp := rpol.LeafProof{Proof: proof, Digest: payloads[17]}
+	buf := AppendProofResponse(nil, 17, "", lp)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendProofResponse(buf[:0], 17, "", lp)
+	}
+}

@@ -1,0 +1,343 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"rpol/internal/commitment"
+	"rpol/internal/gpu"
+	"rpol/internal/lsh"
+	"rpol/internal/netsim"
+	"rpol/internal/rpol"
+	"rpol/internal/tensor"
+)
+
+// rootResult builds a Merkle-committed submission by hand.
+func rootResult(t *testing.T) (*rpol.EpochResult, *rpol.EpochCommitment) {
+	t.Helper()
+	checkpoints := []tensor.Vector{{1, 2}, {3, 4}, {5, 6}}
+	ec, err := rpol.CommitTrace(nil, checkpoints, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rpol.EpochResult{
+		WorkerID:       "w-root",
+		Epoch:          2,
+		Update:         tensor.Vector{4, 4},
+		DataSize:       64,
+		NumCheckpoints: len(checkpoints),
+	}
+	ec.Apply(r)
+	return r, ec
+}
+
+// TestTaskMerkleFlagRoundTrip checks the version-2 flags byte: a flagged
+// task round-trips MerkleCommit through both the binary and JSON encodings,
+// while a flag-free task stays byte-for-byte on the version-1 encoding.
+func TestTaskMerkleFlagRoundTrip(t *testing.T) {
+	net, _ := wireTask(t, 50)
+	p := wireParams(net.ParamVector())
+
+	plain, err := EncodeTask(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain[1] != binVersion {
+		t.Fatalf("flag-free task emitted version %d, want %d", plain[1], binVersion)
+	}
+
+	p.MerkleCommit = true
+	flagged, err := EncodeTask(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flagged[1] != binVersion2 {
+		t.Fatalf("merkle task emitted version %d, want %d", flagged[1], binVersion2)
+	}
+	got, err := DecodeTask(flagged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.MerkleCommit {
+		t.Error("MerkleCommit flag lost over the binary wire")
+	}
+	if !got.Global.Equal(p.Global, 0) || got.Hyper != p.Hyper {
+		t.Errorf("flagged task lost fields: %+v", got)
+	}
+
+	// Unknown flag bits must be rejected, not silently ignored.
+	bad := append([]byte{}, flagged...)
+	bad[3] |= 0x80
+	if _, err := DecodeTask(bad); err == nil {
+		t.Error("decode accepted unknown task flags")
+	}
+
+	taskJSON, err := json.Marshal(TaskMsg{
+		Epoch: p.Epoch, Global: p.Global.Encode(), Optimizer: p.Hyper.Optimizer,
+		LR: p.Hyper.LR, BatchSize: p.Hyper.BatchSize, Steps: p.Steps,
+		CheckpointEvery: p.CheckpointEvery, Nonce: uint64(p.Nonce), MerkleCommit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := DecodeTask(taskJSON); err != nil || !got.MerkleCommit {
+		t.Errorf("JSON MerkleCommit round trip: %+v, err = %v", got, err)
+	}
+}
+
+func TestRootResultRoundTrip(t *testing.T) {
+	res, _ := rootResult(t)
+	data, err := EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[2] != binKindResultRoot {
+		t.Fatalf("root result emitted kind 0x%02x, want 0x%02x", data[2], binKindResultRoot)
+	}
+	got, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasRoot || got.MerkleRoot != res.MerkleRoot {
+		t.Errorf("root changed: %+v", got)
+	}
+	if got.Commit != nil || got.LSHDigests != nil {
+		t.Error("root form decoded inline commitment fields")
+	}
+	if got.WorkerID != res.WorkerID || got.Epoch != res.Epoch ||
+		got.DataSize != res.DataSize || got.NumCheckpoints != res.NumCheckpoints {
+		t.Errorf("metadata changed: %+v", got)
+	}
+	if !got.Update.Equal(res.Update, 0) {
+		t.Errorf("update = %v, want %v", got.Update, res.Update)
+	}
+
+	// JSON form.
+	resJSON, err := json.Marshal(ResultMsg{
+		WorkerID: res.WorkerID, Epoch: res.Epoch, Update: res.Update.Encode(),
+		DataSize: res.DataSize, Root: res.MerkleRoot[:], NumCheckpoints: res.NumCheckpoints,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeResult(resJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.HasRoot || got.MerkleRoot != res.MerkleRoot {
+		t.Errorf("JSON root changed: %+v", got)
+	}
+}
+
+// TestDecodeResultBounds is the malformed-submission regression suite: a
+// decoded result's declared checkpoint count must be bounded and must match
+// the commitment (and digest list) it ships, in both wire encodings.
+func TestDecodeResultBounds(t *testing.T) {
+	legacy := testResult(t)
+	goodBin, err := EncodeResult(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _ := rootResult(t)
+	goodRoot, err := EncodeResult(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jsonMsg := func(mutate func(*ResultMsg)) []byte {
+		msg := ResultMsg{
+			WorkerID: legacy.WorkerID, Epoch: legacy.Epoch, Update: legacy.Update.Encode(),
+			DataSize: legacy.DataSize, Commit: legacy.Commit.Encode(),
+			NumCheckpoints: legacy.NumCheckpoints,
+		}
+		for _, d := range legacy.LSHDigests {
+			msg.Digests = append(msg.Digests, d.Encode())
+		}
+		mutate(&msg)
+		data, err := json.Marshal(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	cases := map[string][]byte{
+		// JSON: count/commitment mismatches.
+		"json zero count":     jsonMsg(func(m *ResultMsg) { m.NumCheckpoints = 0 }),
+		"json negative count": jsonMsg(func(m *ResultMsg) { m.NumCheckpoints = -4 }),
+		"json huge count":     jsonMsg(func(m *ResultMsg) { m.NumCheckpoints = maxWireCheckpoints + 1 }),
+		"json short commit":   jsonMsg(func(m *ResultMsg) { m.Commit = m.Commit[:commitment.HashSize] }),
+		"json overlong commit": jsonMsg(func(m *ResultMsg) {
+			m.Commit = append(m.Commit, make([]byte, commitment.HashSize)...)
+		}),
+		"json digest count": jsonMsg(func(m *ResultMsg) { m.Digests = m.Digests[:1] }),
+		"json truncated root": jsonMsg(func(m *ResultMsg) {
+			m.Commit, m.Digests, m.Root = nil, nil, []byte{1, 2, 3}
+		}),
+		"json root plus commit": jsonMsg(func(m *ResultMsg) {
+			m.Root = make([]byte, commitment.HashSize)
+		}),
+	}
+	for name, data := range cases {
+		if _, err := DecodeResult(data); err == nil {
+			t.Errorf("%s: decode accepted malformed payload", name)
+		}
+	}
+
+	// Binary legacy form: a claimed count inconsistent with the shipped
+	// commitment must be rejected. The varint for NumCheckpoints=2 lives
+	// right before the commit blob; rebuild the frame around a wrong claim.
+	bad, err := AppendResult(nil, &rpol.EpochResult{
+		WorkerID: legacy.WorkerID, Epoch: legacy.Epoch, Update: legacy.Update,
+		DataSize: legacy.DataSize, Commit: legacy.Commit,
+		LSHDigests: legacy.LSHDigests, NumCheckpoints: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeResult(bad); err == nil || !strings.Contains(err.Error(), "commit") {
+		t.Errorf("binary count/commit mismatch: err = %v", err)
+	}
+
+	// Binary root form: truncating the 32-byte root must fail, not misparse
+	// the update tail as root bytes.
+	if _, err := DecodeResult(goodRoot[:len(goodRoot)-len(root.Update.Encode())-4]); err == nil {
+		t.Error("binary truncated root accepted")
+	}
+
+	// Sanity: the unmutated frames still decode.
+	if _, err := DecodeResult(goodBin); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeResult(goodRoot); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProofMessagesRoundTrip(t *testing.T) {
+	_, ec := rootResult(t)
+	lp, err := ec.OpenProof(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := DecodeProofRequest(AppendProofRequest(nil, 7))
+	if err != nil || req.Idx != 7 {
+		t.Errorf("proof request = %+v, err = %v", req, err)
+	}
+	reqJSON, err := json.Marshal(ProofRequestMsg{Idx: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req, err := DecodeProofRequest(reqJSON); err != nil || req.Idx != 7 {
+		t.Errorf("JSON proof request = %+v, err = %v", req, err)
+	}
+
+	resp, err := decodeProofResponse(AppendProofResponse(nil, 1, "", lp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Idx != 1 || resp.Err != "" || resp.Proof.Index != lp.Proof.Index ||
+		len(resp.Proof.Siblings) != len(lp.Proof.Siblings) {
+		t.Fatalf("proof response = %+v", resp)
+	}
+	for i := range resp.Proof.Siblings {
+		if resp.Proof.Siblings[i] != lp.Proof.Siblings[i] {
+			t.Fatal("proof siblings changed over the wire")
+		}
+	}
+	if !bytes.Equal(resp.Digest, lp.Digest) {
+		t.Errorf("digest = %v, want %v", resp.Digest, lp.Digest)
+	}
+
+	resp, err = decodeProofResponse(AppendProofResponse(nil, 9, "no proof", rpol.LeafProof{}))
+	if err != nil || resp.Idx != 9 || resp.Err != "no proof" {
+		t.Errorf("error response = %+v, err = %v", resp, err)
+	}
+
+	// JSON form.
+	respJSON, err := json.Marshal(ProofResponseMsg{
+		Idx: 1, ProofBytes: lp.Proof.AppendEncode(nil), Digest: lp.Digest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = decodeProofResponse(respJSON)
+	if err != nil || resp.Proof.Index != lp.Proof.Index {
+		t.Errorf("JSON proof response = %+v, err = %v", resp, err)
+	}
+
+	// A proof blob claiming an absurd depth must be rejected before any
+	// sibling allocation.
+	huge := commitment.MerkleProof{Index: 0, Siblings: make([]commitment.Hash, commitment.MaxProofSiblings+1)}
+	frame := AppendProofResponse(nil, 1, "", rpol.LeafProof{Proof: huge})
+	if _, err := decodeProofResponse(frame); err == nil {
+		t.Error("oversized proof depth accepted")
+	}
+}
+
+// TestMerkleOverBusEndToEnd drives the full proof-pull protocol over the
+// metered bus: the worker trains under a Merkle-flagged task, submits only
+// the root, and the manager's verifier pulls inclusion proofs through the
+// RemoteWorker proxy.
+func TestMerkleOverBusEndToEnd(t *testing.T) {
+	bus := netsim.NewBus()
+	var wg sync.WaitGroup
+	defer func() {
+		bus.Close()
+		wg.Wait()
+	}()
+
+	net, ds := wireTask(t, 31)
+	local, err := rpol.NewHonestWorker("w-merkle", gpu.GA10, 71, net, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startServedWorker(t, bus, &wg, local)
+	port, err := NewManagerPort(bus, "manager")
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := NewRemoteWorker("w-merkle", gpu.GA10, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := wireParams(net.ParamVector())
+	p.MerkleCommit = true
+	fam, err := lsh.NewFamily(len(p.Global), lsh.Params{R: 0.5, K: 2, L: 2}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.LSH = fam
+	result, err := remote.RunEpoch(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !result.HasRoot {
+		t.Fatal("merkle task produced a non-root submission")
+	}
+
+	verifyNet, _ := wireTask(t, 31)
+	device, err := gpu.NewDevice(gpu.G3090, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifier := &rpol.Verifier{
+		Scheme: rpol.SchemeV2, Net: verifyNet, Device: device, Beta: 0.5,
+		LSH: fam, Samples: 2, Sampler: tensor.NewRNG(8),
+	}
+	out, err := verifier.VerifySubmission(remote, ds, result, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Fatalf("merkle submission rejected over the bus: %s", out.FailReason)
+	}
+	if byKind := bus.Meter().ByKind(); byKind[KindProofRequest] == 0 || byKind[KindProofResponse] == 0 {
+		t.Errorf("no proof-pull traffic metered: %v", byKind)
+	}
+}

@@ -22,11 +22,13 @@ import (
 
 // Message kinds on the bus.
 const (
-	KindTask         = "task"
-	KindResult       = "result"
-	KindOpenRequest  = "open-request"
-	KindOpenResponse = "open-response"
-	KindError        = "error"
+	KindTask          = "task"
+	KindResult        = "result"
+	KindOpenRequest   = "open-request"
+	KindOpenResponse  = "open-response"
+	KindProofRequest  = "proof-request"
+	KindProofResponse = "proof-response"
+	KindError         = "error"
 )
 
 // ErrRemote wraps failures reported by the peer.
@@ -53,6 +55,7 @@ type TaskMsg struct {
 	CheckpointEvery int     `json:"checkpointEvery"`
 	Nonce           uint64  `json:"nonce"`
 	LSH             *LSHMsg `json:"lsh,omitempty"`
+	MerkleCommit    bool    `json:"merkleCommit,omitempty"`
 }
 
 // EncodeTask marshals the task parameters in the binary wire format.
@@ -87,6 +90,7 @@ func decodeTaskJSON(data []byte) (rpol.TaskParams, error) {
 		Nonce:           prf.Nonce(msg.Nonce),
 		Steps:           msg.Steps,
 		CheckpointEvery: msg.CheckpointEvery,
+		MerkleCommit:    msg.MerkleCommit,
 	}
 	if msg.LSH != nil {
 		fam, err := lsh.NewFamily(msg.LSH.Dim, lsh.Params{R: msg.LSH.R, K: msg.LSH.K, L: msg.LSH.L}, msg.LSH.Seed)
@@ -101,13 +105,15 @@ func decodeTaskJSON(data []byte) (rpol.TaskParams, error) {
 	return p, nil
 }
 
-// ResultMsg is the worker's epoch submission (step ③ of Fig. 2).
+// ResultMsg is the worker's epoch submission (step ③ of Fig. 2). Exactly one
+// of Commit (legacy hash list) or Root (32-byte Merkle root) is present.
 type ResultMsg struct {
 	WorkerID       string   `json:"workerId"`
 	Epoch          int      `json:"epoch"`
 	Update         []byte   `json:"update"`
 	DataSize       int      `json:"dataSize"`
-	Commit         []byte   `json:"commit"`
+	Commit         []byte   `json:"commit,omitempty"`
+	Root           []byte   `json:"root,omitempty"`
 	Digests        [][]byte `json:"digests,omitempty"`
 	NumCheckpoints int      `json:"numCheckpoints"`
 }
@@ -137,17 +143,36 @@ func decodeResultJSON(data []byte) (*rpol.EpochResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wire result update: %w", err)
 	}
-	commit, err := commitment.DecodeHashList(msg.Commit)
-	if err != nil {
-		return nil, fmt.Errorf("wire result commit: %w", err)
+	if err := checkWireCheckpoints(msg.NumCheckpoints); err != nil {
+		return nil, err
 	}
 	out := &rpol.EpochResult{
 		WorkerID:       msg.WorkerID,
 		Epoch:          msg.Epoch,
 		Update:         update,
 		DataSize:       msg.DataSize,
-		Commit:         commit,
 		NumCheckpoints: msg.NumCheckpoints,
+	}
+	if len(msg.Root) > 0 {
+		if len(msg.Commit) > 0 || len(msg.Digests) > 0 {
+			return nil, errors.New("wire result: root form carries inline commitment fields")
+		}
+		if len(msg.Root) != commitment.HashSize {
+			return nil, fmt.Errorf("wire result root: %d bytes, want %d", len(msg.Root), commitment.HashSize)
+		}
+		copy(out.MerkleRoot[:], msg.Root)
+		out.HasRoot = true
+		return out, nil
+	}
+	// The commitment and digest list must both match the declared checkpoint
+	// count exactly (digests may also be absent entirely under v1).
+	commit, err := commitment.DecodeHashListN(msg.Commit, msg.NumCheckpoints)
+	if err != nil {
+		return nil, fmt.Errorf("wire result commit: %w", err)
+	}
+	out.Commit = commit
+	if len(msg.Digests) != 0 && len(msg.Digests) != msg.NumCheckpoints {
+		return nil, fmt.Errorf("wire result: %d digests for %d checkpoints", len(msg.Digests), msg.NumCheckpoints)
 	}
 	for i, raw := range msg.Digests {
 		d, err := lsh.DecodeDigest(raw)
@@ -187,4 +212,48 @@ func decodeOpenResponseJSON(data []byte) (decodedOpenResponse, error) {
 		return decodedOpenResponse{}, fmt.Errorf("wire open response: %w", err)
 	}
 	return decodedOpenResponse{Idx: resp.Idx, Err: resp.Err, Weights: resp.Weights}, nil
+}
+
+// ProofRequestMsg asks a worker for the Merkle inclusion proof of leaf Idx.
+type ProofRequestMsg struct {
+	Idx int `json:"idx"`
+}
+
+// ProofResponseMsg returns the inclusion proof — plus, under v2, the
+// committed digest encoding it authenticates — or an error.
+type ProofResponseMsg struct {
+	Idx    int                    `json:"idx"`
+	Proof  commitment.MerkleProof `json:"-"`
+	Digest []byte                 `json:"digest,omitempty"`
+	Err    string                 `json:"err,omitempty"`
+
+	// ProofBytes is the JSON carrier for Proof (commitment.DecodeProof form).
+	ProofBytes []byte `json:"proof,omitempty"`
+}
+
+// decodeProofRequestJSON is the JSON decode path for proof pulls.
+func decodeProofRequestJSON(data []byte) (ProofRequestMsg, error) {
+	var req ProofRequestMsg
+	if err := json.Unmarshal(data, &req); err != nil {
+		return ProofRequestMsg{}, fmt.Errorf("wire proof request: %w", err)
+	}
+	return req, nil
+}
+
+// decodeProofResponseJSON is the JSON decode path for proof-pull responses.
+func decodeProofResponseJSON(data []byte) (ProofResponseMsg, error) {
+	var resp ProofResponseMsg
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return ProofResponseMsg{}, fmt.Errorf("wire proof response: %w", err)
+	}
+	if resp.Err != "" {
+		return resp, nil
+	}
+	proof, err := commitment.DecodeProof(resp.ProofBytes)
+	if err != nil {
+		return ProofResponseMsg{}, fmt.Errorf("wire proof response: %w", err)
+	}
+	resp.Proof = proof
+	resp.ProofBytes = nil
+	return resp, nil
 }

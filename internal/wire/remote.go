@@ -288,3 +288,22 @@ func (r *RemoteWorker) OpenCheckpoint(idx int) (tensor.Vector, error) {
 	}
 	return weights, nil
 }
+
+// OpenProof pulls one Merkle inclusion proof during verification of a
+// root-committed submission.
+func (r *RemoteWorker) OpenProof(idx int) (rpol.LeafProof, error) {
+	payload := AppendProofRequest(r.port.encScratch(), idx)
+	r.port.keepScratch(payload)
+	reply, err := r.port.call(r.id, KindProofRequest, payload, KindProofResponse)
+	if err != nil {
+		return rpol.LeafProof{}, fmt.Errorf("wire remote %s: %w", r.id, err)
+	}
+	resp, err := decodeProofResponse(reply)
+	if err != nil {
+		return rpol.LeafProof{}, fmt.Errorf("wire remote %s: %w", r.id, err)
+	}
+	if resp.Err != "" {
+		return rpol.LeafProof{}, fmt.Errorf("wire remote %s: %s: %w", r.id, resp.Err, ErrRemote)
+	}
+	return rpol.LeafProof{Proof: resp.Proof, Digest: resp.Digest}, nil
+}

@@ -143,6 +143,19 @@ func (s *WorkerServer) handle(msg netsim.Message) error {
 		payload := AppendOpenResponse(s.encScratch(), req.Idx, errMsg, weights)
 		s.keepScratch(payload)
 		return s.send(msg.From, KindOpenResponse, msg.Seq, payload)
+	case KindProofRequest:
+		req, err := DecodeProofRequest(msg.Payload)
+		if err != nil {
+			return err
+		}
+		var errMsg string
+		lp, err := s.worker.OpenProof(req.Idx)
+		if err != nil {
+			errMsg = err.Error()
+		}
+		payload := AppendProofResponse(s.encScratch(), req.Idx, errMsg, lp)
+		s.keepScratch(payload)
+		return s.send(msg.From, KindProofResponse, msg.Seq, payload)
 	default:
 		return fmt.Errorf("unknown message kind %q", msg.Kind)
 	}
