@@ -1,0 +1,60 @@
+package rpol
+
+import (
+	"testing"
+
+	"rpol/internal/commitment"
+	"rpol/internal/tensor"
+)
+
+// forgedDigestOpener serves the honest digest but with a garbage Merkle
+// proof — a worker answering adaptively with material never committed.
+type forgedDigestOpener struct {
+	inner ProofOpener
+}
+
+func (o *forgedDigestOpener) OpenCheckpoint(idx int) (tensor.Vector, error) {
+	return o.inner.OpenCheckpoint(idx)
+}
+
+func (o *forgedDigestOpener) OpenProof(idx int) (LeafProof, error) {
+	lp, err := o.inner.OpenProof(idx)
+	if err != nil {
+		return lp, err
+	}
+	// Zero the siblings: this proof does NOT authenticate against the root.
+	for i := range lp.Proof.Siblings {
+		lp.Proof.Siblings[i] = commitment.Hash{}
+	}
+	return lp, nil
+}
+
+func TestPoCCompareLSHAcceptsUnauthenticatedDigest(t *testing.T) {
+	worker, result, p, verifier, ds := buildMerkleSetup(t, SchemeV2)
+	_ = ds
+	// Sanity: the garbage proof must fail root verification.
+	opener := &forgedDigestOpener{inner: worker}
+	lp, err := opener.OpenProof(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := commitment.VerifyMerkle(result.MerkleRoot, result.NumCheckpoints, lp.Digest, lp.Proof); err == nil {
+		t.Fatal("sanity: zeroed-sibling proof unexpectedly verifies")
+	}
+	// Re-execute interval 0 honestly so compareLSH's reexec matches.
+	reexec, err := worker.OpenCheckpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &VerifyOutcome{}
+	var encBuf []byte
+	ok, err := verifier.compareLSH(opener, result, 0, reexec, out, &encBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Log("VULNERABILITY CONFIRMED: compareLSH accepted a digest whose Merkle proof does not verify against the committed root")
+		t.Fail()
+	}
+	_ = p
+}
